@@ -1,0 +1,141 @@
+"""A2 — Ablation: window parameters and EE-trigger chain depth.
+
+Design points from DESIGN.md §4.2 ("two trigger levels"):
+
+* window slide granularity trades update freshness against maintenance work
+  (a slide-1 window slides on every tuple; slide-k every k tuples);
+* window size is nearly free at maintenance time (eviction is O(evicted));
+* chains of SQL EE triggers process N stages inside ONE transaction with
+  zero extra PE↔EE round trips per stage — depth costs EE work only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.core.engine import SStoreEngine, StreamProcedure
+from repro.core.workflow import WorkflowSpec
+
+TUPLES = 600
+
+
+def run_window(size: int, slide: int) -> dict[str, int]:
+    eng = SStoreEngine()
+    eng.execute_ddl("CREATE STREAM feed (seq INTEGER, v INTEGER)")
+    eng.execute_ddl(
+        f"CREATE WINDOW w ON feed ROWS {size} SLIDE {slide} OWNED BY sink"
+    )
+
+    class Sink(StreamProcedure):
+        name = "sink"
+        statements = {}
+
+        def run(self, ctx):
+            pass
+
+    eng.register_procedure(Sink)
+    wf = WorkflowSpec("wf")
+    wf.add_node("sink", input_stream="feed", batch_size=10)
+    eng.deploy_workflow(wf)
+    for start in range(0, TUPLES, 10):
+        eng.ingest("feed", [(i, i % 5) for i in range(start, start + 10)])
+    return eng.stats.snapshot()
+
+
+class TestWindowSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {}
+
+    @pytest.mark.parametrize(
+        "size,slide", [(100, 1), (100, 10), (100, 100), (10, 1), (500, 1)]
+    )
+    def test_a2_window(self, benchmark, size, slide, sweep):
+        stats = benchmark.pedantic(
+            lambda: run_window(size, slide), rounds=2, iterations=1
+        )
+        sweep[(size, slide)] = stats
+        benchmark.extra_info["slides"] = stats["window_slides"]
+
+    def test_a2_window_shape(self, benchmark, sweep, save_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = [
+            [size, slide, stats["window_slides"], stats["rows_inserted"],
+             stats["rows_deleted"]]
+            for (size, slide), stats in sorted(sweep.items())
+        ]
+        save_report(
+            "a2_window_sweep",
+            format_table(
+                ["size", "slide", "slides", "rows_inserted", "rows_evicted"], rows
+            ),
+        )
+        # slide count is TUPLES/slide regardless of size
+        assert sweep[(100, 1)]["window_slides"] == TUPLES
+        assert sweep[(100, 10)]["window_slides"] == TUPLES // 10
+        assert sweep[(100, 100)]["window_slides"] == TUPLES // 100
+        # size doesn't change slide count
+        assert sweep[(10, 1)]["window_slides"] == sweep[(500, 1)]["window_slides"]
+
+
+def run_trigger_chain(depth: int) -> dict[str, int]:
+    """seed stream → EE-trigger chain of ``depth`` derived streams."""
+    eng = SStoreEngine()
+    eng.execute_ddl("CREATE STREAM s0 (v INTEGER)")
+    for level in range(1, depth + 1):
+        eng.execute_ddl(f"CREATE STREAM s{level} (v INTEGER)")
+        eng.create_ee_trigger(
+            f"t{level}",
+            f"s{level - 1}",
+            f"INSERT INTO s{level} VALUES (?)",
+            param_columns=["v"],
+        )
+
+    class Source(StreamProcedure):
+        name = "source"
+        statements = {}
+
+        def run(self, ctx):
+            pass
+
+    eng.register_procedure(Source)
+    wf = WorkflowSpec("wf")
+    wf.add_node("source", input_stream="s0", batch_size=10)
+    eng.deploy_workflow(wf)
+    for start in range(0, 200, 10):
+        eng.ingest("s0", [(i,) for i in range(start, start + 10)])
+    return eng.stats.snapshot()
+
+
+class TestTriggerDepth:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {}
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 4, 8])
+    def test_a2_trigger_depth(self, benchmark, depth, sweep):
+        stats = benchmark.pedantic(
+            lambda: run_trigger_chain(depth), rounds=2, iterations=1
+        )
+        sweep[depth] = stats
+        benchmark.extra_info["ee_trigger_firings"] = stats["ee_trigger_firings"]
+
+    def test_a2_trigger_shape(self, benchmark, sweep, save_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = [
+            [depth, stats["ee_trigger_firings"], stats["pe_ee_roundtrips"],
+             stats["ee_statements"]]
+            for depth, stats in sorted(sweep.items())
+        ]
+        save_report(
+            "a2_trigger_depth",
+            format_table(
+                ["chain depth", "ee_trigger_firings", "pe_ee_rt", "ee_statements"],
+                rows,
+            ),
+        )
+        # every chain stage fires once per tuple...
+        assert sweep[4]["ee_trigger_firings"] == 4 * 200
+        # ...but the PE↔EE crossing count does not grow with depth
+        assert sweep[8]["pe_ee_roundtrips"] == sweep[0]["pe_ee_roundtrips"]

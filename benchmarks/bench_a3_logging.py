@@ -1,0 +1,117 @@
+"""A3 — Ablation: group-commit size and snapshot interval.
+
+Command logging [7] makes the log write the per-transaction durability cost;
+group commit amortizes the flush.  Snapshots bound the replay suffix at the
+cost of checkpoint work.  Both knobs are swept here.
+
+Expected shapes: simulated throughput rises with group size (fewer flushes)
+and recovery time falls as snapshots become more frequent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.voter.sstore_app import VoterSStoreApp
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table
+from repro.core.engine import SStoreEngine
+from repro.core.recovery import crash_and_recover_streaming
+from repro.hstore.netsim import LatencyModel
+
+CONTESTANTS = 8
+VOTES = 300
+
+
+def _requests(n=VOTES):
+    return VoterWorkload(seed=333, num_contestants=CONTESTANTS).generate(n)
+
+
+class TestGroupCommit:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {}
+
+    @pytest.mark.parametrize("group_size", [1, 4, 16, 64])
+    def test_a3_group_commit(self, benchmark, group_size, sweep):
+        def run():
+            engine = SStoreEngine(log_group_size=group_size)
+            app = VoterSStoreApp(engine=engine, num_contestants=CONTESTANTS)
+            before = engine.stats.snapshot()
+            app.submit(_requests(), ingest_chunk=5)
+            after = engine.stats.snapshot()
+            return {k: after[k] - before.get(k, 0) for k in after}
+
+        counters = benchmark.pedantic(run, rounds=2, iterations=1)
+        sweep[group_size] = counters
+        benchmark.extra_info["log_flushes"] = counters["log_flushes"]
+
+    def test_a3_group_commit_shape(self, benchmark, sweep, save_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        model = LatencyModel()
+        rows = []
+        tps = {}
+        for group_size, counters in sorted(sweep.items()):
+            cost = model.cost_of(counters)
+            tps[group_size] = cost.throughput(counters["txns_committed"])
+            rows.append(
+                [group_size, counters["log_flushes"], round(tps[group_size])]
+            )
+        save_report(
+            "a3_group_commit",
+            format_table(["group size", "log flushes", "simulated_tps"], rows),
+        )
+        assert sweep[64]["log_flushes"] < sweep[1]["log_flushes"] / 16
+        assert tps[64] > tps[1]
+
+
+class TestSnapshotInterval:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {}
+
+    @pytest.mark.parametrize("interval", [None, 200, 50, 20])
+    def test_a3_snapshot_interval(self, benchmark, interval, sweep):
+        app = VoterSStoreApp(
+            num_contestants=CONTESTANTS, snapshot_interval=interval
+        )
+        app.submit(_requests(), ingest_chunk=2)
+
+        def crash_recover():
+            started = time.perf_counter()
+            report = crash_and_recover_streaming(app.engine)
+            elapsed = time.perf_counter() - started
+            assert report.state_matches
+            return report.replayed_records, elapsed
+
+        replayed, elapsed = benchmark.pedantic(
+            crash_recover, rounds=3, iterations=1
+        )
+        sweep[interval] = (replayed, elapsed, app.engine.stats.snapshots_taken)
+        benchmark.extra_info["replayed"] = replayed
+
+    def test_a3_snapshot_shape(self, benchmark, sweep, save_report):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = [
+            [
+                "manual" if interval is None else interval,
+                snapshots,
+                replayed,
+                f"{elapsed * 1000:.1f}ms",
+            ]
+            for interval, (replayed, elapsed, snapshots) in sorted(
+                sweep.items(), key=lambda item: (item[0] is None, item[0] or 0)
+            )
+        ]
+        save_report(
+            "a3_snapshot_interval",
+            format_table(
+                ["snapshot interval", "snapshots", "records replayed", "recovery"],
+                rows,
+            ),
+        )
+        # more frequent snapshots → shorter replay suffix
+        assert sweep[20][0] < sweep[None][0]
+        assert sweep[50][0] <= sweep[200][0]

@@ -1,0 +1,69 @@
+"""A4 — Ablation: pipeline latency vs. batch size.
+
+The flip side of A1: bigger batches raise throughput but each tuple waits
+longer for its batch to fill and its (larger) pipeline to run.  Streaming
+systems live on this trade-off; S-Store's batch-defined TEs make it an
+explicit knob.
+
+Measured: wall-clock pipeline latency (batch formation → last TE commit)
+p50/p95 across batch sizes, from the engine's built-in latency tracker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.voter.sstore_app import VoterSStoreApp
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table
+
+CONTESTANTS = 8
+VOTES = 300
+BATCH_SIZES = [1, 5, 25]
+
+
+def run_with_batch(batch_size: int):
+    app = VoterSStoreApp(num_contestants=CONTESTANTS, batch_size=batch_size)
+    requests = VoterWorkload(seed=444, num_contestants=CONTESTANTS).generate(VOTES)
+    app.submit(requests, ingest_chunk=batch_size)
+    return app.engine.latency.summary()
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {}
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_a4_latency(benchmark, batch_size, sweep):
+    summary = benchmark.pedantic(
+        lambda: run_with_batch(batch_size), rounds=2, iterations=1
+    )
+    sweep[batch_size] = summary
+    benchmark.extra_info["p95_ms"] = round(summary.p95_ms, 3)
+
+
+def test_a4_shape_holds(benchmark, sweep, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [
+            batch,
+            summary.count,
+            f"{summary.p50_ms:.3f}",
+            f"{summary.p95_ms:.3f}",
+            f"{summary.max_ms:.3f}",
+        ]
+        for batch, summary in sorted(sweep.items())
+    ]
+    save_report(
+        "a4_latency",
+        format_table(
+            ["batch", "pipelines", "p50_ms", "p95_ms", "max_ms"], rows
+        ),
+    )
+    # every completed pipeline was tracked
+    for batch, summary in sweep.items():
+        assert summary.count == VOTES // batch
+    # bigger batches → fewer pipelines doing more per-TE work: per-pipeline
+    # latency grows with batch size
+    assert sweep[25].p50_ms > sweep[1].p50_ms

@@ -1,0 +1,96 @@
+"""E1 — Correctness: naive H-Store yields incorrect election results.
+
+Paper claim (§3.1, Fig. 3): without workflow ordering, votes arriving while
+SP3 is pending get counted first, so the wrong candidate can be eliminated,
+valid votes are thrown away, and ultimately a false winner may be declared.
+S-Store's ordered workflow execution never exhibits any of this.
+
+Measured: anomaly counts of the interleaved H-Store run vs. the sequential
+reference, across several interleaving seeds, and the (always-zero) anomaly
+count of S-Store on the same workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import (
+    compare_summaries,
+    format_table,
+    run_voter_hstore_interleaved,
+    run_voter_hstore_sequential,
+    run_voter_sstore,
+)
+
+CONTESTANTS = 8
+VOTES = 700
+SEEDS = [1, 2, 3, 4, 5]
+
+
+def _requests():
+    return VoterWorkload(seed=101, num_contestants=CONTESTANTS).generate(VOTES)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return run_voter_hstore_sequential(_requests(), num_contestants=CONTESTANTS)
+
+
+def test_e1_sstore_matches_reference(benchmark, reference, save_report):
+    result = benchmark.pedantic(
+        lambda: run_voter_sstore(_requests(), num_contestants=CONTESTANTS),
+        rounds=2,
+        iterations=1,
+    )
+    report = compare_summaries(reference.summary, result.summary)
+    benchmark.extra_info["anomalies"] = report.any_anomaly
+    assert not report.any_anomaly
+
+    save_report(
+        "e1_sstore",
+        "S-Store vs sequential reference: "
+        f"wrong_removals={report.wrong_removals} "
+        f"vote_count_divergence={report.vote_count_divergence} "
+        f"false_winner={report.false_winner}",
+    )
+
+
+def test_e1_hstore_interleaved_anomalies(benchmark, reference, save_report):
+    rows = []
+    anomalous_seeds = 0
+
+    def run_all():
+        nonlocal rows, anomalous_seeds
+        rows = []
+        anomalous_seeds = 0
+        for seed in SEEDS:
+            result = run_voter_hstore_interleaved(
+                _requests(), num_contestants=CONTESTANTS, clients=10, seed=seed
+            )
+            report = compare_summaries(reference.summary, result.summary)
+            anomalous_seeds += int(report.any_anomaly)
+            rows.append(
+                [
+                    seed,
+                    report.wrong_removals,
+                    report.vote_count_divergence,
+                    report.total_votes_delta,
+                    report.false_winner,
+                ]
+            )
+        return anomalous_seeds
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["anomalous_seeds"] = f"{anomalous_seeds}/{len(SEEDS)}"
+
+    table = format_table(
+        ["seed", "wrong_removals", "count_divergence", "total_delta", "false_winner"],
+        rows,
+    )
+    save_report(
+        "e1_hstore_interleaved",
+        f"{table}\nanomalous seeds: {anomalous_seeds}/{len(SEEDS)}",
+    )
+    # the paper's claim: interleaved H-Store misbehaves on real seeds
+    assert anomalous_seeds >= len(SEEDS) - 1

@@ -1,0 +1,91 @@
+"""E2 — Arrival order: H-Store may record the wrong vote of a rapid pair.
+
+Paper claim (§3.1): "Suppose that a user submits a vote for candidate X,
+then another vote for candidate Y before the first has been recorded.
+Ideally, the vote for X should be counted, and the vote for Y rejected.
+However, if the ordering is not maintained, the vote for Y may be counted
+instead."  S-Store processes requests in arrival order, so the first vote
+always wins.
+
+Measured: fraction of rapid-fire pairs whose *second* vote got recorded, in
+interleaved H-Store vs. S-Store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table, run_voter_hstore_interleaved, run_voter_sstore
+
+CONTESTANTS = 6
+#: below the elimination threshold (100) so candidate removals — which
+#: legitimately return votes and would confound the pair detector — never
+#: occur; duplicates are disabled for the same reason
+VOTES = 90
+
+
+def _requests():
+    return VoterWorkload(
+        seed=202,
+        num_contestants=CONTESTANTS,
+        rapid_pair_fraction=0.3,
+        duplicate_fraction=0.0,
+    ).generate(VOTES)
+
+
+def _misordered_pairs(app, requests) -> tuple[int, int]:
+    """(misordered, total) rapid pairs in the final Votes table."""
+    recorded = dict(app.vote_rows())
+    misordered = 0
+    total = 0
+    for i, request in enumerate(requests):
+        if not request.is_rapid_second:
+            continue
+        first = requests[i - 1]
+        total += 1
+        if recorded.get(first.phone_number) == request.contestant_number:
+            misordered += 1
+    return misordered, total
+
+
+def test_e2_hstore_misorders_rapid_pairs(benchmark, save_report):
+    requests = _requests()
+    rows = []
+    total_misordered = 0
+    total_pairs = 0
+
+    def run_all():
+        nonlocal rows, total_misordered, total_pairs
+        rows, total_misordered, total_pairs = [], 0, 0
+        for seed in range(1, 6):
+            result = run_voter_hstore_interleaved(
+                requests, num_contestants=CONTESTANTS, clients=8, seed=seed
+            )
+            misordered, pairs = _misordered_pairs(result.app, requests)
+            total_misordered += misordered
+            total_pairs += pairs
+            rows.append([seed, misordered, pairs])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    benchmark.extra_info["misordered"] = f"{total_misordered}/{total_pairs}"
+    save_report(
+        "e2_hstore",
+        format_table(["seed", "misordered", "pairs"], rows)
+        + f"\ntotal misordered: {total_misordered}/{total_pairs}",
+    )
+    assert total_misordered > 0
+
+
+def test_e2_sstore_preserves_arrival_order(benchmark, save_report):
+    requests = _requests()
+    result = benchmark.pedantic(
+        lambda: run_voter_sstore(requests, num_contestants=CONTESTANTS),
+        rounds=2,
+        iterations=1,
+    )
+    misordered, pairs = _misordered_pairs(result.app, requests)
+    benchmark.extra_info["misordered"] = f"{misordered}/{pairs}"
+    save_report("e2_sstore", f"misordered rapid pairs: {misordered}/{pairs}")
+    assert misordered == 0
+    assert pairs > 0

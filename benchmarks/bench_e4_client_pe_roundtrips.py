@@ -1,0 +1,85 @@
+"""E4 — Push-based workflows remove client↔PE round trips.
+
+Paper claim (§2, §3.1): "The difference comes from a reduction of
+Client-to-PE round trips due to push-based workflow processing" — H-Store
+clients must call SP1, poll its outcome, call SP2, check the total, and
+possibly call SP3; S-Store clients push raw tuples once and PE triggers do
+the rest engine-side.
+
+Measured: client↔PE round trips per 1000 votes for (a) naive H-Store,
+(b) S-Store pushing one tuple per ingest, (c) S-Store pushing 25 tuples per
+ingest.  Expected shape: (a) ≈ 2000–3000 (2–3 calls/vote), (b) ≈ 1000,
+(c) ≈ 40.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import (
+    format_table,
+    run_voter_hstore_sequential,
+    run_voter_sstore,
+)
+
+CONTESTANTS = 10
+VOTES = 500
+
+
+def _requests():
+    return VoterWorkload(seed=404, num_contestants=CONTESTANTS).generate(VOTES)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+def test_e4_hstore(benchmark, collected):
+    result = benchmark.pedantic(
+        lambda: run_voter_hstore_sequential(
+            _requests(), num_contestants=CONTESTANTS
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    collected["h-store"] = result
+    benchmark.extra_info["client_pe_per_1000"] = round(
+        result.per_1000_votes("client_pe_roundtrips")
+    )
+
+
+@pytest.mark.parametrize("chunk", [1, 25])
+def test_e4_sstore(benchmark, collected, chunk):
+    result = benchmark.pedantic(
+        lambda: run_voter_sstore(
+            _requests(), num_contestants=CONTESTANTS, ingest_chunk=chunk
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    collected[f"s-store×{chunk}"] = result
+    benchmark.extra_info["client_pe_per_1000"] = round(
+        result.per_1000_votes("client_pe_roundtrips")
+    )
+
+
+def test_e4_shape_holds(benchmark, collected, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, round(result.per_1000_votes("client_pe_roundtrips"))]
+        for name, result in collected.items()
+    ]
+    save_report(
+        "e4_client_pe_roundtrips",
+        format_table(["system", "client_pe_roundtrips_per_1000_votes"], rows),
+    )
+    h = collected["h-store"].per_1000_votes("client_pe_roundtrips")
+    s1 = collected["s-store×1"].per_1000_votes("client_pe_roundtrips")
+    s25 = collected["s-store×25"].per_1000_votes("client_pe_roundtrips")
+    assert h > 1.5 * s1          # chaining removed even without batching
+    assert s1 > 10 * s25          # push batching amortizes further
+    # ~2 calls per accepted vote + 1 per rejected vote for the naive client
+    assert h >= 1700
+    assert s25 <= 60

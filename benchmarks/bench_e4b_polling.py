@@ -1,0 +1,100 @@
+"""E4b — Polling vs. push: the freshness/overhead dilemma.
+
+Paper (§2): the S-Store architecture "avoid[s] ... the need to poll for new
+data".  A pull-based H-Store deployment stages accepted votes and has a
+poller client drain them:
+
+* poll *frequently* and you pay a client↔PE round trip per poll — many of
+  them empty on a quiet system;
+* poll *rarely* and the leaderboards go stale (staged backlog grows) and
+  eliminations run on outdated totals.
+
+Push-based S-Store has neither cost: zero polls, zero staleness — the
+commit of the upstream TE *is* the notification.
+
+Measured: round trips per 1000 votes, empty polls, and maximum staleness
+(staged backlog high-water mark) across poll intervals, vs. S-Store push.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.voter.hstore_app import VoterHStoreApp
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table, run_voter_sstore
+
+CONTESTANTS = 8
+VOTES = 400
+
+
+def _requests():
+    return VoterWorkload(seed=440, num_contestants=CONTESTANTS).generate(VOTES)
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+@pytest.mark.parametrize("poll_every", [1, 5, 25])
+def test_e4b_polling(benchmark, poll_every, collected):
+    def run():
+        app = VoterHStoreApp(num_contestants=CONTESTANTS)
+        app.run_polling(_requests(), poll_every=poll_every)
+        return app
+
+    app = benchmark.pedantic(run, rounds=2, iterations=1)
+    collected[f"poll every {poll_every}"] = {
+        "roundtrips": app.engine.stats.client_pe_roundtrips,
+        "empty_polls": app.empty_polls,
+        "max_staleness": app.max_backlog,
+    }
+    benchmark.extra_info["max_staleness"] = app.max_backlog
+
+
+def test_e4b_push(benchmark, collected):
+    result = benchmark.pedantic(
+        lambda: run_voter_sstore(
+            _requests(), num_contestants=CONTESTANTS, ingest_chunk=25
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    collected["s-store push"] = {
+        "roundtrips": result.counters["client_pe_roundtrips"],
+        "empty_polls": 0,
+        "max_staleness": 0,  # downstream TEs run before ingest returns
+    }
+
+
+def test_e4b_shape_holds(benchmark, collected, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            round(data["roundtrips"] * 1000 / VOTES),
+            data["empty_polls"],
+            data["max_staleness"],
+        ]
+        for name, data in collected.items()
+    ]
+    save_report(
+        "e4b_polling",
+        format_table(
+            ["mode", "client_pe_rt_per_1000", "empty_polls", "max_staleness"],
+            rows,
+        ),
+    )
+    eager = collected["poll every 1"]
+    lazy = collected["poll every 25"]
+    push = collected["s-store push"]
+    # the dilemma: frequent polling costs round trips...
+    assert eager["roundtrips"] > 1.5 * lazy["roundtrips"]
+    # ...infrequent polling costs freshness...
+    assert lazy["max_staleness"] >= 5 * max(1, eager["max_staleness"] // 5)
+    assert lazy["max_staleness"] > eager["max_staleness"]
+    # ...and push beats both on both axes
+    assert push["roundtrips"] < lazy["roundtrips"]
+    assert push["max_staleness"] == 0
+    assert push["empty_polls"] == 0

@@ -1,0 +1,135 @@
+"""E5 — Native windowing removes PE↔EE round trips.
+
+Paper claim (§2, §3.1): "...as well as a reduction of PE-to-EE round trips
+due to native support for windowing."  The H-Store SP2 maintains the
+100-vote trending window with explicit SQL — INSERT the tuple, COUNT the
+window, find the MIN sequence, DELETE the oldest — each statement one
+PE↔EE crossing.  S-Store's window is maintained by an internal EE trigger
+during the statement that inserted the stream tuple: zero extra crossings.
+
+Measured: the window-maintenance experiment in isolation — a stream of N
+tuples through (a) an S-Store EE-maintained ROWS window and (b) the manual
+SQL pattern — comparing PE↔EE round trips and EE trigger firings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SStoreEngine, StreamProcedure
+from repro.core.workflow import WorkflowSpec
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.procedure import StoredProcedure
+from repro.bench import format_table
+
+TUPLES = 500
+WINDOW = 100
+
+
+def run_sstore_windowing() -> dict[str, int]:
+    eng = SStoreEngine()
+    eng.execute_ddl("CREATE STREAM feed (seq INTEGER, v INTEGER)")
+    eng.execute_ddl(
+        f"CREATE WINDOW recent ON feed ROWS {WINDOW} SLIDE 1 OWNED BY observe"
+    )
+
+    class Observe(StreamProcedure):
+        name = "observe"
+        statements = {"stat": "SELECT COUNT(*), AVG(v) FROM recent"}
+
+        def run(self, ctx):
+            ctx.execute("stat")
+
+    eng.register_procedure(Observe)
+    wf = WorkflowSpec("wf")
+    wf.add_node("observe", input_stream="feed", batch_size=1)
+    eng.deploy_workflow(wf)
+
+    before = eng.stats.snapshot()
+    for i in range(TUPLES):
+        eng.ingest("feed", [(i, i % 7)])
+    after = eng.stats.snapshot()
+    return {k: after[k] - before.get(k, 0) for k in after}
+
+
+def run_hstore_windowing() -> dict[str, int]:
+    eng = HStoreEngine()
+    eng.execute_ddl(
+        "CREATE TABLE recent (seq INTEGER NOT NULL, v INTEGER, "
+        "PRIMARY KEY (seq))"
+    )
+
+    class Observe(StoredProcedure):
+        name = "observe"
+        statements = {
+            "push": "INSERT INTO recent VALUES (?, ?)",
+            "count": "SELECT COUNT(*) FROM recent",
+            "oldest": "SELECT MIN(seq) FROM recent",
+            "evict": "DELETE FROM recent WHERE seq = ?",
+            "stat": "SELECT COUNT(*), AVG(v) FROM recent",
+        }
+
+        def run(self, ctx, seq, v):
+            ctx.execute("push", seq, v)
+            if ctx.execute("count").scalar() > WINDOW:
+                ctx.execute("evict", ctx.execute("oldest").scalar())
+            ctx.execute("stat")
+
+    eng.register_procedure(Observe)
+    before = eng.stats.snapshot()
+    for i in range(TUPLES):
+        eng.call_procedure("observe", i, i % 7)
+    after = eng.stats.snapshot()
+    return {k: after[k] - before.get(k, 0) for k in after}
+
+
+@pytest.fixture(scope="module")
+def collected():
+    return {}
+
+
+def test_e5_sstore_native_window(benchmark, collected):
+    collected["s-store"] = benchmark.pedantic(
+        run_sstore_windowing, rounds=2, iterations=1
+    )
+    benchmark.extra_info["pe_ee_per_tuple"] = round(
+        collected["s-store"]["pe_ee_roundtrips"] / TUPLES, 2
+    )
+
+
+def test_e5_hstore_manual_window(benchmark, collected):
+    collected["h-store"] = benchmark.pedantic(
+        run_hstore_windowing, rounds=2, iterations=1
+    )
+    benchmark.extra_info["pe_ee_per_tuple"] = round(
+        collected["h-store"]["pe_ee_roundtrips"] / TUPLES, 2
+    )
+
+
+def test_e5_shape_holds(benchmark, collected, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    s = collected["s-store"]
+    h = collected["h-store"]
+    rows = [
+        [
+            name,
+            round(counters["pe_ee_roundtrips"] / TUPLES, 2),
+            round(counters["ee_trigger_firings"] / TUPLES, 2),
+            counters["rows_deleted"],
+        ]
+        for name, counters in (("s-store", s), ("h-store", h))
+    ]
+    save_report(
+        "e5_pe_ee_roundtrips",
+        format_table(
+            ["system", "pe_ee_rt_per_tuple", "ee_triggers_per_tuple", "evictions"],
+            rows,
+        ),
+    )
+    # S-Store: ingest insert + the stat query ≈ 2 crossings per tuple;
+    # H-Store: push + count + stat (+ oldest + evict when full) ≈ 4-5.
+    assert h["pe_ee_roundtrips"] > 1.5 * s["pe_ee_roundtrips"]
+    # the window upkeep happened inside the EE on S-Store...
+    assert s["ee_trigger_firings"] >= TUPLES
+    # ...and not at all on H-Store
+    assert h["ee_trigger_firings"] == 0

@@ -1,0 +1,120 @@
+"""E6 — Uniform state management: GC keeps stream state bounded.
+
+Paper claim (§2): "stream and window state has a short lifespan... S-Store
+provides automatic garbage collection mechanisms for tuples that expire from
+stream or window state."
+
+Measured: live-tuple high-water marks of stream and window state while an
+unbounded tuple stream flows through a two-stage workflow — with total input
+an order of magnitude larger than any retained state.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.core.engine import SStoreEngine, StreamProcedure
+from repro.core.workflow import WorkflowSpec
+
+TUPLES = 2000
+WINDOW = 50
+CHUNK = 10
+
+
+def build():
+    eng = SStoreEngine()
+    eng.execute_ddl("CREATE STREAM feed (seq INTEGER, v INTEGER)")
+    eng.execute_ddl("CREATE STREAM derived (seq INTEGER, v INTEGER)")
+    eng.execute_ddl(
+        f"CREATE WINDOW recent ON feed ROWS {WINDOW} SLIDE 1 OWNED BY stage1"
+    )
+
+    class Stage1(StreamProcedure):
+        name = "stage1"
+        statements = {"peek": "SELECT COUNT(*) FROM recent"}
+
+        def run(self, ctx):
+            ctx.execute("peek")
+            ctx.emit("derived", [row for row in ctx.batch])
+
+    class Stage2(StreamProcedure):
+        name = "stage2"
+        statements = {}
+
+        def run(self, ctx):
+            pass
+
+    eng.register_procedure(Stage1)
+    eng.register_procedure(Stage2)
+    wf = WorkflowSpec("wf")
+    wf.add_node(
+        "stage1", input_stream="feed", batch_size=CHUNK, output_streams=("derived",)
+    )
+    wf.add_node("stage2", input_stream="derived")
+    eng.deploy_workflow(wf)
+    return eng
+
+
+def run_with_gc() -> dict[str, int]:
+    eng = build()
+    high = {"feed": 0, "derived": 0, "recent": 0}
+    for start in range(0, TUPLES, CHUNK):
+        eng.ingest("feed", [(i, i % 11) for i in range(start, start + CHUNK)])
+        for name in high:
+            high[name] = max(
+                high[name], eng.partitions[0].ee.table(name).row_count()
+            )
+    high["gced"] = eng.stats.stream_tuples_gced
+    return high
+
+
+def test_e6_state_stays_bounded(benchmark, save_report):
+    high = benchmark.pedantic(run_with_gc, rounds=2, iterations=1)
+    rows = [
+        ["feed (stream)", high["feed"]],
+        ["derived (stream)", high["derived"]],
+        ["recent (window)", high["recent"]],
+        ["tuples ingested", TUPLES],
+        ["tuples GCed", high["gced"]],
+    ]
+    save_report(
+        "e6_gc_bounded_state",
+        format_table(["state", "live high-water mark"], rows),
+    )
+    benchmark.extra_info["stream_high_water"] = high["feed"]
+
+    # streams never retain more than in-flight work; the window never
+    # exceeds its declared size; everything consumed was collected
+    assert high["feed"] <= 2 * CHUNK
+    assert high["derived"] <= 2 * CHUNK
+    assert high["recent"] <= WINDOW
+    assert high["gced"] >= 2 * TUPLES  # feed + derived both fully collected
+
+
+def test_e6_windows_bound_unbounded_streams(benchmark):
+    """Even with GC watermarks pinned (no consumers), windows stay finite."""
+
+    def run():
+        eng = SStoreEngine()
+        eng.execute_ddl("CREATE STREAM raw (v INTEGER)")
+        eng.execute_ddl("CREATE WINDOW w ON raw ROWS 25 SLIDE 5 OWNED BY nobody")
+        # no workflow: tuples cannot be ingested by clients into a stream
+        # with no consumer batching, so drive the window through the hook
+        # path via a single-node workflow with a no-op procedure
+
+        class Noop(StreamProcedure):
+            name = "noop"
+            statements = {}
+
+            def run(self, ctx):
+                pass
+
+        eng.register_procedure(Noop)
+        wf = WorkflowSpec("wf")
+        wf.add_node("noop", input_stream="raw", batch_size=5)
+        eng.deploy_workflow(wf)
+        for i in range(1000):
+            eng.ingest("raw", [(i,)])
+        return eng.partitions[0].ee.table("w").row_count()
+
+    final = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert final <= 25

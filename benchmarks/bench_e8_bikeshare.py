@@ -1,0 +1,141 @@
+"""E8 — BikeShare: one system for OLTP + streaming + hybrid (Figs. 4–5).
+
+Paper claims (§3.2): a single S-Store engine handles bike checkouts/returns
+(pure OLTP), per-second GPS statistics and stolen-bike alerts (pure
+streaming), and transactionally-correct real-time discounts (hybrid) — with
+"transactional processing ... required to ensure correct calculation of
+these discounts."
+
+Measured: a 300-tick city simulation with a station-drain scenario and one
+theft; throughput of the mixed workload; and the transactional guarantees:
+no discount double-granted, billing exactly once per ride, engine ride
+distances matching the simulator's ground truth, theft detected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.bikeshare import BikeShareApp, BikeShareSimulation
+from repro.bench import format_table
+
+TICKS = 300
+
+
+def run_city():
+    app = BikeShareApp(
+        num_stations=9, capacity=8, bikes_per_station=4, num_riders=24
+    )
+    sim = BikeShareSimulation(
+        app,
+        seed=88,
+        trip_speed_mph=30.0,
+        drain_station=1,
+        drain_bias=0.7,
+        theft_at_tick=60,
+        trip_start_probability=0.5,
+    )
+    report = sim.run(TICKS)
+    return app, report
+
+
+def test_e8_mixed_workload(benchmark, save_report):
+    app, report = benchmark.pedantic(run_city, rounds=1, iterations=1)
+    engine = app.engine
+    stats = engine.stats
+
+    committed = stats.txns_committed
+    benchmark.extra_info["txns_committed"] = committed
+    benchmark.extra_info["gps_fixes"] = report.gps_fixes
+
+    rows = [
+        ["ticks simulated", report.ticks],
+        ["checkouts", report.checkouts],
+        ["returns", report.returns],
+        ["gps fixes ingested", report.gps_fixes],
+        ["txns committed", committed],
+        ["discounts accepted", report.discounts_accepted],
+        ["stolen-bike alerts", len(app.alerts())],
+        ["billing total", f"${app.billing_total():.2f}"],
+    ]
+    save_report("e8_bikeshare", format_table(["metric", "value"], rows))
+
+    # -- pure streaming: theft detected, stats flowing --------------------
+    assert report.thefts_started == 1
+    assert len(app.alerts()) == 1
+    assert app.city_speed() is not None
+
+    # -- pure OLTP: conservation + exactly-once billing --------------------
+    statuses = dict(
+        engine.execute_sql(
+            "SELECT status, COUNT(*) FROM bikes GROUP BY status"
+        ).rows
+    )
+    assert sum(statuses.values()) == 36
+    finished_rides = engine.execute_sql(
+        "SELECT COUNT(*) FROM rides WHERE end_ts IS NOT NULL"
+    ).scalar()
+    charges = engine.execute_sql("SELECT COUNT(*) FROM billing").scalar()
+    assert finished_rides == charges == report.returns
+
+    # -- hybrid: discounts never double-granted ----------------------------
+    grants = engine.execute_sql(
+        "SELECT discount_id, COUNT(*) FROM discounts "
+        "WHERE state = 'accepted' OR state = 'redeemed' "
+        "GROUP BY discount_id"
+    ).rows
+    assert all(count == 1 for _id, count in grants)
+    # the drain scenario actually produced discounts
+    assert engine.execute_sql("SELECT COUNT(*) FROM discounts").scalar() > 0
+
+    # -- ride statistics match ground truth --------------------------------
+    step = 30.0 / 3600.0
+    finished = engine.execute_sql(
+        "SELECT rider_id, distance FROM rides WHERE end_ts IS NOT NULL "
+        "ORDER BY ride_id"
+    ).rows
+    remaining = {k: list(v) for k, v in report.true_distances.items()}
+    for rider, engine_distance in finished:
+        if remaining.get(rider):
+            truth = remaining[rider].pop(0)
+            assert abs(truth - engine_distance) <= step + 1e-9
+
+
+def test_e8_gps_throughput(benchmark, save_report):
+    """Throughput of the pure-streaming path: GPS fixes per second."""
+    app = BikeShareApp(
+        num_stations=4, capacity=20, bikes_per_station=10, num_riders=10
+    )
+    for rider in range(1, 9):
+        assert app.checkout(rider, (rider % 4) + 1, ts=0).success
+    bases = {
+        int(bike_id): (float(x), float(y))
+        for bike_id, x, y in app.engine.execute_sql(
+            "SELECT b.bike_id, p.x, p.y FROM bikes b "
+            "JOIN bike_positions p ON p.bike_id = b.bike_id "
+            "WHERE b.status = 'riding'"
+        ).rows
+    }
+    mph12 = 12.0 / 3600.0
+
+    tick = {"now": 0}
+
+    def burst():
+        for _ in range(25):
+            tick["now"] += 1
+            now = tick["now"]
+            app.report_gps(
+                [
+                    (bike, now, x + now * mph12, y)
+                    for bike, (x, y) in bases.items()
+                ]
+            )
+        return len(bases) * 25
+
+    fixes = benchmark(burst)
+    benchmark.extra_info["fixes_per_call"] = fixes
+    save_report(
+        "e8_gps_throughput",
+        f"{fixes} fixes per burst; see pytest-benchmark table for rates",
+    )
+    assert app.alerts() == []  # 12 mph riders are not thieves

@@ -1,0 +1,75 @@
+"""E9 — The stream-oriented transaction model: schedule validity.
+
+Paper claims (§2): S-Store schedules preserve (1) the natural order of each
+procedure's TEs, (2) workflow order per input batch ("a serializable
+schedule in S-Store"), and (3) serial execution when workflow procedures
+share writable tables.  H-Store provides none of these.
+
+Measured: the recorded commit histories of both systems on the same vote
+stream, checked by the rule-by-rule schedule validator; plus validator
+throughput (it is itself a per-commit-history pass).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import (
+    format_table,
+    run_voter_hstore_interleaved,
+    run_voter_sstore,
+)
+from repro.core.transaction import validate_schedule
+
+CONTESTANTS = 8
+VOTES = 500
+
+
+def _requests():
+    return VoterWorkload(seed=909, num_contestants=CONTESTANTS).generate(VOTES)
+
+
+@pytest.fixture(scope="module")
+def histories():
+    sstore = run_voter_sstore(_requests(), num_contestants=CONTESTANTS)
+    hstore = run_voter_hstore_interleaved(
+        _requests(), num_contestants=CONTESTANTS, clients=10, seed=4
+    )
+    workflow = sstore.app.workflow
+    return {
+        "workflow": workflow,
+        "s-store": sstore.app.engine.schedule_history,
+        "h-store": hstore.app.te_history,
+    }
+
+
+def test_e9_sstore_schedule_valid(benchmark, histories, save_report):
+    violations = benchmark(
+        validate_schedule, histories["s-store"], histories["workflow"]
+    )
+    benchmark.extra_info["violations"] = len(violations)
+    save_report(
+        "e9_sstore",
+        f"TEs={len(histories['s-store'])} violations={len(violations)}",
+    )
+    assert violations == []
+    assert histories["workflow"].serial_required
+
+
+def test_e9_hstore_schedule_invalid(benchmark, histories, save_report):
+    violations = benchmark(
+        validate_schedule, histories["h-store"], histories["workflow"]
+    )
+    by_rule: dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    benchmark.extra_info["violations"] = len(violations)
+    save_report(
+        "e9_hstore",
+        format_table(["rule", "violations"], sorted(by_rule.items()))
+        + f"\ntotal TEs: {len(histories['h-store'])}",
+    )
+    assert violations
+    assert "natural-order" in by_rule
+    assert "contiguity" in by_rule

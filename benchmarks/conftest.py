@@ -1,0 +1,28 @@
+"""Shared fixtures/helpers for the benchmark suites.
+
+Each experiment writes a human-readable report into
+``benchmarks/_results/<experiment>.txt`` (in addition to pytest-benchmark's
+timing table), so the paper-vs-measured comparison in ``EXPERIMENTS.md`` can
+be audited and regenerated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        # also echo for `pytest -s` runs
+        print(f"\n[{name}]\n{text}")
+
+    return _save

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Quickstart: a minimal transactional stream pipeline in S-Store.
+
+Builds a two-stage workflow over a sensor stream:
+
+* ``ingest_readings`` (border SP) validates readings, maintains per-sensor
+  running totals in a regular OLTP table, and forwards anomalous readings;
+* ``alert_on_spikes`` (interior SP) turns forwarded readings into alert rows.
+
+A ROWS window over the raw stream keeps the last ten readings available for
+a live moving average — maintained natively by the execution engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SStoreEngine, StreamProcedure, WorkflowSpec
+
+
+class IngestReadings(StreamProcedure):
+    """Border procedure: one transaction per batch of raw readings."""
+
+    name = "ingest_readings"
+    statements = {
+        "get_total": "SELECT total, n FROM sensor_totals WHERE sensor_id = ?",
+        "new_total": "INSERT INTO sensor_totals VALUES (?, ?, 1)",
+        "add_total": (
+            "UPDATE sensor_totals SET total = total + ?, n = n + 1 "
+            "WHERE sensor_id = ?"
+        ),
+        "moving_avg": "SELECT AVG(value) FROM recent_readings",
+    }
+
+    def run(self, ctx):
+        spikes = []
+        for sensor_id, value in ctx.batch:
+            if ctx.execute("get_total", sensor_id).first() is None:
+                ctx.execute("new_total", sensor_id, value)
+            else:
+                ctx.execute("add_total", value, sensor_id)
+            if value > 90.0:
+                spikes.append((sensor_id, value))
+        moving_avg = ctx.execute("moving_avg").scalar()
+        print(
+            f"  [ingest] batch of {len(ctx.batch)}, "
+            f"10-reading moving avg = {moving_avg:.1f}"
+        )
+        if spikes:
+            ctx.emit("spikes", spikes)
+
+
+class AlertOnSpikes(StreamProcedure):
+    """Interior procedure: triggered by the upstream TE's output batch."""
+
+    name = "alert_on_spikes"
+    statements = {"raise": "INSERT INTO alerts VALUES (?, ?)"}
+
+    def run(self, ctx):
+        for sensor_id, value in ctx.batch:
+            print(f"  [alert]  sensor {sensor_id} spiked to {value}")
+            ctx.execute("raise", sensor_id, value)
+
+
+def main() -> None:
+    engine = SStoreEngine()
+
+    # streams and windows are DDL, like tables
+    engine.execute_ddl("CREATE STREAM readings (sensor_id INTEGER, value FLOAT)")
+    engine.execute_ddl("CREATE STREAM spikes (sensor_id INTEGER, value FLOAT)")
+    engine.execute_ddl(
+        "CREATE WINDOW recent_readings ON readings ROWS 10 SLIDE 1 "
+        "OWNED BY ingest_readings"
+    )
+    engine.execute_ddl(
+        "CREATE TABLE sensor_totals (sensor_id INTEGER NOT NULL, "
+        "total FLOAT, n INTEGER, PRIMARY KEY (sensor_id))"
+    )
+    engine.execute_ddl("CREATE TABLE alerts (sensor_id INTEGER, value FLOAT)")
+
+    engine.register_procedure(IngestReadings)
+    engine.register_procedure(AlertOnSpikes)
+
+    workflow = WorkflowSpec("sensor_pipeline")
+    workflow.add_node(
+        "ingest_readings",
+        input_stream="readings",
+        batch_size=4,
+        output_streams=("spikes",),
+    )
+    workflow.add_node("alert_on_spikes", input_stream="spikes")
+    engine.deploy_workflow(workflow)
+
+    print("pushing 12 readings (3 batches of 4) ...")
+    engine.ingest(
+        "readings",
+        [
+            (1, 20.0), (2, 30.0), (1, 25.0), (3, 95.5),     # batch 1 (spike!)
+            (2, 31.0), (2, 29.0), (1, 22.0), (1, 24.0),     # batch 2
+            (3, 40.0), (3, 99.0), (2, 28.0), (1, 91.2),     # batch 3 (2 spikes)
+        ],
+    )
+
+    print("\nfinal OLTP state (ad-hoc SQL):")
+    totals = engine.execute_sql(
+        "SELECT sensor_id, total, n FROM sensor_totals ORDER BY sensor_id"
+    )
+    for sensor_id, total, n in totals:
+        print(f"  sensor {sensor_id}: {n} readings, total {total:.1f}")
+
+    alerts = engine.execute_sql("SELECT COUNT(*) FROM alerts").scalar()
+    print(f"  alerts recorded: {alerts}")
+
+    stats = engine.stats
+    print(
+        f"\nengine stats: {stats.txns_committed} txns committed, "
+        f"{stats.client_pe_roundtrips} client round trips, "
+        f"{stats.pe_trigger_firings} PE-trigger firings, "
+        f"{stats.window_slides} window slides"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""An interactive SQL shell over an S-Store engine.
+
+Meta-commands:
+
+    \\d                  describe the catalog
+    \\explain <sql>      show the physical plan without executing
+    \\stats              engine counters
+    \\status             streaming-layer status (pending TEs, buffers, windows)
+    \\ingest <stream> <json-rows>   push tuples, e.g.
+                         \\ingest readings [[1, 20.5], [2, 31.0]]
+    \\tick [n]           advance the logical clock
+    \\q                  quit
+
+Everything else is executed as SQL (DDL or DML/queries).  Start with a demo
+schema pre-loaded (--demo) or empty.
+
+Run:  python examples/sql_shell.py --demo
+      echo "SELECT * FROM totals;" | python examples/sql_shell.py --demo
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro import ReproError, SStoreEngine
+from repro.hstore.executor import ResultSet
+
+
+def load_demo(engine: SStoreEngine) -> None:
+    """A small pre-built schema so the shell is immediately useful."""
+    from repro.core.engine import StreamProcedure
+    from repro.core.workflow import WorkflowSpec
+
+    engine.execute_ddl("CREATE STREAM readings (sensor INTEGER, value FLOAT)")
+    engine.execute_ddl(
+        "CREATE TABLE totals (sensor INTEGER NOT NULL, total FLOAT, "
+        "n INTEGER, PRIMARY KEY (sensor))"
+    )
+    engine.execute_ddl(
+        "CREATE WINDOW recent ON readings ROWS 5 SLIDE 1 OWNED BY accumulate"
+    )
+
+    class Accumulate(StreamProcedure):
+        name = "accumulate"
+        statements = {
+            "get": "SELECT total FROM totals WHERE sensor = ?",
+            "new": "INSERT INTO totals VALUES (?, ?, 1)",
+            "add": (
+                "UPDATE totals SET total = total + ?, n = n + 1 "
+                "WHERE sensor = ?"
+            ),
+        }
+
+        def run(self, ctx):
+            for sensor, value in ctx.batch:
+                if ctx.execute("get", sensor).first() is None:
+                    ctx.execute("new", sensor, value)
+                else:
+                    ctx.execute("add", value, sensor)
+
+    engine.register_procedure(Accumulate)
+    workflow = WorkflowSpec("totals_wf")
+    workflow.add_node("accumulate", input_stream="readings", batch_size=2)
+    engine.deploy_workflow(workflow)
+
+
+def render(result) -> str:
+    if isinstance(result, ResultSet):
+        if not result.rows:
+            return "(0 rows)"
+        widths = [
+            max(len(name), *(len(str(row[i])) for row in result.rows))
+            for i, name in enumerate(result.columns)
+        ]
+        lines = [
+            "  ".join(name.ljust(w) for name, w in zip(result.columns, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in result.rows:
+            lines.append(
+                "  ".join(str(v).ljust(w) for v, w in zip(row, widths))
+            )
+        lines.append(f"({len(result.rows)} rows)")
+        return "\n".join(lines)
+    return f"ok ({result} rows affected)"
+
+
+def handle(engine: SStoreEngine, line: str) -> str | None:
+    """Process one shell line; returns output text or None to quit."""
+    line = line.strip().rstrip(";")
+    if not line:
+        return ""
+    if line in ("\\q", "quit", "exit"):
+        return None
+    if line == "\\d":
+        return engine.describe() or "(empty catalog)"
+    if line == "\\status":
+        import pprint
+
+        return pprint.pformat(engine.workflow_status(), width=100)
+    if line == "\\stats":
+        interesting = {
+            k: v for k, v in engine.stats.snapshot().items() if v
+        }
+        return "\n".join(f"{k}: {v}" for k, v in sorted(interesting.items()))
+    if line.startswith("\\explain "):
+        return engine.explain(line[len("\\explain "):])
+    if line.startswith("\\ingest "):
+        rest = line[len("\\ingest "):].strip()
+        stream, _, payload = rest.partition(" ")
+        rows = [tuple(row) for row in json.loads(payload)]
+        accepted = engine.ingest(stream, rows)
+        return f"ingested {accepted} tuple(s) into {stream}"
+    if line.startswith("\\tick"):
+        parts = line.split()
+        ticks = int(parts[1]) if len(parts) > 1 else 1
+        return f"clock now at {engine.advance_time(ticks)}"
+    upper = line.upper()
+    if upper.startswith(("CREATE", "DROP", "TRUNCATE")):
+        engine.execute_ddl(line)
+        return "ok"
+    return render(engine.execute_sql(line))
+
+
+def main() -> None:
+    engine = SStoreEngine()
+    if "--demo" in sys.argv:
+        load_demo(engine)
+        print("demo schema loaded — try: \\d   then: "
+              "\\ingest readings [[1, 20.5], [2, 31.0]]")
+    interactive = sys.stdin.isatty()
+    while True:
+        if interactive:
+            try:
+                line = input("sstore> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                break
+        else:
+            line = sys.stdin.readline()
+            if not line:
+                break
+        try:
+            output = handle(engine, line)
+        except ReproError as exc:
+            print(f"error: {exc}")
+            continue
+        if output is None:
+            break
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""``repro.apps`` — the paper's demonstration applications.
+
+* :mod:`repro.apps.voter` — Voter with Leaderboard (§3.1): an OLTP-style
+  workload with streaming inputs, deployed both on S-Store (correct, fast)
+  and naively on H-Store (anomalous, slow).
+* :mod:`repro.apps.bikeshare` — BikeShare (§3.2): pure OLTP (checkouts,
+  returns), pure streaming (GPS statistics, stolen-bike alerts) and hybrid
+  (transactional real-time discounts) in one engine.
+"""

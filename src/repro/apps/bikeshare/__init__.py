@@ -1,0 +1,58 @@
+"""``repro.apps.bikeshare`` — the BikeShare application (paper §3.2).
+
+Pure OLTP (checkout/return/discount acceptance), pure streaming (GPS
+statistics, stolen-bike alerts) and hybrid (data-driven transactional
+discounts) in a single S-Store engine.
+"""
+
+from repro.apps.bikeshare.display import (
+    render_city_grid,
+    render_ride_stats,
+    render_station_map,
+)
+from repro.apps.bikeshare.procedures import (
+    AcceptDiscount,
+    Checkout,
+    DetectAnomaly,
+    ExpireDiscounts,
+    GetRideStats,
+    ReturnBike,
+    TrackMovement,
+    UpdateDiscounts,
+)
+from repro.apps.bikeshare.schema import (
+    DISCOUNT_EXPIRY_TICKS,
+    DISCOUNT_PCT,
+    HIGH_WATER,
+    LOW_WATER,
+    STOLEN_SPEED_MPH,
+)
+from repro.apps.bikeshare.sstore_app import BikeShareApp
+from repro.apps.bikeshare.workload import (
+    ActiveTrip,
+    BikeShareSimulation,
+    SimulationReport,
+)
+
+__all__ = [
+    "render_city_grid",
+    "render_ride_stats",
+    "render_station_map",
+    "AcceptDiscount",
+    "Checkout",
+    "DetectAnomaly",
+    "ExpireDiscounts",
+    "GetRideStats",
+    "ReturnBike",
+    "TrackMovement",
+    "UpdateDiscounts",
+    "DISCOUNT_EXPIRY_TICKS",
+    "DISCOUNT_PCT",
+    "HIGH_WATER",
+    "LOW_WATER",
+    "STOLEN_SPEED_MPH",
+    "BikeShareApp",
+    "ActiveTrip",
+    "BikeShareSimulation",
+    "SimulationReport",
+]

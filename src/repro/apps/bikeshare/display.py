@@ -1,0 +1,107 @@
+"""Text rendering of the BikeShare GUIs (paper Figs. 4 and 5).
+
+The demo's map GUIs showed per-station occupancy with nearby discounts
+(Fig. 5) and a rider's live trip statistics (Fig. 4).  These renderers
+produce the same information content as text.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.bikeshare.sstore_app import BikeShareApp
+
+__all__ = ["render_station_map", "render_city_grid", "render_ride_stats"]
+
+
+def render_city_grid(app: BikeShareApp, cell_miles: float = 1.0) -> str:
+    """Fig-5 equivalent, spatial form: the city as a 2-D grid.
+
+    Each station cell shows ``[bikes/capacity]``; ``$`` marks stations with
+    open discount offers, ``*`` marks cells where bikes are currently riding
+    (from their last GPS fix), and ``!`` marks stolen bikes.
+    """
+    stations = app.engine.execute_sql(
+        "SELECT station_id, x, y, bikes_available, capacity FROM stations"
+    ).rows
+    discounted = {
+        int(station_id)
+        for _id, station_id, _pct in app.open_discounts()
+    }
+    moving = app.engine.execute_sql(
+        "SELECT b.status, p.x, p.y FROM bikes b "
+        "JOIN bike_positions p ON p.bike_id = b.bike_id "
+        "WHERE b.status = 'riding' OR b.status = 'stolen'"
+    ).rows
+
+    def cell_of(x: float, y: float) -> tuple[int, int]:
+        return round(x / cell_miles), round(y / cell_miles)
+
+    grid: dict[tuple[int, int], str] = {}
+    for station_id, x, y, bikes, capacity in stations:
+        tag = "$" if int(station_id) in discounted else " "
+        grid[cell_of(x, y)] = f"[{int(bikes)}/{int(capacity)}]{tag}"
+    for status, x, y in moving:
+        key = cell_of(x, y)
+        if key not in grid:
+            grid[key] = "  !   " if status == "stolen" else "  *   "
+
+    if not grid:
+        return "(empty city)"
+    max_col = max(col for col, _row in grid)
+    max_row = max(row for _col, row in grid)
+    width = 7
+    lines = []
+    for row in range(max_row, -1, -1):  # north at the top
+        cells = [
+            grid.get((col, row), "·".center(width - 1)).ljust(width)
+            for col in range(0, max_col + 1)
+        ]
+        lines.append("".join(cells).rstrip())
+    lines.append("")
+    lines.append("[bikes/capacity]  $=discounts offered  *=riding  !=stolen")
+    return "\n".join(lines)
+
+
+def render_station_map(app: BikeShareApp) -> str:
+    """Fig-5 equivalent: stations, occupancy, discounts, live alerts."""
+    lines = ["=== BikeShare City Monitor ===", ""]
+    discounts_by_station: dict[int, int] = {}
+    for _discount_id, station_id, _pct in app.open_discounts():
+        discounts_by_station[int(station_id)] = (
+            discounts_by_station.get(int(station_id), 0) + 1
+        )
+    for station_id, name, bikes, docks in app.stations():
+        gauge = "#" * int(bikes) + "." * int(docks)
+        tag = ""
+        offers = discounts_by_station.get(int(station_id), 0)
+        if offers:
+            tag = f"  << {offers} discount offer(s)!"
+        lines.append(f"{name:<12} [{gauge}] bikes={bikes} docks={docks}{tag}")
+
+    alerts = app.alerts()
+    lines.append("")
+    if alerts:
+        lines.append("ALERTS:")
+        for _alert_id, bike_id, kind, ts, detail in alerts:
+            lines.append(f"  t={ts}: bike {bike_id} {kind.upper()} — {detail}")
+    else:
+        lines.append("ALERTS: none")
+
+    speed = app.city_speed()
+    if speed is not None:
+        lines.append(f"city avg speed (recent): {speed:.1f} mph")
+    return "\n".join(lines)
+
+
+def render_ride_stats(stats: dict[str, Any] | None, rider_id: int) -> str:
+    """Fig-4 equivalent: one rider's live trip statistics."""
+    if stats is None:
+        return f"rider {rider_id}: no active ride"
+    return (
+        f"rider {rider_id} — ride #{stats['ride_id']}\n"
+        f"  distance: {stats['distance_miles']:.2f} mi\n"
+        f"  avg speed: {stats['avg_speed_mph']:.1f} mph   "
+        f"max speed: {stats['max_speed_mph']:.1f} mph\n"
+        f"  calories: {stats['calories']:.0f}   elapsed: {stats['elapsed_s']}s"
+    )

@@ -1,0 +1,409 @@
+"""BikeShare stored procedures (paper §3.2).
+
+Three workload classes, all inside one S-Store engine:
+
+**Pure OLTP** — :class:`Checkout`, :class:`ReturnBike`,
+:class:`AcceptDiscount`, :class:`ExpireDiscounts`: classic request/response
+transactions issued through ``call_procedure``.  Checkout/return also *emit*
+into the ``station_events`` stream, which is what makes the hybrid discount
+pipeline data-driven.
+
+**Pure streaming** — :class:`TrackMovement` (BSP over ``gps_in``) derives
+per-report speed/distance from consecutive GPS fixes and updates the live
+ride statistics; :class:`DetectAnomaly` (ISP over ``movements``) raises
+stolen-bike alerts for >60 mph reports and maintains the city-wide recent
+average speed from its EE-maintained window.
+
+**Hybrid** — :class:`UpdateDiscounts` (BSP over ``station_events``)
+recomputes discount offers whenever station occupancy changes; acceptance
+is transactional so an offer can never be granted to two riders.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.bikeshare.schema import (
+    BASE_FARE,
+    CALORIES_PER_MILE,
+    DISCOUNT_EXPIRY_TICKS,
+    DISCOUNT_PCT,
+    HIGH_WATER,
+    LOW_WATER,
+    MAX_OFFERS_PER_STATION,
+    PER_MINUTE_RATE,
+    STOLEN_SPEED_MPH,
+)
+from repro.core.engine import StreamContext, StreamProcedure
+from repro.hstore.procedure import StoredProcedure
+
+__all__ = [
+    "Checkout",
+    "ReturnBike",
+    "AcceptDiscount",
+    "ExpireDiscounts",
+    "TrackMovement",
+    "DetectAnomaly",
+    "UpdateDiscounts",
+    "GetRideStats",
+]
+
+
+class Checkout(StoredProcedure):
+    """OLTP: rent a docked bike from a station."""
+
+    name = "checkout"
+    statements = {
+        "rider": "SELECT active_ride FROM riders WHERE rider_id = ?",
+        "station": (
+            "SELECT bikes_available, docks_available FROM stations "
+            "WHERE station_id = ?"
+        ),
+        "pick_bike": (
+            "SELECT bike_id FROM bikes WHERE station_id = ? AND "
+            "status = 'docked' ORDER BY bike_id ASC LIMIT 1"
+        ),
+        "take_bike": (
+            "UPDATE bikes SET status = 'riding', station_id = NULL, "
+            "rider_id = ? WHERE bike_id = ?"
+        ),
+        "update_station": (
+            "UPDATE stations SET bikes_available = bikes_available - 1, "
+            "docks_available = docks_available + 1 WHERE station_id = ?"
+        ),
+        "next_ride_id": "SELECT COUNT(*) FROM rides",
+        "open_ride": (
+            "INSERT INTO rides VALUES (?, ?, ?, ?, NULL, ?, NULL, NULL, "
+            "0.0, 0.0, 0.0)"
+        ),
+        "mark_rider": "UPDATE riders SET active_ride = ? WHERE rider_id = ?",
+        "station_pos": "SELECT x, y FROM stations WHERE station_id = ?",
+        "seed_position": "SELECT bike_id FROM bike_positions WHERE bike_id = ?",
+        "insert_position": "INSERT INTO bike_positions VALUES (?, ?, ?, ?)",
+        "move_position": (
+            "UPDATE bike_positions SET ts = ?, x = ?, y = ? WHERE bike_id = ?"
+        ),
+        "read_avail": (
+            "SELECT bikes_available FROM stations WHERE station_id = ?"
+        ),
+    }
+
+    def run(self, ctx, rider_id: int, station_id: int, ts: int) -> int:
+        rider = ctx.execute("rider", rider_id).first()
+        if rider is None:
+            ctx.abort(f"unknown rider {rider_id}")
+        if rider[0] is not None:
+            ctx.abort(f"rider {rider_id} already has an active ride")
+        station = ctx.execute("station", station_id).first()
+        if station is None:
+            ctx.abort(f"unknown station {station_id}")
+        if station[0] <= 0:
+            ctx.abort(f"station {station_id} has no bikes available")
+
+        bike_id = ctx.execute("pick_bike", station_id).scalar()
+        if bike_id is None:  # defensive: counters vs. rows out of sync
+            ctx.abort(f"station {station_id} advertises bikes but has none docked")
+        ride_id = ctx.execute("next_ride_id").scalar()
+        ctx.execute("take_bike", rider_id, bike_id)
+        ctx.execute("update_station", station_id)
+        ctx.execute("open_ride", ride_id, rider_id, bike_id, station_id, ts)
+        ctx.execute("mark_rider", ride_id, rider_id)
+
+        # seed the GPS track at the station's location so the first report
+        # measures a sane distance
+        pos = ctx.execute("station_pos", station_id).first()
+        if ctx.execute("seed_position", bike_id):
+            ctx.execute("move_position", ts, pos[0], pos[1], bike_id)
+        else:
+            ctx.execute("insert_position", bike_id, ts, pos[0], pos[1])
+
+        available = ctx.execute("read_avail", station_id).scalar()
+        ctx.emit("station_events", [(station_id, ts, available)])
+        return ride_id
+
+
+class ReturnBike(StoredProcedure):
+    """OLTP: return the rider's bike, bill the ride, redeem any discount."""
+
+    name = "return_bike"
+    statements = {
+        "rider": "SELECT active_ride FROM riders WHERE rider_id = ?",
+        "ride": (
+            "SELECT bike_id, start_ts, distance, max_speed, calories "
+            "FROM rides WHERE ride_id = ?"
+        ),
+        "station": "SELECT docks_available FROM stations WHERE station_id = ?",
+        "bike_status": "SELECT status FROM bikes WHERE bike_id = ?",
+        "find_discount": (
+            "SELECT discount_id, pct FROM discounts WHERE rider_id = ? AND "
+            "station_id = ? AND state = 'accepted' AND expires_ts >= ? "
+            "ORDER BY discount_id ASC LIMIT 1"
+        ),
+        "redeem_discount": (
+            "UPDATE discounts SET state = 'redeemed' WHERE discount_id = ?"
+        ),
+        "dock_bike": (
+            "UPDATE bikes SET status = 'docked', station_id = ?, "
+            "rider_id = NULL WHERE bike_id = ?"
+        ),
+        "update_station": (
+            "UPDATE stations SET bikes_available = bikes_available + 1, "
+            "docks_available = docks_available - 1 WHERE station_id = ?"
+        ),
+        "close_ride": (
+            "UPDATE rides SET end_station = ?, end_ts = ?, cost = ? "
+            "WHERE ride_id = ?"
+        ),
+        "clear_rider": "UPDATE riders SET active_ride = NULL WHERE rider_id = ?",
+        "next_charge_id": "SELECT COUNT(*) FROM billing",
+        "charge": "INSERT INTO billing VALUES (?, ?, ?, ?)",
+        "read_avail": (
+            "SELECT bikes_available FROM stations WHERE station_id = ?"
+        ),
+    }
+
+    def run(self, ctx, rider_id: int, station_id: int, ts: int) -> float:
+        ride_id = ctx.execute("rider", rider_id).scalar()
+        if ride_id is None:
+            ctx.abort(f"rider {rider_id} has no active ride")
+        ride = ctx.execute("ride", ride_id).first()
+        bike_id, start_ts, _distance, _max_speed, _calories = ride
+        docks = ctx.execute("station", station_id).scalar()
+        if docks is None:
+            ctx.abort(f"unknown station {station_id}")
+        if docks <= 0:
+            ctx.abort(f"station {station_id} has no free docks")
+        status = ctx.execute("bike_status", bike_id).scalar()
+        if status != "riding":
+            ctx.abort(f"bike {bike_id} is not being ridden (status={status!r})")
+
+        minutes = max(0, ts - start_ts) / 60.0
+        cost = BASE_FARE + PER_MINUTE_RATE * minutes
+        discount = ctx.execute("find_discount", rider_id, station_id, ts).first()
+        if discount is not None:
+            discount_id, pct = discount
+            cost = cost * (1.0 - pct / 100.0)
+            ctx.execute("redeem_discount", discount_id)
+
+        cost = round(cost, 4)
+        ctx.execute("dock_bike", station_id, bike_id)
+        ctx.execute("update_station", station_id)
+        ctx.execute("close_ride", station_id, ts, cost, ride_id)
+        ctx.execute("clear_rider", rider_id)
+        charge_id = ctx.execute("next_charge_id").scalar()
+        ctx.execute("charge", charge_id, rider_id, ride_id, cost)
+
+        available = ctx.execute("read_avail", station_id).scalar()
+        ctx.emit("station_events", [(station_id, ts, available)])
+        return cost
+
+
+class AcceptDiscount(StoredProcedure):
+    """OLTP: a rider claims an open discount offer for a station.
+
+    The transactional core of the hybrid scenario: the offer row flips from
+    ``offered`` to ``accepted`` atomically, so two riders can never hold the
+    same offer ("removing it from the list of available discounts").
+    """
+
+    name = "accept_discount"
+    statements = {
+        "offer": (
+            "SELECT state FROM discounts WHERE discount_id = ?"
+        ),
+        "claim": (
+            "UPDATE discounts SET rider_id = ?, state = 'accepted', "
+            "expires_ts = ? WHERE discount_id = ? AND state = 'offered'"
+        ),
+    }
+
+    def run(self, ctx, rider_id: int, discount_id: int, ts: int) -> int:
+        state = ctx.execute("offer", discount_id).scalar()
+        if state is None:
+            ctx.abort(f"unknown discount {discount_id}")
+        if state != "offered":
+            ctx.abort(f"discount {discount_id} is {state!r}, not open")
+        claimed = ctx.execute(
+            "claim", rider_id, ts + DISCOUNT_EXPIRY_TICKS, discount_id
+        )
+        if claimed != 1:
+            ctx.abort(f"discount {discount_id} vanished")  # pragma: no cover
+        return ts + DISCOUNT_EXPIRY_TICKS
+
+
+class ExpireDiscounts(StoredProcedure):
+    """OLTP (periodic): re-open accepted offers whose 15 minutes ran out."""
+
+    name = "expire_discounts"
+    statements = {
+        "overdue": (
+            "SELECT discount_id FROM discounts WHERE state = 'accepted' "
+            "AND expires_ts < ?"
+        ),
+        "reopen": (
+            "UPDATE discounts SET rider_id = NULL, state = 'offered', "
+            "expires_ts = NULL WHERE discount_id = ?"
+        ),
+    }
+
+    def run(self, ctx, ts: int) -> int:
+        overdue = ctx.execute("overdue", ts).column("discount_id")
+        for discount_id in overdue:
+            ctx.execute("reopen", discount_id)
+        return len(overdue)
+
+
+class GetRideStats(StoredProcedure):
+    """OLTP (read-only): the rider-facing live ride statistics (Fig. 4)."""
+
+    name = "get_ride_stats"
+    read_only = True
+    statements = {
+        "ride": (
+            "SELECT ride_id, start_ts, distance, max_speed, calories "
+            "FROM rides WHERE rider_id = ? AND end_ts IS NULL"
+        ),
+    }
+
+    def run(self, ctx, rider_id: int, ts: int) -> dict[str, Any] | None:
+        ride = ctx.execute("ride", rider_id).first()
+        if ride is None:
+            return None
+        ride_id, start_ts, distance, max_speed, calories = ride
+        elapsed = max(1, ts - start_ts)
+        return {
+            "ride_id": ride_id,
+            "distance_miles": round(distance, 4),
+            "avg_speed_mph": round(distance / (elapsed / 3600.0), 2),
+            "max_speed_mph": round(max_speed, 2),
+            "calories": round(calories, 1),
+            "elapsed_s": elapsed,
+        }
+
+
+class TrackMovement(StreamProcedure):
+    """Streaming BSP: turn raw GPS fixes into speed/distance movements."""
+
+    name = "track_movement"
+    statements = {
+        "last_pos": "SELECT ts, x, y FROM bike_positions WHERE bike_id = ?",
+        "insert_pos": "INSERT INTO bike_positions VALUES (?, ?, ?, ?)",
+        "move_pos": (
+            "UPDATE bike_positions SET ts = ?, x = ?, y = ? WHERE bike_id = ?"
+        ),
+        "active_ride": (
+            "SELECT ride_id, distance, max_speed FROM rides "
+            "WHERE bike_id = ? AND end_ts IS NULL"
+        ),
+        "update_ride": (
+            "UPDATE rides SET distance = ?, max_speed = ?, calories = ? "
+            "WHERE ride_id = ?"
+        ),
+    }
+
+    def run(self, ctx: StreamContext) -> None:
+        movements: list[tuple[Any, ...]] = []
+        for bike_id, ts, x, y in ctx.batch:
+            last = ctx.execute("last_pos", bike_id).first()
+            if last is None:
+                ctx.execute("insert_pos", bike_id, ts, x, y)
+                continue
+            last_ts, last_x, last_y = last
+            dt = ts - last_ts
+            ctx.execute("move_pos", ts, x, y, bike_id)
+            if dt <= 0:
+                continue
+            dist = ((x - last_x) ** 2 + (y - last_y) ** 2) ** 0.5
+            speed = dist / (dt / 3600.0)
+            ride = ctx.execute("active_ride", bike_id).first()
+            if ride is not None:
+                ride_id, distance, max_speed = ride
+                new_distance = distance + dist
+                new_max = max(max_speed, speed)
+                ctx.execute(
+                    "update_ride",
+                    new_distance,
+                    new_max,
+                    new_distance * CALORIES_PER_MILE,
+                    ride_id,
+                )
+            movements.append((bike_id, ts, round(speed, 4), round(dist, 6)))
+        if movements:
+            ctx.emit("movements", movements)
+
+
+class DetectAnomaly(StreamProcedure):
+    """Streaming ISP: stolen-bike alerts + live city speed statistic.
+
+    The recent-average-speed statistic reads the ``recent_movements`` window
+    — maintained natively by the EE as movements flow in, scoped to this
+    procedure.
+    """
+
+    name = "detect_anomaly"
+    statements = {
+        "bike": "SELECT status FROM bikes WHERE bike_id = ?",
+        "mark_stolen": (
+            "UPDATE bikes SET status = 'stolen' WHERE bike_id = ?"
+        ),
+        "next_alert_id": "SELECT COUNT(*) FROM alerts",
+        "raise_alert": "INSERT INTO alerts VALUES (?, ?, ?, ?, ?)",
+        "window_avg": "SELECT AVG(speed_mph) FROM recent_movements",
+        "update_stats": (
+            "UPDATE city_stats SET avg_recent_speed = ?, "
+            "reports_seen = reports_seen + ? WHERE stat_id = 0"
+        ),
+    }
+
+    def run(self, ctx: StreamContext) -> None:
+        for bike_id, ts, speed, _dist in ctx.batch:
+            if speed >= STOLEN_SPEED_MPH:
+                status = ctx.execute("bike", bike_id).scalar()
+                if status != "stolen":
+                    alert_id = ctx.execute("next_alert_id").scalar()
+                    ctx.execute(
+                        "raise_alert",
+                        alert_id,
+                        bike_id,
+                        "stolen",
+                        ts,
+                        f"speed {speed:.1f} mph >= {STOLEN_SPEED_MPH:.0f}",
+                    )
+                    ctx.execute("mark_stolen", bike_id)
+        avg_speed = ctx.execute("window_avg").scalar()
+        ctx.execute("update_stats", avg_speed, len(ctx.batch))
+
+
+class UpdateDiscounts(StreamProcedure):
+    """Hybrid BSP: recompute discount offers from station occupancy events.
+
+    Runs as a workflow TE triggered by the ``station_events`` emissions of
+    checkout/return transactions — "continuously changing the status of the
+    stations as checkouts or returns take place".
+    """
+
+    name = "update_discounts"
+    statements = {
+        "open_offers": (
+            "SELECT COUNT(*) FROM discounts WHERE station_id = ? AND "
+            "state = 'offered'"
+        ),
+        "next_discount_id": "SELECT MAX(discount_id) FROM discounts",
+        "offer": "INSERT INTO discounts VALUES (?, ?, NULL, 'offered', ?, ?, NULL)",
+        "withdraw": (
+            "DELETE FROM discounts WHERE station_id = ? AND state = 'offered'"
+        ),
+    }
+
+    def run(self, ctx: StreamContext) -> None:
+        for station_id, ts, bikes_available in ctx.batch:
+            open_offers = ctx.execute("open_offers", station_id).scalar()
+            if bikes_available < LOW_WATER:
+                for _ in range(MAX_OFFERS_PER_STATION - open_offers):
+                    highest = ctx.execute("next_discount_id").scalar()
+                    discount_id = 0 if highest is None else highest + 1
+                    ctx.execute(
+                        "offer", discount_id, station_id, DISCOUNT_PCT, ts
+                    )
+            elif bikes_available >= HIGH_WATER and open_offers:
+                ctx.execute("withdraw", station_id)

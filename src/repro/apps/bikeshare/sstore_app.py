@@ -1,0 +1,152 @@
+"""The BikeShare deployment: one S-Store engine, three workload classes.
+
+Two workflows run next to the OLTP traffic:
+
+``gps_pipeline``
+    ``gps_in`` → :class:`TrackMovement` → ``movements`` →
+    :class:`DetectAnomaly`.  GPS units push fixes with ``ingest``; ride
+    statistics, the city speed window and stolen-bike alerts all update
+    engine-side.
+
+``discount_pipeline``
+    ``station_events`` → :class:`UpdateDiscounts`.  The border stream is fed
+    not by clients but by the checkout/return OLTP transactions' ``emit`` —
+    the paper's "combination of the two" workload class.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.bikeshare import schema
+from repro.apps.bikeshare.procedures import (
+    AcceptDiscount,
+    Checkout,
+    DetectAnomaly,
+    ExpireDiscounts,
+    GetRideStats,
+    ReturnBike,
+    TrackMovement,
+    UpdateDiscounts,
+)
+from repro.core.engine import SStoreEngine
+from repro.core.workflow import WorkflowSpec
+from repro.hstore.procedure import ProcedureResult
+
+__all__ = ["BikeShareApp"]
+
+
+class BikeShareApp:
+    """Deploys the full BikeShare system and offers a typed facade."""
+
+    def __init__(
+        self,
+        engine: SStoreEngine | None = None,
+        *,
+        num_stations: int = 9,
+        capacity: int = 8,
+        bikes_per_station: int = 5,
+        num_riders: int = 40,
+        gps_batch_size: int = 4,
+        snapshot_interval: int | None = None,
+    ) -> None:
+        self.engine = engine or SStoreEngine(snapshot_interval=snapshot_interval)
+        schema.install_tables(self.engine)
+        schema.install_streams(self.engine)
+        for procedure in (
+            Checkout,
+            ReturnBike,
+            AcceptDiscount,
+            ExpireDiscounts,
+            GetRideStats,
+            TrackMovement,
+            DetectAnomaly,
+            UpdateDiscounts,
+        ):
+            self.engine.register_procedure(procedure)
+
+        gps_pipeline = WorkflowSpec("gps_pipeline")
+        gps_pipeline.add_node(
+            "track_movement",
+            input_stream="gps_in",
+            batch_size=gps_batch_size,
+            output_streams=("movements",),
+        )
+        gps_pipeline.add_node("detect_anomaly", input_stream="movements")
+        self.gps_pipeline = self.engine.deploy_workflow(gps_pipeline)
+
+        discount_pipeline = WorkflowSpec("discount_pipeline")
+        discount_pipeline.add_node(
+            "update_discounts", input_stream="station_events", batch_size=1
+        )
+        self.discount_pipeline = self.engine.deploy_workflow(discount_pipeline)
+
+        schema.seed_city(
+            self.engine,
+            num_stations=num_stations,
+            capacity=capacity,
+            bikes_per_station=bikes_per_station,
+            num_riders=num_riders,
+        )
+
+    # -- OLTP facade --------------------------------------------------------------
+
+    def checkout(self, rider_id: int, station_id: int, ts: int) -> ProcedureResult:
+        return self.engine.call_procedure("checkout", rider_id, station_id, ts)
+
+    def return_bike(self, rider_id: int, station_id: int, ts: int) -> ProcedureResult:
+        return self.engine.call_procedure("return_bike", rider_id, station_id, ts)
+
+    def accept_discount(
+        self, rider_id: int, discount_id: int, ts: int
+    ) -> ProcedureResult:
+        return self.engine.call_procedure(
+            "accept_discount", rider_id, discount_id, ts
+        )
+
+    def expire_discounts(self, ts: int) -> ProcedureResult:
+        return self.engine.call_procedure("expire_discounts", ts)
+
+    def ride_stats(self, rider_id: int, ts: int) -> dict[str, Any] | None:
+        return self.engine.call_procedure("get_ride_stats", rider_id, ts).data
+
+    # -- streaming facade -----------------------------------------------------------
+
+    def report_gps(self, fixes: list[tuple[int, int, float, float]]) -> int:
+        """Push GPS fixes ``(bike_id, ts, x, y)`` — one client round trip."""
+        return self.engine.ingest("gps_in", fixes)
+
+    def tick(self, ticks: int = 1) -> int:
+        """Advance simulated time (1 tick = 1 second)."""
+        return self.engine.advance_time(ticks)
+
+    # -- observation ------------------------------------------------------------------
+
+    def stations(self) -> list[tuple[Any, ...]]:
+        return self.engine.execute_sql(
+            "SELECT station_id, station_name, bikes_available, docks_available "
+            "FROM stations ORDER BY station_id"
+        ).rows
+
+    def open_discounts(self) -> list[tuple[Any, ...]]:
+        return self.engine.execute_sql(
+            "SELECT discount_id, station_id, pct FROM discounts "
+            "WHERE state = 'offered' ORDER BY discount_id"
+        ).rows
+
+    def alerts(self) -> list[tuple[Any, ...]]:
+        return self.engine.execute_sql(
+            "SELECT alert_id, bike_id, kind, ts, detail FROM alerts "
+            "ORDER BY alert_id"
+        ).rows
+
+    def city_speed(self) -> float | None:
+        return self.engine.execute_sql(
+            "SELECT avg_recent_speed FROM city_stats WHERE stat_id = 0"
+        ).scalar()
+
+    def billing_total(self) -> float:
+        total = self.engine.execute_sql(
+            "SELECT SUM(amount) FROM billing"
+        ).scalar()
+        return float(total) if total is not None else 0.0

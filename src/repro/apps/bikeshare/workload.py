@@ -1,0 +1,256 @@
+"""Deterministic BikeShare city simulation.
+
+Drives a :class:`repro.apps.bikeshare.sstore_app.BikeShareApp` tick by tick
+(1 tick = 1 second): riders check bikes out, ride straight-line paths at
+realistic speeds while their GPS units report once per second, return the
+bikes (redeeming discounts when they hold one), and the scenario knobs
+reproduce the demo moments:
+
+* **station drain** — trips are biased to *start* at one station, emptying
+  it so the discount pipeline starts offering rebates there;
+* **theft** — at a configured tick a "rider" tears off at 70 mph, tripping
+  the stolen-bike detector.
+
+The simulation also maintains an independent ground-truth model of each
+ride (distance actually traveled), which tests compare against the
+engine-computed ride statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from repro.apps.bikeshare.sstore_app import BikeShareApp
+
+__all__ = ["ActiveTrip", "SimulationReport", "BikeShareSimulation"]
+
+
+@dataclass
+class ActiveTrip:
+    """One rider currently on a bike."""
+
+    rider_id: int
+    bike_id: int
+    dest_station: int
+    x: float
+    y: float
+    dest_x: float
+    dest_y: float
+    speed_mph: float
+    #: ground truth accumulated by the simulation itself
+    true_distance: float = 0.0
+    discount_id: int | None = None
+    is_thief: bool = False
+
+    def arrived(self) -> bool:
+        return abs(self.x - self.dest_x) < 1e-9 and abs(self.y - self.dest_y) < 1e-9
+
+
+@dataclass
+class SimulationReport:
+    """What happened during a simulation run."""
+
+    ticks: int = 0
+    checkouts: int = 0
+    returns: int = 0
+    failed_checkouts: int = 0
+    failed_returns: int = 0
+    gps_fixes: int = 0
+    discounts_seen: int = 0
+    discounts_accepted: int = 0
+    discounts_redeemed: int = 0
+    thefts_started: int = 0
+    #: rider_id → list of simulated (ground-truth) ride distances
+    true_distances: dict[int, list[float]] = field(default_factory=dict)
+
+
+class BikeShareSimulation:
+    """Seeded, deterministic event generator + driver."""
+
+    def __init__(
+        self,
+        app: BikeShareApp,
+        *,
+        seed: int = 5,
+        trip_speed_mph: float = 12.0,
+        trip_start_probability: float = 0.25,
+        drain_station: int | None = None,
+        drain_bias: float = 0.6,
+        theft_at_tick: int | None = None,
+        expire_every: int = 60,
+    ) -> None:
+        self.app = app
+        self.rng = random.Random(seed)
+        self.trip_speed_mph = trip_speed_mph
+        self.trip_start_probability = trip_start_probability
+        self.drain_station = drain_station
+        self.drain_bias = drain_bias
+        self.theft_at_tick = theft_at_tick
+        self.expire_every = expire_every
+        self.report = SimulationReport()
+        self._trips: list[ActiveTrip] = []
+        self._station_xy: dict[int, tuple[float, float]] = {}
+        for station_id, _name, _bikes, _docks in app.stations():
+            row = app.engine.execute_sql(
+                "SELECT x, y FROM stations WHERE station_id = ?", station_id
+            ).first()
+            self._station_xy[int(station_id)] = (float(row[0]), float(row[1]))
+        self._free_riders = [
+            int(rider_id)
+            for (rider_id,) in app.engine.execute_sql(
+                "SELECT rider_id FROM riders ORDER BY rider_id"
+            ).rows
+        ]
+
+    # ------------------------------------------------------------------
+
+    def run(self, ticks: int) -> SimulationReport:
+        for _ in range(ticks):
+            now = self.app.tick(1)
+            self.report.ticks += 1
+            if self.theft_at_tick is not None and now == self.theft_at_tick:
+                self._start_theft(now)
+            self._maybe_start_trip(now)
+            self._advance_trips(now)
+            if self.expire_every and now % self.expire_every == 0:
+                self.app.expire_discounts(now)
+        return self.report
+
+    # ------------------------------------------------------------------
+
+    def _pick_station(self, *, prefer_drain: bool) -> int:
+        stations = sorted(self._station_xy)
+        if (
+            prefer_drain
+            and self.drain_station is not None
+            and self.rng.random() < self.drain_bias
+        ):
+            return self.drain_station
+        return self.rng.choice(stations)
+
+    def _maybe_start_trip(self, now: int) -> None:
+        if not self._free_riders or self.rng.random() > self.trip_start_probability:
+            return
+        rider_id = self._free_riders.pop(0)
+        start = self._pick_station(prefer_drain=True)
+        dest = self.rng.choice(
+            [station for station in self._station_xy if station != start]
+        )
+        result = self.app.checkout(rider_id, start, now)
+        if not result.success:
+            self.report.failed_checkouts += 1
+            self._free_riders.append(rider_id)
+            return
+        self.report.checkouts += 1
+        start_x, start_y = self._station_xy[start]
+        dest_x, dest_y = self._station_xy[dest]
+        trip = ActiveTrip(
+            rider_id=rider_id,
+            bike_id=self._bike_of(rider_id),
+            dest_station=dest,
+            x=start_x,
+            y=start_y,
+            dest_x=dest_x,
+            dest_y=dest_y,
+            speed_mph=self.trip_speed_mph,
+        )
+        self._trips.append(trip)
+        self._maybe_accept_discount(trip, now)
+
+    def _maybe_accept_discount(self, trip: ActiveTrip, now: int) -> None:
+        offers = [
+            (int(discount_id), int(station_id))
+            for discount_id, station_id, _pct in self.app.open_discounts()
+        ]
+        self.report.discounts_seen += len(offers)
+        for discount_id, station_id in offers:
+            if station_id == trip.dest_station:
+                result = self.app.accept_discount(trip.rider_id, discount_id, now)
+                if result.success:
+                    trip.discount_id = discount_id
+                    self.report.discounts_accepted += 1
+                return
+
+    def _start_theft(self, now: int) -> None:
+        """A thief 'rides' a docked bike away at highway speed."""
+        if not self._free_riders:
+            return
+        thief = self._free_riders.pop(0)
+        station = self._pick_station(prefer_drain=False)
+        result = self.app.checkout(thief, station, now)
+        if not result.success:
+            self._free_riders.append(thief)
+            return
+        self.report.checkouts += 1
+        self.report.thefts_started += 1
+        x, y = self._station_xy[station]
+        self._trips.append(
+            ActiveTrip(
+                rider_id=thief,
+                bike_id=self._bike_of(thief),
+                dest_station=-1,
+                x=x,
+                y=y,
+                dest_x=x + 100.0,  # off the map, never arrives
+                dest_y=y,
+                speed_mph=70.0,
+                is_thief=True,
+            )
+        )
+
+    def _advance_trips(self, now: int) -> None:
+        fixes: list[tuple[int, int, float, float]] = []
+        finished: list[ActiveTrip] = []
+        for trip in self._trips:
+            step = trip.speed_mph / 3600.0  # miles per tick
+            dx = trip.dest_x - trip.x
+            dy = trip.dest_y - trip.y
+            remaining = (dx**2 + dy**2) ** 0.5
+            if remaining <= step:
+                moved = remaining
+                trip.x, trip.y = trip.dest_x, trip.dest_y
+            else:
+                moved = step
+                trip.x += dx / remaining * step
+                trip.y += dy / remaining * step
+            trip.true_distance += moved
+            fixes.append((trip.bike_id, now, round(trip.x, 9), round(trip.y, 9)))
+            if trip.arrived() and not trip.is_thief:
+                finished.append(trip)
+
+        if fixes:
+            self.app.report_gps(fixes)
+            self.report.gps_fixes += len(fixes)
+
+        for trip in finished:
+            result = self.app.return_bike(trip.rider_id, trip.dest_station, now)
+            if not result.success:
+                self.report.failed_returns += 1
+                # no dock free: ride on to another station next tick
+                alternatives = [
+                    station
+                    for station in self._station_xy
+                    if station != trip.dest_station
+                ]
+                trip.dest_station = self.rng.choice(alternatives)
+                trip.dest_x, trip.dest_y = self._station_xy[trip.dest_station]
+                continue
+            self.report.returns += 1
+            if trip.discount_id is not None:
+                self.report.discounts_redeemed += 1
+            self.report.true_distances.setdefault(trip.rider_id, []).append(
+                trip.true_distance
+            )
+            self._trips.remove(trip)
+            self._free_riders.append(trip.rider_id)
+
+    def _bike_of(self, rider_id: int) -> int:
+        bike_id = self.app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = ?", rider_id
+        ).scalar()
+        assert bike_id is not None, f"rider {rider_id} holds no bike"
+        return int(bike_id)
+
+    @property
+    def active_trip_count(self) -> int:
+        return len(self._trips)

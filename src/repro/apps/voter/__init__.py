@@ -1,0 +1,40 @@
+"""``repro.apps.voter`` — Voter with Leaderboard (paper §3.1).
+
+The *Canadian Dreamboat* game show: votes stream in, leaderboards update in
+real time, and every 100 valid votes the lowest-scoring candidate is
+eliminated (their votes returned to the voters).  Deployed two ways:
+
+* :class:`VoterSStoreApp` — push-based S-Store workflow; correct and fast.
+* :class:`VoterHStoreApp` — naive H-Store with client-driven chaining and
+  manual windowing; slower, and anomalous under concurrent clients.
+"""
+
+from repro.apps.voter.hstore_app import HStoreUpdateLeaderboard, VoterHStoreApp
+from repro.apps.voter.observe import ElectionSummary, election_summary, leaderboards
+from repro.apps.voter.procedures import RemoveLowest, UpdateLeaderboard, ValidateVote
+from repro.apps.voter.schema import (
+    ELIMINATION_EVERY,
+    NUM_CONTESTANTS,
+    TRENDING_WINDOW,
+)
+from repro.apps.voter.sstore_app import VoterSStoreApp
+from repro.apps.voter.workload import VoteRequest, VoterWorkload
+from repro.apps.voter.display import render_leaderboard
+
+__all__ = [
+    "HStoreUpdateLeaderboard",
+    "VoterHStoreApp",
+    "ElectionSummary",
+    "election_summary",
+    "leaderboards",
+    "RemoveLowest",
+    "UpdateLeaderboard",
+    "ValidateVote",
+    "ELIMINATION_EVERY",
+    "NUM_CONTESTANTS",
+    "TRENDING_WINDOW",
+    "VoterSStoreApp",
+    "VoteRequest",
+    "VoterWorkload",
+    "render_leaderboard",
+]

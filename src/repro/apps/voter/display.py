@@ -1,0 +1,61 @@
+"""Text rendering of the Fig-2 leaderboard display.
+
+The original demo showed a live GUI with the top-three, bottom-three and
+trending leaderboards plus the total vote count.  The GUI itself is
+presentation; this renderer produces the same information content as text,
+which the examples print and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.voter.observe import ElectionSummary
+
+__all__ = ["render_leaderboard"]
+
+
+def _board_lines(title: str, rows: list[tuple[Any, ...]], fmt: str) -> list[str]:
+    lines = [title, "-" * len(title)]
+    if not rows:
+        lines.append("  (empty)")
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return lines
+
+
+def render_leaderboard(
+    summary: ElectionSummary,
+    boards: dict[str, list[tuple[Any, ...]]],
+    *,
+    show_name: str = "Canadian Dreamboat",
+) -> str:
+    """The Fig-2 display as text."""
+    lines: list[str] = [
+        f"=== {show_name} — Live Leaderboard ===",
+        f"total votes: {summary.total_votes}   "
+        f"rejected: {summary.rejected_votes}   "
+        f"eliminated: {summary.eliminations}   "
+        f"remaining: {len(summary.remaining)}",
+        "",
+    ]
+    lines += _board_lines(
+        "Top 3", boards["top"], "  #{0} {1:<12} {2:>6} votes"
+    )
+    lines.append("")
+    lines += _board_lines(
+        "Bottom 3", boards["bottom"], "  #{0} {1:<12} {2:>6} votes"
+    )
+    lines.append("")
+    trending = [
+        (rank, number, name if name is not None else "(eliminated)", recent)
+        for rank, number, name, recent in boards["trending"]
+    ]
+    lines += _board_lines(
+        "Trending (last 100 votes)",
+        trending,
+        "  {0}. #{1} {2} ({3} recent votes)",
+    )
+    if summary.winner is not None:
+        lines += ["", f"*** WINNER: contestant #{summary.winner} ***"]
+    return "\n".join(lines)

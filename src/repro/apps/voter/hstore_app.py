@@ -1,0 +1,378 @@
+"""The naive H-Store deployment of Voter with Leaderboard.
+
+Plain H-Store has no streams, windows or workflows, so the application must
+bridge the gaps itself — exactly the implementation the paper holds up as
+error-prone and slow:
+
+* **client-driven chaining**: after SP1 accepts a vote, the *client* calls
+  SP2; after SP2 reports a threshold crossing, the *client* calls SP3.
+  Every hop is an extra client↔PE round trip (experiment E4).
+* **manual windowing**: the 100-vote trending window is a regular table the
+  SP2 variant maintains with explicit INSERT / COUNT / MIN / DELETE
+  statements — extra PE↔EE round trips per vote (experiment E5).
+* **no ordering guarantees**: with several clients submitting concurrently,
+  the engine executes whatever arrives next.  SP2/SP3 calls interleave with
+  other clients' SP1 calls, reproducing the paper's anomalies: votes counted
+  after the threshold but before the removal (wrong candidate eliminated),
+  and rapid-fire votes from one phone applied out of arrival order
+  (experiments E1/E2/E9).
+
+The interleaving is modeled deterministically: each client owns a FIFO of
+pending steps, and a seeded scheduler picks which client acts next.  Seed 0
+("fair round-robin") behaves like a single client; other seeds produce the
+adversarial-but-realistic interleavings a real multi-client deployment
+exhibits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.voter import schema
+from repro.apps.voter.observe import ElectionSummary, election_summary, leaderboards
+from repro.apps.voter.procedures import RemoveLowest, ValidateVote
+from repro.apps.voter.schema import ELIMINATION_EVERY, TRENDING_WINDOW
+from repro.apps.voter.workload import VoteRequest
+from repro.core.transaction import TERecord
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.procedure import StoredProcedure
+
+__all__ = ["HStoreUpdateLeaderboard", "VoterHStoreApp"]
+
+
+class HStoreUpdateLeaderboard(StoredProcedure):
+    """SP2 without native windows: manual trending-window maintenance.
+
+    Each accepted vote costs, besides the two counter updates, an INSERT
+    into the ``trending_votes`` table, a COUNT to detect overflow, and —
+    once the window is full — a MIN + DELETE to evict the oldest tuple,
+    plus the trending-board recomputation.  All of these are separate
+    PE↔EE round trips that S-Store's EE-maintained window never issues.
+    """
+
+    name = "update_leaderboard"
+    statements = {
+        "bump_candidate": (
+            "UPDATE contestant_votes SET num_votes = num_votes + 1 "
+            "WHERE contestant_number = ?"
+        ),
+        "bump_total": (
+            "UPDATE election_stats SET total_votes = total_votes + 1 "
+            "WHERE stat_id = 0"
+        ),
+        "read_total": "SELECT total_votes FROM election_stats WHERE stat_id = 0",
+        "push_trending": "INSERT INTO trending_votes VALUES (?, ?)",
+        "count_trending": "SELECT COUNT(*) FROM trending_votes",
+        "oldest_trending": "SELECT MIN(seq) FROM trending_votes",
+        "evict_trending": "DELETE FROM trending_votes WHERE seq = ?",
+        "trending_counts": (
+            "SELECT t.contestant_number, COUNT(*) AS recent "
+            "FROM trending_votes t JOIN contestants c "
+            "ON c.contestant_number = t.contestant_number "
+            "GROUP BY t.contestant_number "
+            "ORDER BY recent DESC, t.contestant_number ASC LIMIT 3"
+        ),
+        "clear_board": "DELETE FROM trending_board",
+        "post_board": "INSERT INTO trending_board VALUES (?, ?, ?)",
+    }
+
+    def run(self, ctx, phone_number: str, contestant_number: int, created_ts: int) -> int:
+        ctx.execute("bump_candidate", contestant_number)
+        ctx.execute("bump_total")
+        total = ctx.execute("read_total").scalar()
+        # manual 100-tuple sliding window over a plain table
+        ctx.execute("push_trending", total, contestant_number)
+        if ctx.execute("count_trending").scalar() > TRENDING_WINDOW:
+            oldest = ctx.execute("oldest_trending").scalar()
+            ctx.execute("evict_trending", oldest)
+        trending = ctx.execute("trending_counts").rows
+        ctx.execute("clear_board")
+        for rank, (number, recent) in enumerate(trending, start=1):
+            ctx.execute("post_board", rank, number, recent)
+        return total
+
+
+class HStoreSubmitVote(StoredProcedure):
+    """SP1 for the *polling* deployment: validate, record, and stage.
+
+    Instead of the client chaining SP2 itself, accepted votes land in a
+    ``pending_votes`` staging table that a poller client drains later — the
+    classic pull-based pattern the paper says S-Store's push semantics
+    eliminate.
+    """
+
+    name = "submit_vote"
+    statements = {
+        "contestant_exists": (
+            "SELECT contestant_number FROM contestants WHERE contestant_number = ?"
+        ),
+        "already_voted": "SELECT phone_number FROM votes WHERE phone_number = ?",
+        "record_vote": "INSERT INTO votes VALUES (?, ?, ?)",
+        "count_rejection": (
+            "UPDATE election_stats SET rejected_votes = rejected_votes + 1 "
+            "WHERE stat_id = 0"
+        ),
+        "stage": "INSERT INTO pending_votes VALUES (?, ?, ?)",
+    }
+
+    def run(self, ctx, phone_number, contestant_number, created_ts):
+        if not ctx.execute("contestant_exists", contestant_number):
+            ctx.execute("count_rejection")
+            return False
+        if ctx.execute("already_voted", phone_number):
+            ctx.execute("count_rejection")
+            return False
+        ctx.execute("record_vote", phone_number, contestant_number, created_ts)
+        ctx.execute("stage", phone_number, contestant_number, created_ts)
+        return True
+
+
+class HStorePollVotes(StoredProcedure):
+    """The poller's workhorse: drain staged votes and run the SP2 logic.
+
+    Returns ``(processed, thresholds_crossed)`` so the polling client can
+    issue the SP3 calls — still client-driven, still round trips.
+    """
+
+    name = "poll_votes"
+    statements = {
+        "drain": (
+            "SELECT phone_number, contestant_number, created_ts "
+            "FROM pending_votes ORDER BY created_ts ASC LIMIT 1000"
+        ),
+        "unstage": "DELETE FROM pending_votes WHERE phone_number = ?",
+        "bump_candidate": (
+            "UPDATE contestant_votes SET num_votes = num_votes + 1 "
+            "WHERE contestant_number = ?"
+        ),
+        "bump_total": (
+            "UPDATE election_stats SET total_votes = total_votes + 1 "
+            "WHERE stat_id = 0"
+        ),
+        "read_total": "SELECT total_votes FROM election_stats WHERE stat_id = 0",
+    }
+
+    def run(self, ctx):
+        staged = ctx.execute("drain").rows
+        thresholds = []
+        for phone_number, contestant_number, _created_ts in staged:
+            ctx.execute("bump_candidate", contestant_number)
+            ctx.execute("bump_total")
+            total = ctx.execute("read_total").scalar()
+            if total % ELIMINATION_EVERY == 0:
+                thresholds.append(total)
+            ctx.execute("unstage", phone_number)
+        return len(staged), thresholds
+
+
+@dataclass
+class _ClientState:
+    """One simulated client: a FIFO of its remaining protocol steps."""
+
+    client_id: int
+    #: pending requests, each expanded lazily into SP1/SP2/SP3 steps
+    requests: list[VoteRequest] = field(default_factory=list)
+    #: steps already owed for the in-flight request: (procedure, params,
+    #: origin vote arrival index)
+    followups: list[tuple[str, tuple[Any, ...], int]] = field(default_factory=list)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.requests) or bool(self.followups)
+
+
+class VoterHStoreApp:
+    """Deploys and drives the voter workload on a plain H-Store engine."""
+
+    def __init__(
+        self,
+        engine: HStoreEngine | None = None,
+        *,
+        num_contestants: int = schema.NUM_CONTESTANTS,
+    ) -> None:
+        self.engine = engine or HStoreEngine()
+        schema.install_tables(self.engine)
+        self.engine.execute_ddl(
+            "CREATE TABLE trending_votes ("
+            "seq INTEGER NOT NULL, contestant_number INTEGER NOT NULL, "
+            "PRIMARY KEY (seq))"
+        )
+        self.engine.register_procedure(ValidateVote)
+        self.engine.register_procedure(HStoreUpdateLeaderboard)
+        self.engine.register_procedure(RemoveLowest)
+        schema.seed_contestants(self.engine, num_contestants)
+        #: commit-order history, comparable with the S-Store schedule (E9)
+        self.te_history: list[TERecord] = []
+        self._history_seq = 0
+        #: arrival-order bookkeeping for E2 measurements
+        self.accepted_order: list[VoteRequest] = []
+
+    # ------------------------------------------------------------------
+    # Single-client (correct but round-trip heavy) driving
+    # ------------------------------------------------------------------
+
+    def run_sequential(self, requests: list[VoteRequest]) -> None:
+        """One client, strict chaining: SP1 → SP2 → (SP3).  Correct results,
+        but 2–3 client↔PE round trips per accepted vote."""
+        for request in requests:
+            accepted = self.engine.call_procedure(
+                "validate_vote", *request.as_row()
+            )
+            self._record("validate_vote", 0, request.created_ts)
+            if not accepted.data:
+                continue
+            self.accepted_order.append(request)
+            total_result = self.engine.call_procedure(
+                "update_leaderboard", *request.as_row()
+            )
+            self._record("update_leaderboard", 1, request.created_ts)
+            total = total_result.data
+            if total % ELIMINATION_EVERY == 0:
+                self.engine.call_procedure("remove_lowest")
+                self._record("remove_lowest", 2, request.created_ts)
+
+    # ------------------------------------------------------------------
+    # Polling driving (the pull-based pattern push semantics eliminate)
+    # ------------------------------------------------------------------
+
+    def enable_polling_mode(self) -> None:
+        """Install the staging table + polling procedures (once)."""
+        if "submit_vote" in self.engine.procedures:
+            return
+        self.engine.execute_ddl(
+            "CREATE TABLE pending_votes ("
+            "phone_number VARCHAR(16) NOT NULL, "
+            "contestant_number INTEGER NOT NULL, "
+            "created_ts TIMESTAMP NOT NULL, "
+            "PRIMARY KEY (phone_number))"
+        )
+        self.engine.register_procedure(HStoreSubmitVote)
+        self.engine.register_procedure(HStorePollVotes)
+        self.polls_made = 0
+        self.empty_polls = 0
+        self.max_backlog = 0
+
+    def run_polling(
+        self,
+        requests: list[VoteRequest],
+        *,
+        poll_every: int = 10,
+    ) -> None:
+        """One submitter client + one poller client.
+
+        The poller calls ``poll_votes`` every ``poll_every`` submissions —
+        and keeps polling on a quiet system, paying a full client↔PE round
+        trip for every *empty* poll.  ``max_backlog`` records how stale the
+        leaderboards got between polls.
+        """
+        self.enable_polling_mode()
+        for index, request in enumerate(requests):
+            self.engine.call_procedure("submit_vote", *request.as_row())
+            # backlog observed engine-side (not a client round trip)
+            backlog = self.engine.partitions[0].ee.table(
+                "pending_votes"
+            ).row_count()
+            self.max_backlog = max(self.max_backlog, backlog)
+            if (index + 1) % poll_every == 0:
+                self._poll_once()
+        # drain whatever is left, plus one confirming empty poll
+        while self._poll_once():
+            pass
+
+    def _poll_once(self) -> int:
+        result = self.engine.call_procedure("poll_votes")
+        self.polls_made += 1
+        processed, thresholds = result.data
+        if processed == 0:
+            self.empty_polls += 1
+        for _threshold in thresholds:
+            self.engine.call_procedure("remove_lowest")
+        return processed
+
+    # ------------------------------------------------------------------
+    # Multi-client interleaved driving (the anomaly demo)
+    # ------------------------------------------------------------------
+
+    def run_interleaved(
+        self,
+        requests: list[VoteRequest],
+        *,
+        clients: int = 8,
+        seed: int = 1,
+    ) -> None:
+        """Several clients submit concurrently; the engine executes calls in
+        whatever order they arrive.  H-Store gives no workflow-order or
+        arrival-order guarantee across clients — the paper's anomalies.
+        """
+        if clients < 1:
+            raise ValueError("need at least one client")
+        rng = random.Random(seed)
+        pool = [_ClientState(client_id=i) for i in range(clients)]
+        for index, request in enumerate(requests):
+            pool[index % clients].requests.append(request)
+
+        busy = [client for client in pool if client.has_work]
+        while busy:
+            client = rng.choice(busy)
+            self._step(client)
+            busy = [c for c in pool if c.has_work]
+
+    def _step(self, client: _ClientState) -> None:
+        """Execute one protocol step of one client."""
+        if client.followups:
+            procedure, params, origin = client.followups.pop(0)
+            if procedure == "update_leaderboard":
+                result = self.engine.call_procedure(procedure, *params)
+                self._record(procedure, 1, origin)
+                if result.data % ELIMINATION_EVERY == 0:
+                    client.followups.append(("remove_lowest", (), origin))
+            else:  # remove_lowest
+                self.engine.call_procedure(procedure)
+                self._record(procedure, 2, origin)
+            return
+
+        request = client.requests.pop(0)
+        accepted = self.engine.call_procedure("validate_vote", *request.as_row())
+        self._record("validate_vote", 0, request.created_ts)
+        if accepted.data:
+            self.accepted_order.append(request)
+            client.followups.append(
+                ("update_leaderboard", request.as_row(), request.created_ts)
+            )
+
+    def _record(self, procedure: str, depth: int, origin: int) -> None:
+        """Append to the commit history.
+
+        H-Store has no batch notion, so the vote request's arrival index
+        (its ``created_ts``) stands in as the origin batch id — the same
+        identifier an S-Store batch-of-one deployment would assign — making
+        the two histories directly comparable by the schedule validator.
+        """
+        self.te_history.append(
+            TERecord(
+                seq=self._history_seq,
+                procedure=procedure,
+                origin_batch_id=origin,
+                depth=depth,
+                workflow="voter_leaderboard",
+            )
+        )
+        self._history_seq += 1
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def summary(self) -> ElectionSummary:
+        return election_summary(self.engine)
+
+    def leaderboards(self) -> dict[str, list[tuple[Any, ...]]]:
+        return leaderboards(self.engine)
+
+    def vote_rows(self) -> list[tuple[Any, ...]]:
+        return self.engine.execute_sql(
+            "SELECT phone_number, contestant_number FROM votes "
+            "ORDER BY phone_number"
+        ).rows

@@ -1,0 +1,180 @@
+"""Voter-with-Leaderboard stored procedures (paper §3.1, Fig. 3).
+
+The workflow is three stored procedures:
+
+``SP1 validate_vote``
+    Validates each vote (contestant exists, phone has not voted) and records
+    accepted ones, forwarding them downstream.
+
+``SP2 update_leaderboard``
+    Maintains the per-candidate totals and the running total-vote count.
+    When the total crosses the elimination threshold it signals SP3.
+
+``SP3 remove_lowest``
+    Removes the candidate with the fewest votes, deletes every vote cast for
+    them ("effectively returning the votes to the people who cast them" —
+    those phones may vote again), and logs the elimination.
+
+All three touch the same tables (``votes``, ``contestant_votes``,
+``election_stats``), so the workflow's sharing analysis forces serial,
+contiguous per-batch execution — exactly the paper's requirement.
+
+The same classes double as the *naive H-Store* procedures: the H-Store
+deployment registers them on a plain :class:`HStoreEngine` and the client
+drives the chaining itself (see :mod:`repro.apps.voter.hstore_app`).  To
+support both modes, each ``run`` takes its input either from ``ctx.batch``
+(S-Store TE) or from call parameters (H-Store client call), and emits only
+when an output stream is available.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.voter.schema import ELIMINATION_EVERY
+from repro.core.engine import StreamContext, StreamProcedure
+
+__all__ = ["ValidateVote", "UpdateLeaderboard", "RemoveLowest"]
+
+
+class ValidateVote(StreamProcedure):
+    """SP1: validate and record incoming votes."""
+
+    name = "validate_vote"
+    statements = {
+        "contestant_exists": (
+            "SELECT contestant_number FROM contestants WHERE contestant_number = ?"
+        ),
+        "already_voted": "SELECT phone_number FROM votes WHERE phone_number = ?",
+        "record_vote": "INSERT INTO votes VALUES (?, ?, ?)",
+        "count_rejection": (
+            "UPDATE election_stats SET rejected_votes = rejected_votes + 1 "
+            "WHERE stat_id = 0"
+        ),
+    }
+
+    def run(self, ctx: StreamContext, *params: Any) -> list[tuple[Any, ...]]:
+        votes = list(ctx.batch) if ctx.has_batch else [params]
+        accepted: list[tuple[Any, ...]] = []
+        for phone_number, contestant_number, created_ts in votes:
+            if not ctx.execute("contestant_exists", contestant_number):
+                ctx.execute("count_rejection")
+                continue
+            if ctx.execute("already_voted", phone_number):
+                ctx.execute("count_rejection")
+                continue
+            ctx.execute("record_vote", phone_number, contestant_number, created_ts)
+            accepted.append((phone_number, contestant_number, created_ts))
+        if ctx.has_batch and accepted:
+            ctx.emit("validated_votes", accepted)
+        return accepted
+
+
+class UpdateLeaderboard(StreamProcedure):
+    """SP2: maintain leaderboards and the running vote total.
+
+    The trending leaderboard comes from the ``trending_w`` window — which is
+    maintained *natively by the EE* as validated votes flow in; this
+    procedure only queries it.  The naive H-Store variant
+    (:class:`repro.apps.voter.hstore_app.HStoreUpdateLeaderboard`) has to
+    maintain the same 100-vote window by hand with extra SQL statements.
+    """
+
+    name = "update_leaderboard"
+    statements = {
+        "bump_candidate": (
+            "UPDATE contestant_votes SET num_votes = num_votes + 1 "
+            "WHERE contestant_number = ?"
+        ),
+        "bump_total": (
+            "UPDATE election_stats SET total_votes = total_votes + 1 "
+            "WHERE stat_id = 0"
+        ),
+        "read_total": "SELECT total_votes FROM election_stats WHERE stat_id = 0",
+        # join against live contestants: votes for eliminated candidates
+        # still sit in the window, but the board must not show them
+        "trending_counts": (
+            "SELECT w.contestant_number, COUNT(*) AS recent "
+            "FROM trending_w w JOIN contestants c "
+            "ON c.contestant_number = w.contestant_number "
+            "GROUP BY w.contestant_number "
+            "ORDER BY recent DESC, w.contestant_number ASC LIMIT 3"
+        ),
+        "clear_board": "DELETE FROM trending_board",
+        "post_board": "INSERT INTO trending_board VALUES (?, ?, ?)",
+    }
+
+    def run(self, ctx: StreamContext, *params: Any) -> int:
+        votes = list(ctx.batch) if ctx.has_batch else [params]
+        thresholds_crossed: list[int] = []
+        total = 0
+        for _phone, contestant_number, _ts in votes:
+            ctx.execute("bump_candidate", contestant_number)
+            ctx.execute("bump_total")
+            total = ctx.execute("read_total").scalar()
+            if total % ELIMINATION_EVERY == 0:
+                thresholds_crossed.append(total)
+        if ctx.has_batch:
+            trending = ctx.execute("trending_counts").rows
+            ctx.execute("clear_board")
+            for rank, (contestant_number, recent) in enumerate(trending, start=1):
+                ctx.execute("post_board", rank, contestant_number, recent)
+        if ctx.has_batch and thresholds_crossed:
+            ctx.emit("removal_due", [(t,) for t in thresholds_crossed])
+        return total
+
+
+class RemoveLowest(StreamProcedure):
+    """SP3: eliminate the candidate with the fewest votes."""
+
+    name = "remove_lowest"
+    statements = {
+        "lowest": (
+            "SELECT contestant_number FROM contestant_votes "
+            "ORDER BY num_votes ASC, contestant_number ASC LIMIT 1"
+        ),
+        "count_remaining": "SELECT COUNT(*) FROM contestants",
+        "count_votes_for": (
+            "SELECT COUNT(*) FROM votes WHERE contestant_number = ?"
+        ),
+        "delete_contestant": (
+            "DELETE FROM contestants WHERE contestant_number = ?"
+        ),
+        "delete_votes": "DELETE FROM votes WHERE contestant_number = ?",
+        "delete_counter": (
+            "DELETE FROM contestant_votes WHERE contestant_number = ?"
+        ),
+        "read_total": "SELECT total_votes FROM election_stats WHERE stat_id = 0",
+        "bump_eliminations": (
+            "UPDATE election_stats SET eliminations = eliminations + 1 "
+            "WHERE stat_id = 0"
+        ),
+        "count_removals": "SELECT COUNT(*) FROM removals",
+        "log_removal": "INSERT INTO removals VALUES (?, ?, ?, ?)",
+        # "removing all votes for that candidate from ... all leaderboards"
+        "unboard": "DELETE FROM trending_board WHERE contestant_number = ?",
+    }
+
+    def run(self, ctx: StreamContext, *params: Any) -> int | None:
+        events = list(ctx.batch) if ctx.has_batch else [params or (None,)]
+        removed: int | None = None
+        for (at_total,) in events:
+            if ctx.execute("count_remaining").scalar() <= 1:
+                continue  # a single winner remains; nothing to remove
+            loser = ctx.execute("lowest").scalar()
+            if loser is None:
+                continue
+            discarded = ctx.execute("count_votes_for", loser).scalar()
+            # audit the threshold that *triggered* the removal; with batch
+            # sizes > 1 the current total may already be a few votes past it
+            if at_total is None:
+                at_total = ctx.execute("read_total").scalar()
+            seq = ctx.execute("count_removals").scalar()
+            ctx.execute("delete_contestant", loser)
+            ctx.execute("delete_votes", loser)
+            ctx.execute("delete_counter", loser)
+            ctx.execute("bump_eliminations")
+            ctx.execute("log_removal", seq, loser, at_total, discarded)
+            ctx.execute("unboard", loser)
+            removed = loser
+        return removed

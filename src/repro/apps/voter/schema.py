@@ -1,0 +1,159 @@
+"""Voter-with-Leaderboard schema (paper §3.1).
+
+The game show *Canadian Dreamboat*: 25 candidates, one vote per phone
+number, elimination of the lowest-scoring candidate every 100 valid votes,
+and three live leaderboards (top three, bottom three, top three trending
+over the last 100 votes).
+
+Tables (regular OLTP state, shared by all three stored procedures — which
+is what forces serial workflow execution):
+
+``contestants``            the candidates still in the running
+``votes``                  one row per accepted vote (PK = phone number)
+``contestant_votes``       running per-candidate totals (the leaderboards)
+``election_stats``         single row: total accepted / rejected counts
+``removals``               elimination audit log (who, at which vote total)
+
+Streams/windows (S-Store deployment only):
+
+``votes_in``               border stream of raw vote requests
+``validated_votes``        SP1 → SP2: accepted votes
+``removal_due``            SP2 → SP3: fires each time the total hits a
+                           multiple of the elimination threshold
+``trending_w``             ROWS 100 SLIDE 1 window over ``validated_votes``,
+                           scoped to SP2 (the trending leaderboard)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hstore.engine import HStoreEngine
+
+__all__ = [
+    "NUM_CONTESTANTS",
+    "ELIMINATION_EVERY",
+    "TRENDING_WINDOW",
+    "CONTESTANT_NAMES",
+    "install_tables",
+    "install_streams",
+    "seed_contestants",
+]
+
+#: paper parameters
+NUM_CONTESTANTS = 25
+ELIMINATION_EVERY = 100
+TRENDING_WINDOW = 100
+
+CONTESTANT_NAMES = [
+    "Aiden", "Bianca", "Carter", "Delia", "Emmett", "Fiona", "Gavin",
+    "Harper", "Isla", "Jonah", "Kiara", "Liam", "Maren", "Nolan", "Odette",
+    "Piper", "Quentin", "Rhea", "Silas", "Tessa", "Umberto", "Vera",
+    "Wyatt", "Ximena", "Yusuf", "Zelda",
+]
+
+_TABLES = [
+    """
+    CREATE TABLE contestants (
+        contestant_number INTEGER NOT NULL,
+        contestant_name   VARCHAR(64) NOT NULL,
+        PRIMARY KEY (contestant_number)
+    )
+    """,
+    """
+    CREATE TABLE votes (
+        phone_number      VARCHAR(16) NOT NULL,
+        contestant_number INTEGER NOT NULL,
+        created_ts        TIMESTAMP NOT NULL,
+        PRIMARY KEY (phone_number)
+    )
+    """,
+    """
+    CREATE TABLE contestant_votes (
+        contestant_number INTEGER NOT NULL,
+        num_votes         INTEGER NOT NULL,
+        PRIMARY KEY (contestant_number)
+    )
+    """,
+    """
+    CREATE TABLE election_stats (
+        stat_id        INTEGER NOT NULL,
+        total_votes    INTEGER NOT NULL,
+        rejected_votes INTEGER NOT NULL,
+        eliminations   INTEGER NOT NULL,
+        PRIMARY KEY (stat_id)
+    )
+    """,
+    """
+    CREATE TABLE removals (
+        removal_seq       INTEGER NOT NULL,
+        contestant_number INTEGER NOT NULL,
+        at_total_votes    INTEGER NOT NULL,
+        votes_discarded   INTEGER NOT NULL,
+        PRIMARY KEY (removal_seq)
+    )
+    """,
+    """
+    CREATE TABLE trending_board (
+        rank              INTEGER NOT NULL,
+        contestant_number INTEGER NOT NULL,
+        recent_votes      INTEGER NOT NULL,
+        PRIMARY KEY (rank)
+    )
+    """,
+    "CREATE INDEX idx_votes_contestant ON votes (contestant_number)",
+    "CREATE INDEX idx_cv_num_votes ON contestant_votes (num_votes) USING TREE",
+]
+
+_STREAMS = [
+    """
+    CREATE STREAM votes_in (
+        phone_number      VARCHAR(16) NOT NULL,
+        contestant_number INTEGER NOT NULL,
+        created_ts        TIMESTAMP NOT NULL
+    )
+    """,
+    """
+    CREATE STREAM validated_votes (
+        phone_number      VARCHAR(16) NOT NULL,
+        contestant_number INTEGER NOT NULL,
+        created_ts        TIMESTAMP NOT NULL
+    )
+    """,
+    """
+    CREATE STREAM removal_due (
+        at_total_votes INTEGER NOT NULL
+    )
+    """,
+    f"CREATE WINDOW trending_w ON validated_votes ROWS {TRENDING_WINDOW} "
+    f"SLIDE 1 OWNED BY update_leaderboard",
+]
+
+
+def install_tables(engine: "HStoreEngine") -> None:
+    """Create the OLTP tables (shared by both deployments)."""
+    for ddl in _TABLES:
+        engine.execute_ddl(ddl)
+
+
+def install_streams(engine: "HStoreEngine") -> None:
+    """Create the streams and the trending window (S-Store only)."""
+    for ddl in _STREAMS:
+        engine.execute_ddl(ddl)
+
+
+def seed_contestants(engine: "HStoreEngine", count: int = NUM_CONTESTANTS) -> None:
+    """Load ``count`` candidates and zeroed counters."""
+    if count < 2 or count > len(CONTESTANT_NAMES):
+        raise ValueError(f"contestant count must be in [2, {len(CONTESTANT_NAMES)}]")
+    for number in range(1, count + 1):
+        engine.execute_sql(
+            "INSERT INTO contestants VALUES (?, ?)",
+            number,
+            CONTESTANT_NAMES[number - 1],
+        )
+        engine.execute_sql(
+            "INSERT INTO contestant_votes VALUES (?, 0)", number
+        )
+    engine.execute_sql("INSERT INTO election_stats VALUES (0, 0, 0, 0)")

@@ -1,0 +1,90 @@
+"""The S-Store deployment of Voter with Leaderboard.
+
+Clients *push* raw votes into the ``votes_in`` border stream; PE triggers
+drive SP1 → SP2 → SP3 engine-side in workflow order, the trending window is
+maintained natively by the EE, and the three-procedure pipeline runs
+serially per batch (the sharing analysis detects the shared ``votes`` /
+``contestant_votes`` / ``election_stats`` tables automatically).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.voter import schema
+from repro.apps.voter.observe import ElectionSummary, election_summary, leaderboards
+from repro.apps.voter.procedures import RemoveLowest, UpdateLeaderboard, ValidateVote
+from repro.apps.voter.workload import VoteRequest
+from repro.core.engine import SStoreEngine
+from repro.core.workflow import WorkflowSpec
+
+__all__ = ["VoterSStoreApp"]
+
+
+class VoterSStoreApp:
+    """Deploys and drives the voter workflow on an S-Store engine."""
+
+    def __init__(
+        self,
+        engine: SStoreEngine | None = None,
+        *,
+        num_contestants: int = schema.NUM_CONTESTANTS,
+        batch_size: int = 1,
+        snapshot_interval: int | None = None,
+    ) -> None:
+        self.engine = engine or SStoreEngine(snapshot_interval=snapshot_interval)
+        self.batch_size = batch_size
+        schema.install_tables(self.engine)
+        schema.install_streams(self.engine)
+        self.engine.register_procedure(ValidateVote)
+        self.engine.register_procedure(UpdateLeaderboard)
+        self.engine.register_procedure(RemoveLowest)
+
+        workflow = WorkflowSpec("voter_leaderboard")
+        workflow.add_node(
+            "validate_vote",
+            input_stream="votes_in",
+            batch_size=batch_size,
+            output_streams=("validated_votes",),
+        )
+        workflow.add_node(
+            "update_leaderboard",
+            input_stream="validated_votes",
+            output_streams=("removal_due",),
+        )
+        workflow.add_node("remove_lowest", input_stream="removal_due")
+        self.workflow = self.engine.deploy_workflow(workflow)
+        schema.seed_contestants(self.engine, num_contestants)
+
+    # -- driving ---------------------------------------------------------------
+
+    def submit(
+        self,
+        requests: list[VoteRequest],
+        *,
+        ingest_chunk: int = 1,
+    ) -> None:
+        """Push vote requests into the engine.
+
+        ``ingest_chunk`` is the *client-side* batching: how many raw votes
+        one ``ingest`` call carries (one client↔PE round trip each).  The
+        engine-side TE batch size is fixed at deployment.
+        """
+        for start in range(0, len(requests), ingest_chunk):
+            chunk = requests[start : start + ingest_chunk]
+            self.engine.ingest("votes_in", [request.as_row() for request in chunk])
+        self.engine.run_until_quiescent()
+
+    # -- observation --------------------------------------------------------------
+
+    def summary(self) -> ElectionSummary:
+        return election_summary(self.engine)
+
+    def leaderboards(self) -> dict[str, list[tuple[Any, ...]]]:
+        return leaderboards(self.engine)
+
+    def vote_rows(self) -> list[tuple[Any, ...]]:
+        return self.engine.execute_sql(
+            "SELECT phone_number, contestant_number FROM votes "
+            "ORDER BY phone_number"
+        ).rows

@@ -1,0 +1,116 @@
+"""Seeded vote-traffic generator for the Voter benchmark.
+
+Produces a deterministic arrival-ordered list of vote requests with the
+features the demo scenarios rely on:
+
+* skewed candidate popularity (Zipf-like), so eliminations are meaningful;
+* a configurable fraction of duplicate-phone attempts (invalid re-votes);
+* "rapid-fire pairs": the same phone submitting two different candidates
+  back-to-back — the arrival-order anomaly probe of experiment E2 (only the
+  *first* of the pair is valid);
+* a small fraction of votes for non-existent candidates (validation work).
+
+Phones removed from the Votes table by an elimination may legitimately vote
+again; generating *extra* traffic for them is unnecessary for the paper's
+claims, so the generator does not model it (duplicate attempts already
+exercise the same code path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["VoteRequest", "VoterWorkload"]
+
+
+@dataclass(frozen=True)
+class VoteRequest:
+    """One raw vote submission, in arrival order."""
+
+    phone_number: str
+    contestant_number: int
+    created_ts: int
+    #: True when this request is the invalid second half of a rapid-fire pair
+    is_rapid_second: bool = False
+
+    def as_row(self) -> tuple[str, int, int]:
+        return (self.phone_number, self.contestant_number, self.created_ts)
+
+
+class VoterWorkload:
+    """Deterministic vote-request stream."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 7,
+        num_contestants: int = 25,
+        duplicate_fraction: float = 0.05,
+        invalid_contestant_fraction: float = 0.02,
+        rapid_pair_fraction: float = 0.03,
+        zipf_s: float = 1.1,
+    ) -> None:
+        if not 0 <= duplicate_fraction < 1:
+            raise ValueError("duplicate_fraction must be in [0, 1)")
+        self.seed = seed
+        self.num_contestants = num_contestants
+        self.duplicate_fraction = duplicate_fraction
+        self.invalid_contestant_fraction = invalid_contestant_fraction
+        self.rapid_pair_fraction = rapid_pair_fraction
+        # Zipf-ish popularity weights over candidates 1..N
+        self._weights = [1.0 / (rank**zipf_s) for rank in range(1, num_contestants + 1)]
+
+    def generate(self, num_requests: int) -> list[VoteRequest]:
+        """``num_requests`` arrival-ordered vote submissions."""
+        rng = random.Random(self.seed)
+        requests: list[VoteRequest] = []
+        used_phones: list[str] = []
+        next_phone = 0
+        ts = 0
+        candidates = list(range(1, self.num_contestants + 1))
+
+        while len(requests) < num_requests:
+            ts += 1
+            roll = rng.random()
+
+            if roll < self.duplicate_fraction and used_phones:
+                # a phone that already voted tries again
+                phone = rng.choice(used_phones)
+                contestant = rng.choices(candidates, weights=self._weights)[0]
+                requests.append(VoteRequest(phone, contestant, ts))
+                continue
+
+            if roll < self.duplicate_fraction + self.invalid_contestant_fraction:
+                phone = self._phone(next_phone)
+                next_phone += 1
+                bogus = self.num_contestants + 1 + rng.randrange(100)
+                requests.append(VoteRequest(phone, bogus, ts))
+                continue
+
+            phone = self._phone(next_phone)
+            next_phone += 1
+            contestant = rng.choices(candidates, weights=self._weights)[0]
+            requests.append(VoteRequest(phone, contestant, ts))
+            used_phones.append(phone)
+
+            if (
+                rng.random() < self.rapid_pair_fraction
+                and len(requests) < num_requests
+            ):
+                # rapid-fire second vote from the same phone for a different
+                # candidate — valid systems must reject exactly this one
+                ts += 1
+                other = rng.choices(candidates, weights=self._weights)[0]
+                if other == contestant:
+                    other = (other % self.num_contestants) + 1
+                requests.append(
+                    VoteRequest(phone, other, ts, is_rapid_second=True)
+                )
+
+        return requests[:num_requests]
+
+    @staticmethod
+    def _phone(index: int) -> str:
+        area = 200 + (index // 10000) % 800
+        return f"{area}-555-{index % 10000:04d}"

@@ -1,0 +1,21 @@
+"""``repro.bench`` — shared measurement helpers for the benchmark suites."""
+
+from repro.bench.harness import (
+    AnomalyReport,
+    VoterRunResult,
+    compare_summaries,
+    format_table,
+    run_voter_hstore_interleaved,
+    run_voter_hstore_sequential,
+    run_voter_sstore,
+)
+
+__all__ = [
+    "AnomalyReport",
+    "VoterRunResult",
+    "compare_summaries",
+    "format_table",
+    "run_voter_hstore_interleaved",
+    "run_voter_hstore_sequential",
+    "run_voter_sstore",
+]

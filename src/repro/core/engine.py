@@ -1,0 +1,848 @@
+"""The S-Store engine: streaming OLTP on top of H-Store.
+
+:class:`SStoreEngine` extends :class:`repro.hstore.engine.HStoreEngine` with
+the four constructs the paper adds — streams, windows, triggers, workflows —
+plus the stream-oriented transaction model (batch-defined TEs, ordering
+guarantees, TE scoping) and upstream-backup fault tolerance.
+
+Client-facing flow::
+
+    engine = SStoreEngine()
+    engine.execute_ddl("CREATE STREAM votes_in (...)")
+    engine.execute_ddl("CREATE WINDOW trending ON validated ROWS 100 SLIDE 1 OWNED BY update_leaderboard")
+    engine.register_procedure(ValidateVote)       # border SP
+    engine.register_procedure(UpdateLeaderboard)  # interior SP
+
+    wf = WorkflowSpec("leaderboard")
+    wf.add_node("validate_vote", input_stream="votes_in", batch_size=1,
+                output_streams=("validated",))
+    wf.add_node("update_leaderboard", input_stream="validated")
+    engine.deploy_workflow(wf)
+
+    engine.ingest("votes_in", [(phone, contestant_id), ...])  # push!
+
+``ingest`` is the only client call a pure streaming workload needs: one
+client↔PE round trip delivers a whole batch of tuples, and PE triggers drive
+every downstream transaction engine-side.  The H-Store baseline needs one
+client call *per procedure per tuple* — that difference is the paper's
+throughput result (experiments E3/E4).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.batch import Batch, BatchFactory
+from repro.core.gc import StreamGarbageCollector
+from repro.core.latency import LatencyTracker
+from repro.core.scheduler import StreamScheduler, StreamTask
+from repro.core.scope import WindowScopes
+from repro.core.stream import StreamRegistry
+from repro.core.transaction import TERecord
+from repro.core.triggers import EETrigger
+from repro.core.window import (
+    WindowKind,
+    WindowSpec,
+    WindowState,
+    timestamp_offset_of,
+)
+from repro.core.workflow import WorkflowNode, WorkflowSpec, plan_table_access
+from repro.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    ReproError,
+    StreamingError,
+    TransactionAborted,
+    UnknownObjectError,
+    WorkflowError,
+)
+from repro.hstore.catalog import Schema, TableEntry, TableKind
+from repro.hstore.clock import LogicalClock
+from repro.hstore.cmdlog import LogRecord
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.executor import ResultSet
+from repro.hstore.parser import (
+    CreateStreamStmt,
+    CreateWindowStmt,
+    parse,
+)
+from repro.hstore.planner import Plan
+from repro.hstore.procedure import (
+    ProcedureContext,
+    ProcedureResult,
+    StoredProcedure,
+)
+from repro.hstore.stats import EngineStats
+from repro.hstore.txn import TransactionContext
+
+__all__ = ["SStoreEngine", "StreamContext", "StreamProcedure"]
+
+#: pseudo-procedure names used in the command log for streaming records
+_INGEST_RECORD = "<ingest>"
+_TICK_RECORD = "<tick>"
+
+
+class StreamProcedure(StoredProcedure):
+    """Base class for workflow stored procedures.
+
+    A stream procedure's ``run`` receives no client parameters — its input
+    is the batch, available as ``ctx.batch`` — and it reports results by
+    emitting to output streams and/or writing tables.
+    """
+
+    def run(self, ctx: "StreamContext", *params: Any) -> Any:  # type: ignore[override]
+        raise NotImplementedError
+
+
+class StreamContext(ProcedureContext):
+    """Procedure context with streaming extensions.
+
+    Adds the input ``batch`` and :meth:`emit`, and enforces the S-Store
+    access rules on every statement: window scoping, and no direct DML on
+    stream/window state (streams are written via ``emit``; windows only by
+    the engine's native maintenance).
+    """
+
+    def __init__(
+        self,
+        engine: "SStoreEngine",
+        procedure: StoredProcedure,
+        txn: TransactionContext,
+        partition_id: int,
+        batch: Batch | None = None,
+    ) -> None:
+        super().__init__(engine, procedure, txn, partition_id)
+        self._sstore = engine
+        self._batch = batch
+
+    @property
+    def batch(self) -> Batch:
+        if self._batch is None:
+            raise StreamingError(
+                f"procedure {self.procedure_name!r} was not invoked with an "
+                f"input batch (it is not running as a workflow TE)"
+            )
+        return self._batch
+
+    @property
+    def has_batch(self) -> bool:  # noqa: D401 - see base class
+        return self._batch is not None
+
+    # -- statement execution with S-Store access rules ------------------------
+
+    def execute(self, statement_name: str, *params: Any) -> ResultSet | int:
+        plan = self._procedure.plans.get(statement_name)
+        if plan is not None:
+            self._sstore.check_plan_access(plan, self.procedure_name)
+        return super().execute(statement_name, *params)
+
+    # -- streaming -------------------------------------------------------------
+
+    def emit(self, stream_name: str, rows: list[tuple[Any, ...]]) -> int:
+        """Append tuples to an output stream, inside this transaction.
+
+        The tuples become part of this TE's output batch: when the TE
+        commits, PE triggers hand exactly these tuples to the downstream
+        stored procedure(s).  Costs one PE↔EE round trip for the insert;
+        any windows over the stream are maintained in-EE for free.
+        """
+        if not rows:
+            return 0
+        if self._partition_id != 0:
+            # Stream state lives on partition 0 (the paper demonstrates the
+            # single-sited case); an emit from another partition would write
+            # stream tuples the scheduler never sees.
+            raise StreamingError(
+                f"emit into {stream_name!r} from partition "
+                f"{self._partition_id}; streaming state is single-sited on "
+                f"partition 0 — route emitting procedures there"
+            )
+        self._sstore.authorize_emit(self._procedure, stream_name)
+        self._engine.stats.pe_ee_roundtrips += 1
+        rowids = self._txn.ee.insert_rows(self._txn, stream_name, list(rows))
+        emissions = self._txn.notes.setdefault("emissions", {})
+        record = emissions.setdefault(
+            stream_name.lower(), {"rows": [], "high_rowid": -1}
+        )
+        table = self._txn.ee.table(stream_name)
+        record["rows"].extend(tuple(table.get(rowid)) for rowid in rowids)
+        record["high_rowid"] = max(record["high_rowid"], max(rowids))
+        self._engine.stats.bump("stream_tuples_emitted", len(rowids))
+        return len(rowids)
+
+    def insert_rows(
+        self, table_name: str, rows: list[tuple[Any, ...]] | list[list[Any]]
+    ) -> list[int]:
+        """Bulk insert, with S-Store write protection for stream state."""
+        entry = self._sstore.catalog.table(table_name)
+        if entry.kind is TableKind.STREAM:
+            raise StreamingError(
+                f"direct insert into stream {table_name!r}; use ctx.emit(...)"
+            )
+        if entry.kind is TableKind.WINDOW:
+            raise StreamingError(
+                f"direct insert into window {table_name!r}; windows are "
+                f"maintained natively by the EE"
+            )
+        return super().insert_rows(table_name, rows)
+
+
+class SStoreEngine(HStoreEngine):
+    """H-Store plus native stream processing — the paper's system."""
+
+    def __init__(
+        self,
+        partitions: int = 1,
+        *,
+        log_group_size: int = 1,
+        snapshot_interval: int | None = None,
+        clock: LogicalClock | None = None,
+        stats: EngineStats | None = None,
+        eager: bool = True,
+    ) -> None:
+        super().__init__(
+            partitions,
+            log_group_size=log_group_size,
+            snapshot_interval=snapshot_interval,
+            clock=clock,
+            stats=stats,
+        )
+        self.streams = StreamRegistry()
+        self.windows: dict[str, WindowState] = {}
+        self.scopes = WindowScopes()
+        self.batch_factory = BatchFactory()
+        self.scheduler = StreamScheduler()
+        self.workflows: dict[str, WorkflowSpec] = {}
+        self.gc = StreamGarbageCollector(
+            self.streams, self.partitions[0].ee, self.stats
+        )
+        #: committed-TE history for the schedule validator (E9)
+        self.schedule_history: list[TERecord] = []
+        self._commit_seq = 0
+        #: procedure name → (workflow, node) for deployed workflow members
+        self._node_of: dict[str, tuple[WorkflowSpec, WorkflowNode]] = {}
+        #: border stream → consuming BSP node
+        self._border_consumer: dict[str, tuple[WorkflowSpec, WorkflowNode]] = {}
+        #: border stream → tuples awaiting batch formation
+        self._ingest_buffers: dict[str, list[tuple[Any, ...]]] = {}
+        self._ee_triggers: dict[str, list[EETrigger]] = {}
+        #: run TEs immediately on ingest (False = manual run_until_quiescent)
+        self.eager = eager
+        self._in_drain = False
+        #: batch_id → high rowid of the emitted tuples backing the batch
+        #: (consumer cursor advances to it when the consuming TE finishes)
+        self._batch_high_rowids: dict[int, int] = {}
+        #: wall-clock pipeline latency per origin batch (observational)
+        self.latency = LatencyTracker()
+
+    # ------------------------------------------------------------------
+    # DDL: streams and windows
+    # ------------------------------------------------------------------
+
+    def execute_ddl(self, sql: str) -> None:
+        statement = parse(sql)
+        if isinstance(statement, CreateStreamStmt):
+            entry = TableEntry(
+                name=statement.name,
+                schema=Schema(list(statement.columns)),
+                kind=TableKind.STREAM,
+            )
+            self._install_table(entry)
+            self.streams.add(entry.name)
+            self._ingest_buffers.setdefault(entry.name, [])
+            return
+        if isinstance(statement, CreateWindowStmt):
+            self.create_window(
+                statement.name,
+                statement.stream,
+                kind=statement.kind,
+                size=statement.size,
+                slide=statement.slide,
+                owner=statement.owner,
+            )
+            return
+        super().execute_ddl(sql)
+
+    def create_window(
+        self,
+        name: str,
+        source: str,
+        *,
+        kind: str = "ROWS",
+        size: int,
+        slide: int | None = None,
+        owner: str | None = None,
+    ) -> WindowState:
+        """Define a window over a stream (or over another window).
+
+        The window's backing table shares the source's schema and is
+        maintained natively by the EE: tuple arrival on the source inserts /
+        expires window rows inside the same transaction.
+        """
+        source_entry = self.catalog.table(source)
+        if source_entry.kind is TableKind.TABLE:
+            raise CatalogError(
+                f"windows are defined over streams, not regular tables "
+                f"({source!r} is a TABLE)"
+            )
+        window_kind = WindowKind.TUPLE if kind.upper() == "ROWS" else WindowKind.TIME
+        spec = WindowSpec(
+            name=name.lower(),
+            stream=source_entry.name,
+            kind=window_kind,
+            size=size,
+            slide=slide if slide is not None else size,
+        )
+        entry = TableEntry(
+            name=spec.name,
+            schema=source_entry.schema,
+            kind=TableKind.WINDOW,
+        )
+        self._install_table(entry)
+
+        ts_offset = timestamp_offset_of(
+            [(col.name, col.sql_type) for col in source_entry.schema]
+        )
+        state = WindowState(
+            spec,
+            self.partitions[0].ee,
+            self.stats,
+            timestamp_offset=ts_offset,
+        )
+        self.windows[spec.name] = state
+
+        def _maintain(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
+            table = self.partitions[0].ee.table(table_name)
+            rows = [table.get(rowid) for rowid in rowids]
+            state.on_stream_insert(txn, rows, self.clock.now)
+
+        self.partitions[0].ee.add_insert_hook(spec.stream, _maintain)
+        if owner is not None:
+            self.scopes.assign(spec.name, owner)
+        return state
+
+    def assign_window_owner(self, window_name: str, procedure_name: str) -> None:
+        """Scope a window to its owning stored procedure (paper's TE scope)."""
+        if window_name.lower() not in self.windows:
+            raise UnknownObjectError(f"no window named {window_name!r}")
+        self.scopes.assign(window_name, procedure_name)
+
+    # ------------------------------------------------------------------
+    # EE triggers (SQL-level)
+    # ------------------------------------------------------------------
+
+    def create_ee_trigger(
+        self,
+        name: str,
+        on_stream: str,
+        sql: str,
+        param_columns: list[str] | tuple[str, ...] = (),
+    ) -> EETrigger:
+        """Attach a SQL statement that fires in-EE per tuple inserted into
+        ``on_stream``, with ``param_columns`` of the new tuple bound to the
+        statement's ``?`` parameters."""
+        source_entry = self.catalog.table(on_stream)
+        if source_entry.kind is TableKind.TABLE:
+            raise CatalogError(
+                "EE triggers attach to streams/windows, not regular tables"
+            )
+        plan = self.planner.plan(parse(sql))
+        offsets = tuple(
+            source_entry.schema.offset_of(column) for column in param_columns
+        )
+        trigger = EETrigger(
+            name=name.lower(),
+            on_table=source_entry.name,
+            plan=plan,
+            param_offsets=offsets,
+            sql=sql,
+        )
+        self._ee_triggers.setdefault(source_entry.name, []).append(trigger)
+
+        def _fire(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
+            table = self.partitions[0].ee.table(table_name)
+            rows = [table.get(rowid) for rowid in rowids]
+            trigger.fire(self.partitions[0].ee, self.stats, txn, rows)
+
+        self.partitions[0].ee.add_insert_hook(source_entry.name, _fire)
+        return trigger
+
+    # ------------------------------------------------------------------
+    # Workflow deployment
+    # ------------------------------------------------------------------
+
+    def deploy_workflow(self, spec: WorkflowSpec) -> WorkflowSpec:
+        if spec.name in self.workflows:
+            raise WorkflowError(f"workflow {spec.name!r} already deployed")
+        spec.finalize(self.catalog, self.procedures)
+
+        for node in spec.nodes.values():
+            if not self.streams.has(node.input_stream):
+                raise WorkflowError(
+                    f"workflow {spec.name!r}: input stream "
+                    f"{node.input_stream!r} does not exist"
+                )
+            for stream in node.output_streams:
+                if not self.streams.has(stream):
+                    raise WorkflowError(
+                        f"workflow {spec.name!r}: output stream {stream!r} "
+                        f"does not exist"
+                    )
+            if node.procedure_name in self._node_of:
+                raise WorkflowError(
+                    f"procedure {node.procedure_name!r} already belongs to a "
+                    f"deployed workflow"
+                )
+
+        for node in spec.nodes.values():
+            self._node_of[node.procedure_name] = (spec, node)
+            self.streams.get(node.input_stream).add_consumer(node.procedure_name)
+            for stream in node.output_streams:
+                self.streams.set_producer(stream, node.procedure_name)
+
+        for name in spec.border_procedures:
+            node = spec.nodes[name]
+            existing = self._border_consumer.get(node.input_stream)
+            if existing is not None:
+                raise WorkflowError(
+                    f"border stream {node.input_stream!r} already feeds "
+                    f"{existing[1].procedure_name!r}; one BSP per border stream"
+                )
+            self._border_consumer[node.input_stream] = (spec, node)
+            self._ingest_buffers.setdefault(node.input_stream, [])
+
+        self.workflows[spec.name] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # Ingestion (the push-based client path)
+    # ------------------------------------------------------------------
+
+    def ingest(self, stream_name: str, rows: list[tuple[Any, ...]]) -> int:
+        """Push tuples into a border stream: ONE client↔PE round trip.
+
+        Tuples are made durable (upstream backup: the command log records the
+        raw input), buffered, cut into batches of the consuming BSP's batch
+        size, and — in eager mode — processed to quiescence before returning.
+        Returns the number of tuples accepted.
+        """
+        self._require_alive()
+        stream_name = stream_name.lower()
+        if not self.streams.has(stream_name):
+            raise UnknownObjectError(f"no stream named {stream_name!r}")
+        if self.streams.get(stream_name).producer is not None:
+            raise StreamingError(
+                f"stream {stream_name!r} is produced by a workflow procedure; "
+                f"clients cannot ingest into interior streams"
+            )
+        if not rows:
+            return 0
+        rows = [tuple(row) for row in rows]
+
+        if not self._replaying:
+            self.stats.client_pe_roundtrips += 1
+            self.command_log.append(
+                txn_id=self._next_txn_id,
+                procedure=_INGEST_RECORD,
+                params=(stream_name, tuple(rows)),
+                partition=0,
+                logical_time=self.clock.now,
+                meta={"kind": "ingest"},
+            )
+            self._next_txn_id += 1
+
+        self.stats.stream_tuples_ingested += len(rows)
+        self._buffer_and_cut(stream_name, rows)
+        if self.eager:
+            self.run_until_quiescent()
+        if not self._replaying:
+            # counted after the work so an auto-snapshot covers this ingest
+            self._note_logged_command()
+        return len(rows)
+
+    def _buffer_and_cut(self, stream_name: str, rows: list[tuple[Any, ...]]) -> None:
+        buffer = self._ingest_buffers.setdefault(stream_name, [])
+        buffer.extend(rows)
+        consumer = self._border_consumer.get(stream_name)
+        if consumer is None:
+            return  # no workflow deployed yet; tuples wait in the buffer
+        spec, node = consumer
+        while len(buffer) >= node.batch_size:
+            batch_rows = buffer[: node.batch_size]
+            del buffer[: node.batch_size]
+            batch = self.batch_factory.origin_batch(stream_name, batch_rows)
+            self.latency.record_enqueue(batch.origin_batch_id)
+            self.scheduler.enqueue(
+                StreamTask(
+                    procedure_name=node.procedure_name,
+                    batch=batch,
+                    depth=node.depth,
+                    workflow_name=spec.name,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # The scheduler loop
+    # ------------------------------------------------------------------
+
+    def run_until_quiescent(self) -> int:
+        """Process pending TEs (in the S-Store serializable order) until none
+        remain, then garbage-collect streams.  Returns TEs executed."""
+        if self._in_drain:
+            return 0
+        self._in_drain = True
+        executed = 0
+        try:
+            while self.scheduler.has_pending:
+                task = self.scheduler.pop_next()
+                self._execute_stream_te(task)
+                executed += 1
+        finally:
+            self._in_drain = False
+        if executed:
+            self._collect_garbage()
+        return executed
+
+    def _collect_garbage(self) -> None:
+        partition = self.partitions[0]
+        txn = TransactionContext(self._next_txn_id, partition.ee, "<gc>")
+        self._next_txn_id += 1
+        self.gc.collect(txn)
+        txn.commit()
+        self.stats.bump("gc_passes")
+
+    def workflow_status(self) -> dict[str, Any]:
+        """Operational snapshot of the streaming layer.
+
+        Pending TEs, per-stream buffered tuples and consumer cursors, live
+        stream/window tuple counts, and pipeline latency so far — what an
+        operator dashboard for the engine would poll.
+        """
+        streams = {}
+        for info in self.streams.all():
+            streams[info.name] = {
+                "live_tuples": self.partitions[0].ee.table(info.name).row_count(),
+                "buffered": len(self._ingest_buffers.get(info.name, [])),
+                "producer": info.producer,
+                "cursors": dict(info.cursors),
+            }
+        windows = {
+            name: {
+                "live_tuples": self.partitions[0].ee.table(name).row_count(),
+                "staged": state.staged_count,
+                "spec": (
+                    state.spec.kind.value,
+                    state.spec.size,
+                    state.spec.slide,
+                ),
+                "owner": self.scopes.windows().get(name),
+            }
+            for name, state in self.windows.items()
+        }
+        return {
+            "pending_tes": self.scheduler.pending_count,
+            "committed_tes": len(self.schedule_history),
+            "workflows": {
+                name: {
+                    "border": spec.border_procedures,
+                    "interior": spec.interior_procedures,
+                    "serial_required": spec.serial_required,
+                }
+                for name, spec in self.workflows.items()
+            },
+            "streams": streams,
+            "windows": windows,
+            "latency": self.latency.summary(),
+        }
+
+    # ------------------------------------------------------------------
+    # Stream TE execution
+    # ------------------------------------------------------------------
+
+    def _execute_stream_te(self, task: StreamTask) -> None:
+        procedure = self.procedure(task.procedure_name)
+        partition = self.partitions[0]
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        txn = TransactionContext(txn_id, partition.ee, procedure.name)
+        ctx = StreamContext(self, procedure, txn, 0, batch=task.batch)
+
+        window_backup = {
+            name: state.dump_state() for name, state in self.windows.items()
+        }
+        spec, node = self._node_of[task.procedure_name]
+        is_border = task.depth == 0 and node.input_stream == task.batch.stream
+
+        input_high = -1
+        partition.acquire()
+        try:
+            if is_border:
+                # The batch enters stream state transactionally at TE start;
+                # EE hooks (windows, SQL triggers) fire inside this txn.
+                self.stats.pe_ee_roundtrips += 1
+                rowids = partition.ee.insert_rows(
+                    txn, node.input_stream, list(task.batch.rows)
+                )
+                input_high = max(rowids)
+            procedure.run(ctx)
+        except (TransactionAborted, ConstraintViolationError) as exc:
+            txn.abort()
+            self._restore_windows(window_backup)
+            self.stats.txns_aborted += 1
+            self.stats.bump("stream_te_aborts")
+            # The batch is consumed even on abort (it will never be retried),
+            # so the cursor still advances and GC can reclaim the tuples.
+            self._advance_input_cursor(task, node, input_high)
+            return
+        except ReproError:
+            txn.abort()
+            self._restore_windows(window_backup)
+            self.stats.txns_aborted += 1
+            raise
+        finally:
+            partition.release()
+
+        txn.commit()
+        self.stats.txns_committed += 1
+        self.latency.record_commit(task.batch.origin_batch_id)
+        self._advance_input_cursor(task, node, input_high)
+        self.schedule_history.append(
+            TERecord(
+                seq=self._commit_seq,
+                procedure=procedure.name,
+                origin_batch_id=task.batch.origin_batch_id,
+                depth=task.depth,
+                workflow=task.workflow_name,
+            )
+        )
+        self._commit_seq += 1
+        self._dispatch_emissions(txn, origin=task.batch)
+
+    def _advance_input_cursor(
+        self, task: StreamTask, node: WorkflowNode, border_high: int
+    ) -> None:
+        """Mark the TE's input batch consumed so GC can reclaim the tuples.
+
+        Border TEs know the rowids they inserted themselves; interior TEs
+        consume the rowids the upstream emission recorded for their batch.
+        """
+        info = self.streams.get(node.input_stream)
+        if border_high >= 0:
+            info.advance_cursor(node.procedure_name, border_high)
+            return
+        recorded = self._batch_high_rowids.pop(task.batch.batch_id, None)
+        if recorded is not None:
+            info.advance_cursor(node.procedure_name, recorded)
+
+    def _restore_windows(self, backup: dict[str, dict[str, Any]]) -> None:
+        for name, state in backup.items():
+            self.windows[name].load_state(state)
+
+    # ------------------------------------------------------------------
+    # PE triggers: commit-time dispatch of emitted batches
+    # ------------------------------------------------------------------
+
+    def _dispatch_emissions(
+        self, txn: TransactionContext, origin: Batch | None
+    ) -> None:
+        emissions: dict[str, dict[str, Any]] = txn.notes.get("emissions", {})
+        for stream_name, record in emissions.items():
+            rows = record["rows"]
+            if not rows:
+                continue
+            for spec, node in self._consumers_of(stream_name):
+                if origin is not None:
+                    batch = self.batch_factory.derived_batch(
+                        origin, stream_name, rows
+                    )
+                else:
+                    batch = self.batch_factory.origin_batch(stream_name, rows)
+                self._batch_high_rowids[batch.batch_id] = record["high_rowid"]
+                self.stats.pe_trigger_firings += 1
+                self.scheduler.enqueue(
+                    StreamTask(
+                        procedure_name=node.procedure_name,
+                        batch=batch,
+                        depth=node.depth,
+                        workflow_name=spec.name,
+                    )
+                )
+
+    def _consumers_of(self, stream_name: str) -> list[tuple[WorkflowSpec, WorkflowNode]]:
+        result: list[tuple[WorkflowSpec, WorkflowNode]] = []
+        for spec in self.workflows.values():
+            for node in spec.consumers_of_stream(stream_name):
+                result.append((spec, node))
+        return result
+
+    # ------------------------------------------------------------------
+    # Emission / access authorization
+    # ------------------------------------------------------------------
+
+    def authorize_emit(self, procedure: StoredProcedure, stream_name: str) -> None:
+        stream_name = stream_name.lower()
+        if not self.streams.has(stream_name):
+            raise UnknownObjectError(f"no stream named {stream_name!r}")
+        info = self.streams.get(stream_name)
+        membership = self._node_of.get(procedure.name)
+        if membership is not None:
+            _spec, node = membership
+            if stream_name not in node.output_streams:
+                raise StreamingError(
+                    f"procedure {procedure.name!r} did not declare "
+                    f"{stream_name!r} as an output stream"
+                )
+            return
+        # Non-workflow (OLTP) procedures may emit into client-style border
+        # streams only — they act as in-engine data sources.
+        if info.producer is not None:
+            raise StreamingError(
+                f"stream {stream_name!r} is produced by "
+                f"{info.producer!r}; {procedure.name!r} cannot emit into it"
+            )
+
+    def check_plan_access(self, plan: Plan, procedure_name: str | None) -> None:
+        """Enforce window scoping and stream/window write protection."""
+        reads, writes = plan_table_access(plan)
+        self.scopes.check_access(reads | writes, procedure_name)
+        for table_name in writes:
+            if not self.catalog.has_table(table_name):
+                continue
+            kind = self.catalog.table(table_name).kind
+            if kind is TableKind.STREAM:
+                raise StreamingError(
+                    f"direct DML on stream {table_name!r}; streams are "
+                    f"written with ctx.emit(...) so the engine can batch and "
+                    f"trigger downstream work"
+                )
+            if kind is TableKind.WINDOW:
+                raise StreamingError(
+                    f"direct DML on window {table_name!r}; window contents "
+                    f"are maintained natively by the EE"
+                )
+
+    def _check_adhoc_plan(self, plan: Any) -> None:
+        self.check_plan_access(plan, None)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def advance_time(self, ticks: int = 1) -> int:
+        """Advance the logical clock; time-based windows slide accordingly.
+
+        Durable: a tick record lands in the command log so recovery replays
+        the same timeline.
+        """
+        self._require_alive()
+        now = self.clock.advance(ticks)
+        if not self._replaying:
+            self.command_log.append(
+                txn_id=self._next_txn_id,
+                procedure=_TICK_RECORD,
+                params=(ticks,),
+                partition=0,
+                logical_time=now,
+                meta={"kind": "tick"},
+            )
+            self._next_txn_id += 1
+        self._slide_time_windows()
+        if not self._replaying:
+            self._note_logged_command()
+        return now
+
+    def _slide_time_windows(self) -> None:
+        time_windows = [
+            state
+            for state in self.windows.values()
+            if state.spec.kind is WindowKind.TIME
+        ]
+        if not time_windows:
+            return
+        partition = self.partitions[0]
+        txn = TransactionContext(self._next_txn_id, partition.ee, "<tick>")
+        self._next_txn_id += 1
+        for state in time_windows:
+            state.advance_time(txn, self.clock.now)
+        txn.commit()
+
+    # ------------------------------------------------------------------
+    # OLTP entry points (drain stream work around them)
+    # ------------------------------------------------------------------
+
+    def call_procedure(self, name: str, *params: Any) -> ProcedureResult:
+        self.run_until_quiescent()
+        result = super().call_procedure(name, *params)
+        self.run_until_quiescent()
+        return result
+
+    def _make_context(
+        self,
+        procedure: StoredProcedure,
+        txn: TransactionContext,
+        partition_id: int,
+    ) -> ProcedureContext:
+        return StreamContext(self, procedure, txn, partition_id, batch=None)
+
+    def _after_commit(
+        self,
+        procedure: StoredProcedure,
+        ctx: ProcedureContext,
+        txn: TransactionContext,
+        params: tuple[Any, ...],
+        result: ProcedureResult,
+    ) -> None:
+        # An OLTP procedure that emitted into a border stream starts a fresh
+        # pipeline instance (its own origin batch).
+        self._dispatch_emissions(txn, origin=None)
+
+    # ------------------------------------------------------------------
+    # Durability: snapshots + upstream-backup replay
+    # ------------------------------------------------------------------
+
+    def take_snapshot(self):
+        self.run_until_quiescent()
+        return super().take_snapshot()
+
+    def _snapshot_extra(self) -> dict[str, Any]:
+        return {
+            "streams": self.streams.dump_state(),
+            "windows": {
+                name: state.dump_state() for name, state in self.windows.items()
+            },
+            "batch_factory": self.batch_factory.dump_state(),
+            "ingest_buffers": {
+                name: [list(row) for row in rows]
+                for name, rows in self._ingest_buffers.items()
+            },
+        }
+
+    def _restore_extra(self, extra: dict[str, Any]) -> None:
+        self.scheduler.clear()
+        self._batch_high_rowids.clear()
+        self.streams.load_state(extra.get("streams", {}))
+        window_states = extra.get("windows", {})
+        for name, state in self.windows.items():
+            if name in window_states:
+                state.load_state(window_states[name])
+            else:
+                state.reset()
+        self.batch_factory.load_state(extra.get("batch_factory", {}))
+        buffers = extra.get("ingest_buffers", {})
+        for name in self._ingest_buffers:
+            restored = buffers.get(name, [])
+            self._ingest_buffers[name] = [tuple(row) for row in restored]
+
+    def _replay_invocation(self, record: LogRecord) -> None:
+        if record.procedure == _INGEST_RECORD:
+            stream_name, rows = record.params
+            self.stats.stream_tuples_ingested += len(rows)
+            self._buffer_and_cut(stream_name, [tuple(row) for row in rows])
+            self.run_until_quiescent()
+            return
+        if record.procedure == _TICK_RECORD:
+            # clock was already advanced to record.logical_time by recover()
+            self._slide_time_windows()
+            return
+        super()._replay_invocation(record)
+        self.run_until_quiescent()

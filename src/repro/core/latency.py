@@ -1,0 +1,89 @@
+"""Pipeline latency tracking.
+
+Streaming systems are judged on end-to-end latency as much as throughput.
+The tracker records, per *origin batch* (one pipeline instance), the wall
+time from batch formation (the scheduler accepted it) to the commit of its
+last transaction execution — i.e., queueing delay plus every TE in the
+pipeline.
+
+Latencies are observational only: they are not part of durable state and do
+not participate in recovery (wall time is inherently non-replayable).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["LatencySummary", "LatencyTracker"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution of completed pipeline latencies, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0,
+                              max_ms=0.0)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+class LatencyTracker:
+    """Enqueue→last-commit latency per origin batch."""
+
+    def __init__(self, clock: "callable[[], float]" = time.perf_counter) -> None:
+        self._clock = clock
+        self._enqueued_at: dict[int, float] = {}
+        self._latest_commit: dict[int, float] = {}
+
+    def record_enqueue(self, origin_batch_id: int) -> None:
+        """Called when a BSP batch is cut; first call per origin wins."""
+        self._enqueued_at.setdefault(origin_batch_id, self._clock())
+
+    def record_commit(self, origin_batch_id: int) -> None:
+        """Called at each TE commit; the last one defines completion."""
+        if origin_batch_id in self._enqueued_at:
+            self._latest_commit[origin_batch_id] = self._clock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._latest_commit)
+
+    def latencies_ms(self) -> list[float]:
+        return [
+            (self._latest_commit[origin] - self._enqueued_at[origin]) * 1000.0
+            for origin in self._latest_commit
+        ]
+
+    def summary(self) -> LatencySummary:
+        values = sorted(self.latencies_ms())
+        if not values:
+            return LatencySummary.empty()
+        return LatencySummary(
+            count=len(values),
+            mean_ms=sum(values) / len(values),
+            p50_ms=_percentile(values, 0.50),
+            p95_ms=_percentile(values, 0.95),
+            max_ms=values[-1],
+        )
+
+    def reset(self) -> None:
+        self._enqueued_at.clear()
+        self._latest_commit.clear()

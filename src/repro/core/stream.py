@@ -1,0 +1,123 @@
+"""Streams: continuously flowing state with hidden, garbage-collected storage.
+
+Per the paper's *Uniform State Management* (§2), stream state is held in
+ordinary H-Store in-memory tables — making access "both efficient and
+transactionally safe" — but differs from regular tables in lifespan: a
+stream tuple only lives until every registered consumer has read past it,
+at which point the automatic garbage collector removes it.
+
+A :class:`StreamInfo` tracks, per stream:
+
+* the backing table name (same name, ``TableKind.STREAM`` in the catalog);
+* the registered consumers (downstream stored procedures and windows), each
+  with a *cursor*: the highest rowid it has fully consumed;
+* which workflow procedure produces into it (at most one producer).
+
+Garbage collection (see :mod:`repro.core.gc`) deletes every row whose rowid
+is <= the minimum cursor across consumers.  A stream with no consumers keeps
+nothing (its tuples are collectible immediately after the producing
+transaction commits) — matching the intuition that unobserved stream state
+is pure exhaust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DuplicateObjectError, StreamingError, UnknownObjectError
+
+__all__ = ["StreamInfo", "StreamRegistry"]
+
+
+@dataclass
+class StreamInfo:
+    """Streaming metadata for one stream table."""
+
+    name: str
+    #: consumer name → highest rowid consumed (-1 = nothing yet)
+    cursors: dict[str, int] = field(default_factory=dict)
+    #: workflow procedure that emits into this stream (None = client-ingested)
+    producer: str | None = None
+
+    def add_consumer(self, consumer: str) -> None:
+        if consumer in self.cursors:
+            raise DuplicateObjectError(
+                f"consumer {consumer!r} already registered on stream {self.name!r}"
+            )
+        self.cursors[consumer] = -1
+
+    def advance_cursor(self, consumer: str, rowid: int) -> None:
+        """Mark everything up to ``rowid`` (inclusive) consumed by ``consumer``."""
+        try:
+            current = self.cursors[consumer]
+        except KeyError:
+            raise UnknownObjectError(
+                f"stream {self.name!r} has no consumer {consumer!r}"
+            ) from None
+        if rowid > current:
+            self.cursors[consumer] = rowid
+
+    def collectible_watermark(self) -> int | None:
+        """Highest rowid safe to garbage-collect (inclusive).
+
+        ``None`` means "everything" (no consumers registered).
+        """
+        if not self.cursors:
+            return None
+        return min(self.cursors.values())
+
+
+class StreamRegistry:
+    """All streams of one S-Store engine."""
+
+    def __init__(self) -> None:
+        self._streams: dict[str, StreamInfo] = {}
+
+    def add(self, name: str) -> StreamInfo:
+        name = name.lower()
+        if name in self._streams:
+            raise DuplicateObjectError(f"stream {name!r} already registered")
+        info = StreamInfo(name)
+        self._streams[name] = info
+        return info
+
+    def get(self, name: str) -> StreamInfo:
+        try:
+            return self._streams[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(f"no stream named {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._streams
+
+    def all(self) -> list[StreamInfo]:
+        return list(self._streams.values())
+
+    def set_producer(self, stream_name: str, procedure_name: str) -> None:
+        info = self.get(stream_name)
+        if info.producer is not None and info.producer != procedure_name:
+            raise StreamingError(
+                f"stream {stream_name!r} already has producer "
+                f"{info.producer!r}; a stream has at most one producer"
+            )
+        info.producer = procedure_name
+
+    # -- snapshot support -----------------------------------------------------
+
+    def dump_state(self) -> dict[str, Any]:
+        return {
+            name: {"cursors": dict(info.cursors), "producer": info.producer}
+            for name, info in self._streams.items()
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        for name, payload in state.items():
+            info = self._streams.get(name)
+            if info is None:
+                continue  # stream created after the snapshot; replay rebuilds
+            info.cursors = {
+                consumer: int(rowid)
+                for consumer, rowid in payload.get("cursors", {}).items()
+            }
+            info.producer = payload.get("producer")

@@ -1,0 +1,92 @@
+"""Triggers: data-driven processing at both engine layers.
+
+The paper defines two trigger levels matching H-Store's two-layer engine:
+
+**EE triggers** (query level)
+    Attached to a stream or window; fire *inside the same transaction* when
+    new tuples are inserted, enabling "continuous processing within a given
+    transaction execution" with no PE↔EE round trip.  An EE trigger here is
+    a pre-planned SQL statement executed once per newly inserted tuple, its
+    parameters bound from the tuple's columns.  (Native window maintenance
+    is a built-in EE trigger implemented in :mod:`repro.core.window`.)
+
+**PE triggers** (stored-procedure level)
+    Attached to a stream; fire *on commit* of the producing transaction
+    execution and enqueue the downstream stored procedure with the emitted
+    batch — "continuous processing across multiple transaction executions
+    that are part of a common workflow".  PE triggers are what remove the
+    client from the loop: downstream procedures are invoked engine-side
+    instead of via client polling.  They are represented by workflow edges
+    (:mod:`repro.core.workflow`) and fired by the streaming engine's
+    post-commit hook.
+
+S-Store triggers are *control* triggers, not generic SQL data triggers: they
+react to the arrival of data from a well-defined source, and they only exist
+on stream/window state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import StreamingError
+from repro.hstore.planner import Plan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hstore.executor import ExecutionEngine
+    from repro.hstore.stats import EngineStats
+    from repro.hstore.txn import TransactionContext
+
+__all__ = ["EETrigger", "PETrigger"]
+
+
+@dataclass
+class EETrigger:
+    """A SQL statement fired in-EE for each tuple inserted into a stream.
+
+    ``param_offsets`` selects which columns of the new tuple bind to the
+    statement's ``?`` parameters, in order.
+    """
+
+    name: str
+    on_table: str
+    plan: Plan
+    param_offsets: tuple[int, ...]
+    sql: str
+
+    def fire(
+        self,
+        ee: "ExecutionEngine",
+        stats: "EngineStats",
+        txn: "TransactionContext",
+        rows: list[tuple[Any, ...]],
+    ) -> None:
+        """Execute the trigger statement once per new tuple, in-transaction.
+
+        Counts EE trigger firings but **no** PE↔EE round trips: the whole
+        point of EE triggers is that the crossing never happens.
+        """
+        for row in rows:
+            params = tuple(row[offset] for offset in self.param_offsets)
+            stats.ee_trigger_firings += 1
+            ee.execute(self.plan, params, txn)
+            # ee.execute counted an ee_statement; undo the implicit
+            # assumption that every statement is PE-issued is unnecessary —
+            # pe_ee_roundtrips is only incremented by the PE layer.
+
+
+@dataclass(frozen=True)
+class PETrigger:
+    """A workflow edge: commit of ``producer`` batches ``stream`` tuples
+    emitted by that TE into an input batch for ``consumer``."""
+
+    stream: str
+    producer: str | None  # None = client-ingested border stream
+    consumer: str
+    #: topological depth of the consumer in its workflow (scheduling key)
+    consumer_depth: int
+
+    def __post_init__(self) -> None:
+        if self.consumer_depth < 0:
+            raise StreamingError("consumer depth cannot be negative")

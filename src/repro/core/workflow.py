@@ -1,0 +1,323 @@
+"""Workflows: DAGs of stored procedures connected by streams.
+
+A workflow (paper §2) is a pipeline of dependent stored procedures: each
+node consumes an input stream and may emit to output streams that feed
+downstream nodes.  The node whose input stream is fed by clients is a
+*border stored procedure* (BSP); every other node is an *interior stored
+procedure* (ISP).  BSP transaction executions are defined by user-specified
+batch sizes; ISP executions by the output batches of their upstream TE.
+
+The workflow also determines the correctness regime:
+
+* TEs of the same procedure must run in natural (batch) order;
+* for one input batch, upstream TEs must precede downstream TEs
+  (a serializable schedule);
+* if two procedures in the workflow access a *shared writable table* —
+  a regular TABLE written by at least one of them and accessed by another —
+  the paper requires serial, contiguous execution of the workflow's
+  procedures per batch.  :meth:`WorkflowSpec.analyze_sharing` detects this
+  automatically from the procedures' pre-planned statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import WorkflowError
+from repro.hstore.catalog import Catalog, TableKind
+from repro.hstore.planner import (
+    DeletePlan,
+    InsertPlan,
+    Plan,
+    SelectPlan,
+    UpdatePlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hstore.procedure import StoredProcedure
+
+__all__ = ["WorkflowNode", "WorkflowSpec", "plan_table_access"]
+
+
+def _subquery_reads(plan: Plan) -> set[str]:
+    """Tables read by planned subqueries embedded in the plan's expressions."""
+    from repro.hstore.expression import (
+        Expression,
+        PlannedExists,
+        PlannedInSubquery,
+        walk,
+    )
+
+    expressions: list[Expression] = []
+    if isinstance(plan, SelectPlan):
+        if plan.where is not None:
+            expressions.append(plan.where)
+        for step in plan.joins:
+            if step.on is not None:
+                expressions.append(step.on)
+        expressions.extend(plan.post_exprs)
+        if plan.post_having is not None:
+            expressions.append(plan.post_having)
+    elif isinstance(plan, (UpdatePlan, DeletePlan)):
+        if plan.where is not None:
+            expressions.append(plan.where)
+        if isinstance(plan, UpdatePlan):
+            expressions.extend(expr for _offset, expr in plan.assignments)
+
+    reads: set[str] = set()
+    for expression in expressions:
+        for node in walk(expression):
+            if isinstance(node, (PlannedInSubquery, PlannedExists)):
+                inner_reads, _writes = plan_table_access(node.plan)
+                reads |= inner_reads
+    return reads
+
+
+def plan_table_access(plan: Plan) -> tuple[set[str], set[str]]:
+    """(read set, write set) of table names one plan touches.
+
+    Includes tables read by uncorrelated subqueries in WHERE/HAVING/SET
+    clauses, so the workflow sharing analysis cannot be blinded by them.
+    """
+    reads: set[str] = set()
+    writes: set[str] = set()
+    if isinstance(plan, SelectPlan):
+        reads.add(plan.access.table)
+        for step in plan.joins:
+            reads.add(step.access.table)
+    elif isinstance(plan, InsertPlan):
+        writes.add(plan.table)
+        if plan.select is not None:
+            inner_reads, _ = plan_table_access(plan.select)
+            reads |= inner_reads
+    elif isinstance(plan, (UpdatePlan, DeletePlan)):
+        writes.add(plan.table)
+        reads.add(plan.table)
+    reads |= _subquery_reads(plan)
+    return reads, writes
+
+
+@dataclass
+class WorkflowNode:
+    """One stored procedure in a workflow."""
+
+    procedure_name: str
+    input_stream: str
+    #: BSP only: how many input tuples form one transaction execution
+    batch_size: int = 1
+    #: streams this node emits to (declared; ``emit`` enforces membership)
+    output_streams: tuple[str, ...] = ()
+    #: filled by ``finalize``: distance from the border (BSP = 0)
+    depth: int = 0
+
+    def __post_init__(self) -> None:
+        self.procedure_name = self.procedure_name.lower()
+        self.input_stream = self.input_stream.lower()
+        self.output_streams = tuple(s.lower() for s in self.output_streams)
+        if self.batch_size < 1:
+            raise WorkflowError(
+                f"node {self.procedure_name!r}: batch size must be >= 1"
+            )
+
+
+class WorkflowSpec:
+    """A validated workflow definition.
+
+    Build with :meth:`add_node`, then the streaming engine finalizes it at
+    deployment (:meth:`finalize`), which classifies border vs. interior
+    procedures, computes depths, rejects cycles and fan-in, and analyzes
+    table sharing.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name.lower()
+        self.nodes: dict[str, WorkflowNode] = {}
+        #: procedures whose input stream has no producer inside the workflow
+        self.border_procedures: list[str] = []
+        self.interior_procedures: list[str] = []
+        #: regular tables accessed by >= 2 nodes with >= 1 write
+        self.shared_writable_tables: set[str] = set()
+        self._finalized = False
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(
+        self,
+        procedure_name: str,
+        *,
+        input_stream: str,
+        batch_size: int = 1,
+        output_streams: tuple[str, ...] | list[str] = (),
+    ) -> WorkflowNode:
+        if self._finalized:
+            raise WorkflowError(f"workflow {self.name!r} is already deployed")
+        node = WorkflowNode(
+            procedure_name=procedure_name,
+            input_stream=input_stream,
+            batch_size=batch_size,
+            output_streams=tuple(output_streams),
+        )
+        if node.procedure_name in self.nodes:
+            raise WorkflowError(
+                f"procedure {node.procedure_name!r} appears twice in "
+                f"workflow {self.name!r}"
+            )
+        self.nodes[node.procedure_name] = node
+        return node
+
+    # -- finalization ------------------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def finalize(
+        self,
+        catalog: Catalog,
+        procedures: dict[str, "StoredProcedure"],
+    ) -> None:
+        """Validate the DAG and compute scheduling metadata."""
+        if self._finalized:
+            raise WorkflowError(f"workflow {self.name!r} already finalized")
+        if not self.nodes:
+            raise WorkflowError(f"workflow {self.name!r} has no procedures")
+
+        producers: dict[str, str] = {}
+        for node in self.nodes.values():
+            for stream in node.output_streams:
+                if stream in producers:
+                    raise WorkflowError(
+                        f"stream {stream!r} has two producers "
+                        f"({producers[stream]!r} and {node.procedure_name!r})"
+                    )
+                producers[stream] = node.procedure_name
+
+        consumers_of: dict[str, list[str]] = {}
+        for node in self.nodes.values():
+            consumers_of.setdefault(node.input_stream, []).append(
+                node.procedure_name
+            )
+
+        # fan-in check: one input stream per node is structural; two nodes
+        # may share an input stream (fan-out of the stream), which is fine.
+        for node in self.nodes.values():
+            if node.input_stream in node.output_streams:
+                raise WorkflowError(
+                    f"node {node.procedure_name!r} reads and writes the same "
+                    f"stream {node.input_stream!r}"
+                )
+
+        # classify border vs. interior
+        self.border_procedures = sorted(
+            node.procedure_name
+            for node in self.nodes.values()
+            if node.input_stream not in producers
+        )
+        self.interior_procedures = sorted(
+            node.procedure_name
+            for node in self.nodes.values()
+            if node.input_stream in producers
+        )
+        if not self.border_procedures:
+            raise WorkflowError(
+                f"workflow {self.name!r} has no border procedure — it must "
+                f"contain a cycle"
+            )
+
+        # depths via BFS from the border; also detects cycles
+        depth_of: dict[str, int] = {name: 0 for name in self.border_procedures}
+        frontier = list(self.border_procedures)
+        visited = set(frontier)
+        while frontier:
+            next_frontier: list[str] = []
+            for name in frontier:
+                node = self.nodes[name]
+                for stream in node.output_streams:
+                    for consumer in consumers_of.get(stream, ()):  # fan-out ok
+                        candidate_depth = depth_of[name] + 1
+                        if candidate_depth > len(self.nodes):
+                            raise WorkflowError(
+                                f"workflow {self.name!r} contains a cycle"
+                            )
+                        if candidate_depth > depth_of.get(consumer, -1):
+                            depth_of[consumer] = candidate_depth
+                            next_frontier.append(consumer)
+                        visited.add(consumer)
+            frontier = next_frontier
+
+        unreachable = set(self.nodes) - visited
+        if unreachable:
+            raise WorkflowError(
+                f"workflow {self.name!r}: procedures {sorted(unreachable)} are "
+                f"not reachable from any border procedure"
+            )
+        for name, depth in depth_of.items():
+            self.nodes[name].depth = depth
+
+        # procedure existence + sharing analysis
+        self.shared_writable_tables = self.analyze_sharing(catalog, procedures)
+        self._finalized = True
+
+    def analyze_sharing(
+        self,
+        catalog: Catalog,
+        procedures: dict[str, "StoredProcedure"],
+    ) -> set[str]:
+        """Regular tables shared by >= 2 workflow nodes with >= 1 writer."""
+        access: dict[str, tuple[set[str], set[str]]] = {}
+        for name in self.nodes:
+            if name not in procedures:
+                raise WorkflowError(
+                    f"workflow {self.name!r} references unregistered "
+                    f"procedure {name!r}"
+                )
+            reads: set[str] = set()
+            writes: set[str] = set()
+            for plan in procedures[name].plans.values():
+                plan_reads, plan_writes = plan_table_access(plan)
+                reads |= plan_reads
+                writes |= plan_writes
+            access[name] = (reads, writes)
+
+        shared: set[str] = set()
+        names = sorted(access)
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                reads_a, writes_a = access[first]
+                reads_b, writes_b = access[second]
+                overlap = (writes_a & (reads_b | writes_b)) | (
+                    writes_b & (reads_a | writes_a)
+                )
+                for table_name in overlap:
+                    if (
+                        catalog.has_table(table_name)
+                        and catalog.table(table_name).kind is TableKind.TABLE
+                    ):
+                        shared.add(table_name)
+        return shared
+
+    @property
+    def serial_required(self) -> bool:
+        """Whether the paper's shared-writable-table rule forces serial
+        (contiguous per-batch) execution of this workflow's procedures."""
+        return bool(self.shared_writable_tables)
+
+    # -- introspection ---------------------------------------------------------
+
+    def node(self, procedure_name: str) -> WorkflowNode:
+        try:
+            return self.nodes[procedure_name.lower()]
+        except KeyError:
+            raise WorkflowError(
+                f"workflow {self.name!r} has no procedure {procedure_name!r}"
+            ) from None
+
+    def consumers_of_stream(self, stream: str) -> list[WorkflowNode]:
+        stream = stream.lower()
+        return [
+            node for node in self.nodes.values() if node.input_stream == stream
+        ]
+
+    def max_depth(self) -> int:
+        return max(node.depth for node in self.nodes.values())

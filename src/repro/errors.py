@@ -1,0 +1,162 @@
+"""Exception hierarchy for the S-Store reproduction.
+
+Every error raised by the package derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the two
+engine layers described in the paper: catalog/SQL errors originate in the
+execution engine (EE), transaction and scheduling errors in the partition
+engine (PE), and streaming errors in the S-Store extensions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog / DDL errors
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """A DDL or catalog-lookup problem (unknown table, duplicate column...)."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object with the same name already exists in the catalog."""
+
+
+class UnknownObjectError(CatalogError):
+    """A referenced table, stream, window, index or column does not exist."""
+
+
+# ---------------------------------------------------------------------------
+# Type system errors
+# ---------------------------------------------------------------------------
+
+
+class TypeSystemError(ReproError):
+    """A value does not conform to its declared SQL type."""
+
+
+class NullViolationError(TypeSystemError):
+    """NULL supplied for a NOT NULL column."""
+
+
+# ---------------------------------------------------------------------------
+# SQL front-end errors
+# ---------------------------------------------------------------------------
+
+
+class SqlError(ReproError):
+    """Base class for SQL lexing/parsing/planning problems."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(SqlError):
+    """The statement parsed but could not be planned (semantic error)."""
+
+
+class BindingError(SqlError):
+    """Parameter count/placement mismatch at execution time."""
+
+
+# ---------------------------------------------------------------------------
+# Storage / constraint errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Low-level storage problem in the execution engine."""
+
+
+class ConstraintViolationError(StorageError):
+    """A table constraint (primary key, unique) was violated."""
+
+
+class PrimaryKeyViolationError(ConstraintViolationError):
+    """Duplicate primary key."""
+
+
+class UniqueViolationError(ConstraintViolationError):
+    """Duplicate value in a UNIQUE index."""
+
+
+# ---------------------------------------------------------------------------
+# Transaction / partition-engine errors
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised inside a stored procedure to abort the current transaction.
+
+    User code may raise this directly (``raise TransactionAborted("reason")``)
+    or it is raised by the engine when a constraint violation forces a
+    rollback.  The partition engine catches it, undoes the transaction and
+    reports the abort to the caller.
+    """
+
+
+class NoActiveTransactionError(TransactionError):
+    """An operation required an active transaction but none was open."""
+
+
+class ProcedureError(ReproError):
+    """Stored-procedure registration or invocation problem."""
+
+
+class PartitionError(ReproError):
+    """Partition routing or multi-partition coordination problem."""
+
+
+# ---------------------------------------------------------------------------
+# Durability / recovery errors
+# ---------------------------------------------------------------------------
+
+
+class RecoveryError(ReproError):
+    """Snapshot or command-log replay failed."""
+
+
+# ---------------------------------------------------------------------------
+# Streaming (S-Store core) errors
+# ---------------------------------------------------------------------------
+
+
+class StreamingError(ReproError):
+    """Base class for errors in the S-Store streaming extensions."""
+
+
+class WindowError(StreamingError):
+    """Invalid window specification or window-state operation."""
+
+
+class ScopeViolationError(StreamingError):
+    """Window state accessed from outside its owning stored procedure.
+
+    The paper introduces the "scope of a transaction execution" to restrict
+    window access to consecutive TEs of a single stored procedure; any other
+    access is a correctness bug and raises this error.
+    """
+
+
+class WorkflowError(StreamingError):
+    """Invalid workflow definition (cycles, unknown streams, ...)."""
+
+
+class SchedulingError(StreamingError):
+    """The streaming scheduler detected an impossible or illegal schedule."""

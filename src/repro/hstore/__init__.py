@@ -1,0 +1,41 @@
+"""``repro.hstore`` — the H-Store substrate.
+
+A from-scratch, single-process reimplementation of the H-Store NewSQL system
+[6] that S-Store builds on: main-memory tables with indexes, a SQL
+parser/planner/executor (the execution engine), serial per-partition
+transactions defined by parameterized stored procedures (the partition
+engine), and durability via command logging plus snapshots [7].
+
+Public surface::
+
+    from repro.hstore import (
+        HStoreEngine, StoredProcedure, ProcedureContext, ProcedureResult,
+        ClientSession, ResultSet, SqlType, LatencyModel, EngineStats,
+    )
+"""
+
+from repro.hstore.client import ClientSession
+from repro.hstore.clock import LogicalClock
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.executor import ResultSet
+from repro.hstore.netsim import LatencyModel, SimulatedCost
+from repro.hstore.procedure import ProcedureContext, ProcedureResult, StoredProcedure
+from repro.hstore.recovery import RecoveryReport, crash_and_recover
+from repro.hstore.stats import EngineStats
+from repro.hstore.types import SqlType
+
+__all__ = [
+    "ClientSession",
+    "LogicalClock",
+    "HStoreEngine",
+    "ResultSet",
+    "LatencyModel",
+    "SimulatedCost",
+    "ProcedureContext",
+    "ProcedureResult",
+    "StoredProcedure",
+    "RecoveryReport",
+    "crash_and_recover",
+    "EngineStats",
+    "SqlType",
+]

@@ -1,0 +1,227 @@
+"""Database catalog: schemas, tables, indexes, streams and windows.
+
+The catalog is the authoritative registry of every named object in a
+database.  H-Store objects are tables and indexes; S-Store adds streams
+(tables with hidden, garbage-collected state) and windows (finite chunks of
+state over streams).  The streaming layer registers its objects through the
+same catalog so that "H-Store's in-memory tables are used for representing
+all states including streams and windows" (paper §2, *Uniform State
+Management*).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import (
+    CatalogError,
+    DuplicateObjectError,
+    UnknownObjectError,
+)
+from repro.hstore.types import SqlType
+
+__all__ = ["Column", "Schema", "TableKind", "TableEntry", "IndexEntry", "Catalog"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a schema."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+
+
+class Schema:
+    """An ordered, named collection of columns.
+
+    Column names are case-insensitive (normalized to lower case), matching
+    common SQL behaviour and keeping the parser simple.
+    """
+
+    def __init__(self, columns: list[Column]) -> None:
+        if not columns:
+            raise CatalogError("a schema requires at least one column")
+        normalized = [
+            Column(col.name.lower(), col.sql_type, col.nullable, col.default)
+            for col in columns
+        ]
+        names = [col.name for col in normalized]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in schema: {names}")
+        self._columns = normalized
+        self._offsets = {col.name: i for i, col in enumerate(normalized)}
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [col.name for col in self._columns]
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._offsets
+
+    def offset_of(self, name: str) -> int:
+        """Positional index of a column; raises :class:`UnknownObjectError`."""
+        try:
+            return self._offsets[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(
+                f"no column {name!r}; columns are {self.column_names}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.offset_of(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(f"{c.name} {c.sql_type}" for c in self._columns)
+        return f"Schema({cols})"
+
+
+class TableKind(enum.Enum):
+    """What role a stored table plays.
+
+    ``TABLE``   — a regular persistent OLTP table.
+    ``STREAM``  — hidden stream state: append-only from the application's
+                  view, garbage-collected once every consumer has read past
+                  a tuple.
+    ``WINDOW``  — window state: a finite chunk over a stream, owned by one
+                  stored procedure (scoped access).
+    """
+
+    TABLE = "TABLE"
+    STREAM = "STREAM"
+    WINDOW = "WINDOW"
+
+
+@dataclass
+class TableEntry:
+    """Catalog entry for a table-like object."""
+
+    name: str
+    schema: Schema
+    kind: TableKind = TableKind.TABLE
+    primary_key: tuple[str, ...] = ()
+    partition_column: str | None = None
+    index_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        self.primary_key = tuple(col.lower() for col in self.primary_key)
+        for col in self.primary_key:
+            if not self.schema.has_column(col):
+                raise CatalogError(f"primary key column {col!r} not in {self.name}")
+        if self.partition_column is not None:
+            self.partition_column = self.partition_column.lower()
+            if not self.schema.has_column(self.partition_column):
+                raise CatalogError(
+                    f"partition column {self.partition_column!r} not in {self.name}"
+                )
+
+
+@dataclass
+class IndexEntry:
+    """Catalog entry for a secondary index."""
+
+    name: str
+    table_name: str
+    column_names: tuple[str, ...]
+    unique: bool = False
+    ordered: bool = False
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        self.table_name = self.table_name.lower()
+        self.column_names = tuple(col.lower() for col in self.column_names)
+        if not self.column_names:
+            raise CatalogError("an index requires at least one column")
+
+
+class Catalog:
+    """All named objects of one database."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableEntry] = {}
+        self._indexes: dict[str, IndexEntry] = {}
+
+    # -- tables ------------------------------------------------------------
+
+    def add_table(self, entry: TableEntry) -> TableEntry:
+        if entry.name in self._tables:
+            raise DuplicateObjectError(f"table {entry.name!r} already exists")
+        self._tables[entry.name] = entry
+        return entry
+
+    def drop_table(self, name: str) -> None:
+        entry = self.table(name)
+        for index_name in list(entry.index_names):
+            self._indexes.pop(index_name, None)
+        del self._tables[entry.name]
+
+    def table(self, name: str) -> TableEntry:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self, kind: TableKind | None = None) -> list[TableEntry]:
+        entries = self._tables.values()
+        if kind is None:
+            return list(entries)
+        return [entry for entry in entries if entry.kind is kind]
+
+    # -- indexes -----------------------------------------------------------
+
+    def add_index(self, entry: IndexEntry) -> IndexEntry:
+        if entry.name in self._indexes:
+            raise DuplicateObjectError(f"index {entry.name!r} already exists")
+        table = self.table(entry.table_name)
+        for col in entry.column_names:
+            if not table.schema.has_column(col):
+                raise CatalogError(
+                    f"index column {col!r} not in table {table.name!r}"
+                )
+        self._indexes[entry.name] = entry
+        table.index_names.append(entry.name)
+        return entry
+
+    def index(self, name: str) -> IndexEntry:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(f"no index named {name!r}") from None
+
+    def drop_index(self, name: str) -> IndexEntry:
+        entry = self.index(name)
+        del self._indexes[entry.name]
+        table = self._tables.get(entry.table_name)
+        if table is not None and entry.name in table.index_names:
+            table.index_names.remove(entry.name)
+        return entry
+
+    def indexes_on(self, table_name: str) -> list[IndexEntry]:
+        table = self.table(table_name)
+        return [self._indexes[name] for name in table.index_names]

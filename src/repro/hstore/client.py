@@ -1,0 +1,39 @@
+"""Client sessions.
+
+A client talks to the PE by invoking stored procedures; every request/response
+pair is one client↔PE round trip.  The naive H-Store streaming pattern the
+paper criticizes — the client polls for results and drives the workflow by
+issuing the next procedure call itself — is expressed through this interface
+(see :mod:`repro.apps.voter.hstore_app`), while S-Store clients only push
+inputs and let PE triggers drive the rest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.hstore.procedure import ProcedureResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hstore.engine import HStoreEngine
+
+__all__ = ["ClientSession"]
+
+
+class ClientSession:
+    """One synchronous client connection."""
+
+    def __init__(self, engine: "HStoreEngine", name: str = "client") -> None:
+        self._engine = engine
+        self.name = name
+        self.calls_made = 0
+
+    def call(self, procedure_name: str, *params: Any) -> ProcedureResult:
+        """Invoke a stored procedure (one client↔PE round trip)."""
+        self.calls_made += 1
+        return self._engine.call_procedure(procedure_name, *params)
+
+    def query(self, sql: str, *params: Any):
+        """Run ad-hoc SQL (one client↔PE round trip)."""
+        self.calls_made += 1
+        return self._engine.execute_sql(sql, *params)

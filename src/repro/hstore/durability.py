@@ -1,0 +1,170 @@
+"""File-backed durability: the command log and snapshots on disk.
+
+The in-memory :class:`~repro.hstore.cmdlog.CommandLog` and
+:class:`~repro.hstore.snapshot.SnapshotStore` model the durability
+*protocol*; this module adds the actual files, so an engine survives not
+just a simulated crash but a full process restart:
+
+* ``<dir>/command.log`` — one JSON object per durable log record,
+  append-only, written at group-commit flush time;
+* ``<dir>/snapshots/<id>.json`` — one file per checkpoint.
+
+Usage::
+
+    engine.enable_durability("/var/lib/sstore")   # start persisting
+    ...                                            # run workload
+    # --- process dies; later, a fresh process: ---
+    engine = build_engine_with_same_schema_and_procedures()
+    engine.restore_from_disk("/var/lib/sstore")    # snapshot + log replay
+
+JSON is the wire format, so tuples round-trip as lists; every load path in
+the engine re-normalizes (rowids via ``int()``, batch rows via ``tuple()``),
+which the durability tests verify end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.errors import RecoveryError
+from repro.hstore.cmdlog import LogRecord
+from repro.hstore.snapshot import Snapshot
+
+__all__ = ["DurabilityDirectory"]
+
+_LOG_FILE = "command.log"
+_SNAPSHOT_DIR = "snapshots"
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalize tuples to lists so the encoder accepts everything."""
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, list):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
+
+
+class DurabilityDirectory:
+    """One engine's durable storage location."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        (self.path / _SNAPSHOT_DIR).mkdir(exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # command log
+    # ------------------------------------------------------------------
+
+    @property
+    def log_path(self) -> pathlib.Path:
+        return self.path / _LOG_FILE
+
+    def append_log_records(self, records: list[LogRecord]) -> None:
+        """Persist freshly flushed records (called at group-commit time)."""
+        if not records:
+            return
+        with self.log_path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "lsn": record.lsn,
+                            "txn_id": record.txn_id,
+                            "procedure": record.procedure,
+                            "params": _jsonable(record.params),
+                            "partition": record.partition,
+                            "logical_time": record.logical_time,
+                            "meta": _jsonable(record.meta),
+                        },
+                        separators=(",", ":"),
+                    )
+                )
+                handle.write("\n")
+
+    def load_log_records(self) -> list[LogRecord]:
+        """Read back every durable record, in LSN order."""
+        if not self.log_path.exists():
+            return []
+        records: list[LogRecord] = []
+        with self.log_path.open(encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise RecoveryError(
+                        f"corrupt log record at {self.log_path}:{line_number + 1}: "
+                        f"{exc}"
+                    ) from exc
+                records.append(
+                    LogRecord(
+                        lsn=int(payload["lsn"]),
+                        txn_id=int(payload["txn_id"]),
+                        procedure=payload["procedure"],
+                        params=tuple(payload["params"]),
+                        partition=int(payload["partition"]),
+                        logical_time=int(payload["logical_time"]),
+                        meta=tuple(
+                            (key, value) for key, value in payload.get("meta", [])
+                        ),
+                    )
+                )
+        records.sort(key=lambda record: record.lsn)
+        return records
+
+    def truncate_log_through(self, lsn: int) -> None:
+        """Drop durable records below ``lsn`` (post-snapshot log GC)."""
+        kept = [record for record in self.load_log_records() if record.lsn >= lsn]
+        self.log_path.write_text("", encoding="utf-8")
+        self.append_log_records(kept)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def write_snapshot(self, snapshot: Snapshot) -> pathlib.Path:
+        target = self.path / _SNAPSHOT_DIR / f"{snapshot.snapshot_id:08d}.json"
+        payload = {
+            "snapshot_id": snapshot.snapshot_id,
+            "through_lsn": snapshot.through_lsn,
+            "logical_time": snapshot.logical_time,
+            "partition_state": _jsonable(snapshot.partition_state),
+            "extra": _jsonable(snapshot.extra),
+        }
+        target.write_text(json.dumps(payload, separators=(",", ":")))
+        return target
+
+    def load_latest_snapshot(self) -> Snapshot | None:
+        snapshot_dir = self.path / _SNAPSHOT_DIR
+        candidates = sorted(snapshot_dir.glob("*.json"))
+        if not candidates:
+            return None
+        payload = json.loads(candidates[-1].read_text())
+        partition_state = {
+            int(partition_id): state
+            for partition_id, state in payload["partition_state"].items()
+        }
+        return Snapshot(
+            snapshot_id=int(payload["snapshot_id"]),
+            through_lsn=int(payload["through_lsn"]),
+            logical_time=int(payload["logical_time"]),
+            partition_state=partition_state,
+            extra=payload.get("extra", {}),
+        )
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Wipe the directory's contents (test helper)."""
+        if self.log_path.exists():
+            self.log_path.unlink()
+        for snapshot_file in (self.path / _SNAPSHOT_DIR).glob("*.json"):
+            snapshot_file.unlink()

@@ -1,0 +1,655 @@
+"""The partition engine (PE): H-Store's transaction-processing brain.
+
+The :class:`HStoreEngine` receives stored-procedure invocations from clients,
+routes each to a partition, executes it serially inside a transaction, and
+handles durability (command logging + snapshots) and recovery.  It is the
+"base architecture directly inherited from H-Store" that the S-Store engine
+(:class:`repro.core.engine.SStoreEngine`) extends with streams, windows,
+triggers and workflows.
+
+Extension points used by the streaming subclass:
+
+* :meth:`_make_context` — wraps the transaction in a procedure context
+  (S-Store substitutes a stream-aware context with ``emit``).
+* :meth:`_after_commit` — fires after a successful commit (S-Store's PE
+  triggers hang off this).
+* :meth:`_snapshot_extra` / :meth:`_restore_extra` — piggyback streaming
+  state on snapshots.
+* :meth:`_replay_invocation` — how one command-log record is re-executed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hstore.durability import DurabilityDirectory
+
+from repro.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    PartitionError,
+    ProcedureError,
+    ReproError,
+    TransactionAborted,
+    UnknownObjectError,
+)
+from repro.hstore.catalog import Catalog, IndexEntry, Schema, TableEntry, TableKind
+from repro.hstore.clock import LogicalClock
+from repro.hstore.cmdlog import CommandLog, LogRecord
+from repro.hstore.executor import ResultSet
+from repro.hstore.parser import (
+    CreateIndexStmt,
+    CreateStreamStmt,
+    CreateTableStmt,
+    CreateWindowStmt,
+    DropIndexStmt,
+    DropTableStmt,
+    TruncateStmt,
+    parse,
+)
+from repro.hstore.partition import Partition, route_value
+from repro.hstore.planner import Planner, SelectPlan
+from repro.hstore.procedure import ProcedureContext, ProcedureResult, StoredProcedure
+from repro.hstore.snapshot import Snapshot, SnapshotStore
+from repro.hstore.stats import EngineStats
+from repro.hstore.txn import TransactionContext
+
+__all__ = ["HStoreEngine", "ADHOC_RECORD"]
+
+#: pseudo-procedure name for command-logged ad-hoc DML statements
+ADHOC_RECORD = "<adhoc>"
+
+
+class HStoreEngine:
+    """A single-process, multi-partition, main-memory NewSQL engine."""
+
+    def __init__(
+        self,
+        partitions: int = 1,
+        *,
+        log_group_size: int = 1,
+        snapshot_interval: int | None = None,
+        clock: LogicalClock | None = None,
+        stats: EngineStats | None = None,
+    ) -> None:
+        if partitions < 1:
+            raise PartitionError("engine requires at least one partition")
+        self.stats = stats if stats is not None else EngineStats()
+        self.clock = clock if clock is not None else LogicalClock()
+        self.catalog = Catalog()
+        self.planner = Planner(self.catalog)
+        self.partitions = [
+            Partition(pid, self.catalog, self.stats) for pid in range(partitions)
+        ]
+        self.procedures: dict[str, StoredProcedure] = {}
+        self.command_log = CommandLog(log_group_size, self.stats)
+        self.snapshots = SnapshotStore()
+        #: take a snapshot automatically every N committed txns (None = manual)
+        self.snapshot_interval = snapshot_interval
+        self._txns_since_snapshot = 0
+        self._next_txn_id = 0
+        self._replaying = False
+        self._crashed = False
+        self._durability: "DurabilityDirectory | None" = None
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def execute_ddl(self, sql: str) -> None:
+        """Apply a DDL statement (CREATE TABLE / INDEX; S-Store adds more)."""
+        statement = parse(sql)
+        if isinstance(statement, CreateTableStmt):
+            entry = TableEntry(
+                name=statement.name,
+                schema=Schema(list(statement.columns)),
+                kind=TableKind.TABLE,
+                primary_key=statement.primary_key,
+                partition_column=statement.partition_column,
+            )
+            self._install_table(entry)
+            return
+        if isinstance(statement, CreateIndexStmt):
+            entry = IndexEntry(
+                name=statement.name,
+                table_name=statement.table,
+                column_names=statement.columns,
+                unique=statement.unique,
+                ordered=statement.ordered,
+            )
+            self.catalog.add_index(entry)
+            for partition in self.partitions:
+                partition.ee.table(entry.table_name).add_index(
+                    entry.name,
+                    entry.column_names,
+                    unique=entry.unique,
+                    ordered=entry.ordered,
+                )
+            return
+        if isinstance(statement, DropTableStmt):
+            entry = self.catalog.table(statement.name)
+            if entry.kind is not TableKind.TABLE:
+                raise CatalogError(
+                    f"cannot DROP {entry.kind.value} {entry.name!r}; stream "
+                    f"and window state is managed by the streaming layer"
+                )
+            self.catalog.drop_table(entry.name)
+            for partition in self.partitions:
+                partition.ee.drop_storage(entry.name)
+            return
+        if isinstance(statement, DropIndexStmt):
+            entry = self.catalog.drop_index(statement.name)
+            for partition in self.partitions:
+                partition.ee.table(entry.table_name).drop_index(entry.name)
+            return
+        if isinstance(statement, TruncateStmt):
+            entry = self.catalog.table(statement.table)
+            if entry.kind is not TableKind.TABLE:
+                raise CatalogError(
+                    f"cannot TRUNCATE {entry.kind.value} {entry.name!r}"
+                )
+            for partition in self.partitions:
+                partition.ee.table(entry.name).truncate()
+            return
+        if isinstance(statement, (CreateStreamStmt, CreateWindowStmt)):
+            raise CatalogError(
+                f"{type(statement).__name__.replace('Stmt', '')} requires the "
+                f"S-Store engine (repro.SStoreEngine); plain H-Store has no "
+                f"native streams or windows — that is the paper's point"
+            )
+        raise CatalogError(f"not a DDL statement: {sql!r}")
+
+    def _install_table(self, entry: TableEntry) -> TableEntry:
+        """Register a table in the catalog and create storage everywhere.
+
+        Partitioned tables get per-partition slices; replicated tables (no
+        partition column) get a full copy on every partition — both cases
+        are one storage instance per partition here.
+        """
+        self.catalog.add_table(entry)
+        for partition in self.partitions:
+            partition.ee.create_storage(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Procedure registration
+    # ------------------------------------------------------------------
+
+    def register_procedure(
+        self, procedure: StoredProcedure | type[StoredProcedure]
+    ) -> StoredProcedure:
+        """Register and pre-plan a stored procedure (H-Store deployment step)."""
+        if isinstance(procedure, type):
+            procedure = procedure()
+        if procedure.name in self.procedures:
+            raise ProcedureError(f"procedure {procedure.name!r} already registered")
+        for statement_name, sql in procedure.statements.items():
+            try:
+                procedure.plans[statement_name] = self.planner.plan(parse(sql))
+            except ReproError as exc:
+                raise ProcedureError(
+                    f"procedure {procedure.name!r} statement "
+                    f"{statement_name!r} failed to plan: {exc}"
+                ) from exc
+        self.procedures[procedure.name] = procedure
+        return procedure
+
+    def procedure(self, name: str) -> StoredProcedure:
+        try:
+            return self.procedures[name]
+        except KeyError:
+            raise UnknownObjectError(f"no procedure named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Invocation paths
+    # ------------------------------------------------------------------
+
+    def call_procedure(self, name: str, *params: Any) -> ProcedureResult:
+        """Client entry point: one client↔PE round trip per call."""
+        self._require_alive()
+        self.stats.client_pe_roundtrips += 1
+        return self.invoke(name, params)
+
+    def invoke(self, name: str, params: tuple[Any, ...]) -> ProcedureResult:
+        """Engine-internal invocation (no client round trip charged).
+
+        This is the path PE triggers use in S-Store — the saving the paper's
+        push-based workflows buy over client-driven polling.
+        """
+        procedure = self.procedure(name)
+        if procedure.run_everywhere:
+            return self._invoke_everywhere(procedure, params)
+        partition_id = self._route(procedure, params)
+        result = self._run_on_partition(procedure, params, partition_id)
+        if result.success:
+            self._log_commit(procedure, params, result, partition_id)
+        return result
+
+    def _route(self, procedure: StoredProcedure, params: tuple[Any, ...]) -> int:
+        if procedure.partition_param is None:
+            return 0
+        if procedure.partition_param >= len(params):
+            raise PartitionError(
+                f"procedure {procedure.name!r} routes on parameter "
+                f"#{procedure.partition_param}, got only {len(params)} params"
+            )
+        return route_value(params[procedure.partition_param], len(self.partitions))
+
+    def _run_on_partition(
+        self,
+        procedure: StoredProcedure,
+        params: tuple[Any, ...],
+        partition_id: int,
+    ) -> ProcedureResult:
+        partition = self.partitions[partition_id]
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        txn = TransactionContext(txn_id, partition.ee, procedure.name)
+        ctx = self._make_context(procedure, txn, partition_id)
+        partition.acquire()
+        try:
+            data = procedure.run(ctx, *params)
+        except TransactionAborted as exc:
+            txn.abort()
+            self.stats.txns_aborted += 1
+            return ProcedureResult(
+                success=False, error=str(exc), txn_id=txn_id, partition=partition_id
+            )
+        except ConstraintViolationError as exc:
+            txn.abort()
+            self.stats.txns_aborted += 1
+            return ProcedureResult(
+                success=False, error=str(exc), txn_id=txn_id, partition=partition_id
+            )
+        except ReproError:
+            # Programming error inside the procedure: keep state consistent
+            # by rolling back, then surface the bug to the caller.
+            txn.abort()
+            self.stats.txns_aborted += 1
+            raise
+        finally:
+            partition.release()
+
+        txn.commit()
+        self.stats.txns_committed += 1
+        result = ProcedureResult(
+            success=True, data=data, txn_id=txn_id, partition=partition_id
+        )
+        self._after_commit(procedure, ctx, txn, params, result)
+        return result
+
+    def _invoke_everywhere(
+        self, procedure: StoredProcedure, params: tuple[Any, ...]
+    ) -> ProcedureResult:
+        """Multi-partition transaction: run on every partition, all-or-nothing."""
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        txns: list[TransactionContext] = []
+        contexts: list[ProcedureContext] = []
+        data: list[Any] = []
+        acquired: list[Partition] = []
+        try:
+            for partition in self.partitions:
+                partition.acquire()
+                acquired.append(partition)
+                txn = TransactionContext(txn_id, partition.ee, procedure.name)
+                ctx = self._make_context(procedure, txn, partition.partition_id)
+                txns.append(txn)
+                contexts.append(ctx)
+                data.append(procedure.run(ctx, *params))
+        except (TransactionAborted, ConstraintViolationError) as exc:
+            for txn in reversed(txns):
+                if txn.is_active:
+                    txn.abort()
+            self.stats.txns_aborted += 1
+            return ProcedureResult(success=False, error=str(exc), txn_id=txn_id)
+        except ReproError:
+            for txn in reversed(txns):
+                if txn.is_active:
+                    txn.abort()
+            self.stats.txns_aborted += 1
+            raise
+        finally:
+            for partition in reversed(acquired):
+                partition.release()
+
+        for txn in txns:
+            txn.commit()
+        self.stats.txns_committed += 1
+        result = ProcedureResult(success=True, data=data, txn_id=txn_id)
+        for ctx, txn in zip(contexts, txns):
+            self._after_commit(procedure, ctx, txn, params, result)
+        self._log_commit(procedure, params, result, partition=-1)
+        return result
+
+    # ------------------------------------------------------------------
+    # Ad-hoc SQL (testing / examples / interactive use)
+    # ------------------------------------------------------------------
+
+    def execute_sql(self, sql: str, *params: Any) -> ResultSet | int:
+        """Plan and run one ad-hoc statement in an auto-commit transaction.
+
+        Counts as a client request.  SELECTs against a multi-partition engine
+        are scatter-gathered (rows concatenated); ad-hoc DML and grouped /
+        ordered / limited scatter-gather SELECTs require a single partition.
+        """
+        self._require_alive()
+        self.stats.client_pe_roundtrips += 1
+        plan = self.planner.plan(parse(sql))
+        self._check_adhoc_plan(plan)
+
+        if isinstance(plan, SelectPlan):
+            if len(self.partitions) == 1:
+                self.stats.pe_ee_roundtrips += 1
+                return self.partitions[0].ee.execute(plan, params)
+            if plan.grouped or plan.order_by or plan.limit is not None:
+                raise PartitionError(
+                    "ad-hoc aggregated/ordered SELECT needs a single partition"
+                )
+            rows: list[tuple[Any, ...]] = []
+            columns: list[str] = plan.output_names
+            for partition in self.partitions:
+                self.stats.pe_ee_roundtrips += 1
+                result = partition.ee.execute(plan, params)
+                assert isinstance(result, ResultSet)
+                rows.extend(result.rows)
+            return ResultSet(columns=list(columns), rows=rows)
+
+        if len(self.partitions) != 1:
+            raise PartitionError("ad-hoc DML requires a single-partition engine")
+        partition = self.partitions[0]
+        txn_id = self._next_txn_id
+        txn = TransactionContext(txn_id, partition.ee, "<adhoc>")
+        self._next_txn_id += 1
+        partition.acquire()
+        try:
+            self.stats.pe_ee_roundtrips += 1
+            result = partition.ee.execute(plan, params, txn)
+        except ReproError:
+            txn.abort()
+            self.stats.txns_aborted += 1
+            raise
+        finally:
+            partition.release()
+        txn.commit()
+        self.stats.txns_committed += 1
+        # Ad-hoc DML is a write command like any other: it must reach the
+        # command log or recovery could not rebuild state written this way.
+        if not self._replaying:
+            self.command_log.append(
+                txn_id=txn_id,
+                procedure=ADHOC_RECORD,
+                params=(sql, tuple(params)),
+                partition=0,
+                logical_time=self.clock.now,
+                meta={"kind": "adhoc"},
+            )
+            self._note_logged_command()
+        return result
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _log_commit(
+        self,
+        procedure: StoredProcedure,
+        params: tuple[Any, ...],
+        result: ProcedureResult,
+        partition: int,
+    ) -> None:
+        if procedure.read_only or self._replaying:
+            return
+        assert result.txn_id is not None
+        self.command_log.append(
+            txn_id=result.txn_id,
+            procedure=procedure.name,
+            params=params,
+            partition=partition,
+            logical_time=self.clock.now,
+        )
+        self._note_logged_command()
+
+    def _note_logged_command(self) -> None:
+        """Advance the auto-snapshot counter (one durable command recorded)."""
+        self._txns_since_snapshot += 1
+        if (
+            self.snapshot_interval is not None
+            and self._txns_since_snapshot >= self.snapshot_interval
+        ):
+            self.take_snapshot()
+
+    def take_snapshot(self) -> Snapshot:
+        """Flush the log and capture a transaction-consistent checkpoint."""
+        self.command_log.flush()
+        snapshot = self.snapshots.take(
+            through_lsn=self.command_log.durable_lsn,
+            logical_time=self.clock.now,
+            partition_state={
+                partition.partition_id: partition.ee.dump_state()
+                for partition in self.partitions
+            },
+            extra=self._snapshot_extra(),
+        )
+        self.stats.snapshots_taken += 1
+        self._txns_since_snapshot = 0
+        if self._durability is not None:
+            self._durability.write_snapshot(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # File-backed durability (survives process restarts, not just crash())
+    # ------------------------------------------------------------------
+
+    def enable_durability(self, path: Any) -> "DurabilityDirectory":
+        """Persist the command log and snapshots under ``path``.
+
+        Flushed log records are appended to ``<path>/command.log`` from now
+        on, and every snapshot is written as a file.  Records already in the
+        in-memory log (e.g., application seed DML executed during setup) are
+        written out immediately so the durable history is complete.
+        """
+        from repro.hstore.durability import DurabilityDirectory
+
+        directory = DurabilityDirectory(path)
+        if directory.load_log_records():
+            raise ReproError(
+                f"durability directory {directory.path} already holds a log; "
+                f"use restore_from_disk() to resume from it"
+            )
+        self.command_log.flush()
+        directory.append_log_records(self.command_log.all_records())
+        self._durability = directory
+        self.command_log.on_flush = directory.append_log_records
+        return directory
+
+    def restore_from_disk(self, path: Any) -> int:
+        """Rebuild state from a durability directory after a restart.
+
+        The engine must already have the same schema and procedures
+        registered (DDL and code are deployment artifacts, not data).  Any
+        data the fresh engine wrote during setup (e.g., seed rows inserted
+        by an application constructor) is discarded: the disk history *is*
+        the database, and recovery replays it from scratch — deterministic
+        setup writes are at the head of that history anyway.  Returns the
+        number of replayed transactions.
+        """
+        from repro.hstore.cmdlog import CommandLog
+        from repro.hstore.durability import DurabilityDirectory
+        from repro.hstore.snapshot import SnapshotStore
+
+        directory = DurabilityDirectory(path)
+        self.command_log = CommandLog(self.command_log.group_size, self.stats)
+        self.command_log.load_records(directory.load_log_records())
+        self.snapshots = SnapshotStore()
+        snapshot = directory.load_latest_snapshot()
+        if snapshot is not None:
+            self.snapshots.adopt(snapshot)
+        replayed = self.recover()
+        # resume persisting from here on
+        self._durability = directory
+        self.command_log.on_flush = directory.append_log_records
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Simulate a node crash.
+
+        In-memory state is considered lost; un-flushed (group-commit pending)
+        log records are lost too, exactly as with a real command log.  The
+        engine refuses further work until :meth:`recover` runs.  Returns the
+        number of lost log records.
+        """
+        lost = self.command_log.lose_pending()
+        self._crashed = True
+        return lost
+
+    def recover(self) -> int:
+        """Rebuild state: load the latest snapshot, replay the log suffix.
+
+        Returns the number of replayed transactions.  Works with or without a
+        snapshot (without one, replay starts from an empty database at LSN 0).
+        """
+        snapshot = self.snapshots.latest
+        if snapshot is not None:
+            for partition in self.partitions:
+                partition.ee.load_state(
+                    snapshot.partition_state.get(partition.partition_id, {})
+                )
+            self.clock.advance_to(snapshot.logical_time)
+            self._restore_extra(snapshot.extra)
+            replay_from = snapshot.through_lsn
+        else:
+            for partition in self.partitions:
+                for table in partition.ee.tables().values():
+                    table.truncate()
+            self._restore_extra({})
+            replay_from = 0
+
+        self._crashed = False
+        self._replaying = True
+        replayed = 0
+        try:
+            for record in self.command_log.records_from(replay_from):
+                self.clock.advance_to(record.logical_time)
+                self._replay_invocation(record)
+                replayed += 1
+        finally:
+            self._replaying = False
+        return replayed
+
+    def _replay_invocation(self, record: LogRecord) -> None:
+        if record.procedure == ADHOC_RECORD:
+            sql, params = record.params
+            self.execute_sql(sql, *params)
+            return
+        result = self.invoke(record.procedure, record.params)
+        if not result.success:
+            # A command that committed before the crash must commit again —
+            # determinism is the engine contract.  Surfacing loudly beats
+            # silently diverging.
+            raise ReproError(
+                f"replay of {record.procedure!r} (lsn={record.lsn}) aborted: "
+                f"{result.error}"
+            )
+
+    def _require_alive(self) -> None:
+        if self._crashed:
+            raise ReproError("engine has crashed; call recover() first")
+
+    # ------------------------------------------------------------------
+    # Extension points for the streaming layer
+    # ------------------------------------------------------------------
+
+    def _make_context(
+        self,
+        procedure: StoredProcedure,
+        txn: TransactionContext,
+        partition_id: int,
+    ) -> ProcedureContext:
+        return ProcedureContext(self, procedure, txn, partition_id)
+
+    def _after_commit(
+        self,
+        procedure: StoredProcedure,
+        ctx: ProcedureContext,
+        txn: TransactionContext,
+        params: tuple[Any, ...],
+        result: ProcedureResult,
+    ) -> None:
+        """Post-commit hook; plain H-Store does nothing here."""
+
+    def _snapshot_extra(self) -> dict[str, Any]:
+        return {}
+
+    def _restore_extra(self, extra: dict[str, Any]) -> None:
+        pass
+
+    def _check_adhoc_plan(self, plan: Any) -> None:
+        """Veto hook for ad-hoc statements (S-Store enforces scoping here)."""
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def table_rows(self, table_name: str, partition_id: int = 0) -> list[tuple[Any, ...]]:
+        """All rows of a table on one partition (test/debug helper)."""
+        return self.partitions[partition_id].ee.table(table_name).rows()
+
+    def describe(self) -> str:
+        """A text summary of the catalog: tables, streams, windows, indexes,
+        procedures — the deployment at a glance."""
+        lines: list[str] = []
+        for entry in sorted(self.catalog.tables(), key=lambda e: (e.kind.value, e.name)):
+            columns = ", ".join(
+                f"{column.name} {column.sql_type}"
+                + ("" if column.nullable else " NOT NULL")
+                for column in entry.schema
+            )
+            suffix = ""
+            if entry.primary_key:
+                suffix += f" PRIMARY KEY ({', '.join(entry.primary_key)})"
+            if entry.partition_column:
+                suffix += f" PARTITION ON {entry.partition_column}"
+            rows = self.partitions[0].ee.table(entry.name).row_count()
+            lines.append(
+                f"{entry.kind.value} {entry.name} ({columns}){suffix} "
+                f"[{rows} rows]"
+            )
+            for index in self.catalog.indexes_on(entry.name):
+                flavor = "TREE" if index.ordered else "HASH"
+                unique = "UNIQUE " if index.unique else ""
+                lines.append(
+                    f"  {unique}INDEX {index.name} "
+                    f"({', '.join(index.column_names)}) USING {flavor}"
+                )
+        if self.procedures:
+            lines.append("")
+            for name in sorted(self.procedures):
+                procedure = self.procedures[name]
+                lines.append(
+                    f"PROCEDURE {name} ({len(procedure.plans)} statements)"
+                )
+        return "\n".join(lines)
+
+    def explain(self, sql: str) -> str:
+        """Plan a statement and render the physical plan as text."""
+        from repro.hstore.explain import explain_plan
+
+        return explain_plan(self.planner.plan(parse(sql)))
+
+    def explain_procedure(self, name: str) -> str:
+        """Render every pre-planned statement of a registered procedure."""
+        from repro.hstore.explain import explain_plan
+
+        procedure = self.procedure(name)
+        sections = []
+        for statement_name in sorted(procedure.plans):
+            plan = procedure.plans[statement_name]
+            sections.append(f"-- {statement_name}")
+            sections.append(explain_plan(plan, indent="   "))
+        return "\n".join(sections)

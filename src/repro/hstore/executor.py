@@ -1,0 +1,548 @@
+"""Execution engine (EE): runs physical plans against in-memory storage.
+
+One :class:`ExecutionEngine` instance is the EE half of one partition.  It
+owns the partition's table storage and executes pre-compiled plans from the
+planner.  All mutations are recorded in the active transaction's undo log so
+the partition engine can roll back on abort.
+
+The EE also hosts the *post-insert hook* registry through which the S-Store
+streaming layer implements EE triggers and native window maintenance: when an
+INSERT lands new tuples in a stream or window table, registered hooks run
+synchronously inside the same transaction — the "continuous processing within
+a given transaction execution" of the paper (§2), with no PE↔EE round trip.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import BindingError, StorageError
+from repro.hstore.catalog import Catalog, TableEntry
+from repro.hstore.expression import AggregateCall, EvalContext
+from repro.hstore.planner import (
+    AccessPath,
+    DeletePlan,
+    IndexEqScan,
+    IndexRangeScan,
+    InsertPlan,
+    Plan,
+    SelectPlan,
+    SeqScan,
+    UpdatePlan,
+)
+from repro.hstore.stats import EngineStats
+from repro.hstore.table import Row, Table
+from repro.hstore.txn import TransactionContext
+
+__all__ = ["ExecutionEngine", "ResultSet", "InsertHook"]
+
+#: Signature of a post-insert hook: (txn, table_name, inserted_rowids).
+InsertHook = Callable[[TransactionContext, str, list[int]], None]
+
+_MAX_HOOK_DEPTH = 64
+
+
+@dataclass
+class ResultSet:
+    """The rows and column names a SELECT produced."""
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def first(self) -> tuple[Any, ...] | None:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one named output column."""
+        try:
+            offset = self.columns.index(name)
+        except ValueError:
+            raise BindingError(
+                f"result has no column {name!r}; columns: {self.columns}"
+            ) from None
+        return [row[offset] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class ExecutionEngine:
+    """Storage + query execution for one partition."""
+
+    def __init__(self, catalog: Catalog, stats: EngineStats | None = None) -> None:
+        self._catalog = catalog
+        self._tables: dict[str, Table] = {}
+        self._insert_hooks: dict[str, list[InsertHook]] = {}
+        self._hook_depth = 0
+        self.stats = stats if stats is not None else EngineStats()
+
+    # -- storage management ----------------------------------------------------
+
+    def create_storage(self, entry: TableEntry) -> Table:
+        if entry.name in self._tables:
+            raise StorageError(f"storage for {entry.name!r} already exists")
+        table = Table(entry)
+        self._tables[entry.name] = table
+        return table
+
+    def drop_storage(self, name: str) -> None:
+        self._tables.pop(name.lower(), None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise StorageError(f"no storage for table {name!r}") from None
+
+    def tables(self) -> dict[str, Table]:
+        return dict(self._tables)
+
+    # -- hook registry (EE triggers / window maintenance) ---------------------
+
+    def add_insert_hook(self, table_name: str, hook: InsertHook) -> None:
+        self._insert_hooks.setdefault(table_name.lower(), []).append(hook)
+
+    def remove_insert_hook(self, table_name: str, hook: InsertHook) -> None:
+        hooks = self._insert_hooks.get(table_name.lower(), [])
+        if hook in hooks:
+            hooks.remove(hook)
+
+    def _fire_insert_hooks(
+        self, txn: TransactionContext, table_name: str, rowids: list[int]
+    ) -> None:
+        hooks = self._insert_hooks.get(table_name, ())
+        if not hooks or not rowids:
+            return
+        if self._hook_depth >= _MAX_HOOK_DEPTH:
+            raise StorageError(
+                f"insert-hook recursion deeper than {_MAX_HOOK_DEPTH} "
+                f"(trigger cycle through {table_name!r}?)"
+            )
+        self._hook_depth += 1
+        try:
+            for hook in list(hooks):
+                hook(txn, table_name, rowids)
+        finally:
+            self._hook_depth -= 1
+
+    # -- plan execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        plan: Plan,
+        params: tuple[Any, ...] = (),
+        txn: TransactionContext | None = None,
+    ) -> ResultSet | int:
+        """Execute a plan; SELECT returns a :class:`ResultSet`, DML a count."""
+        self.stats.ee_statements += 1
+        if isinstance(plan, SelectPlan):
+            self._check_params(plan.param_count, params)
+            return self._execute_select(plan, params)
+        if txn is None:
+            raise StorageError("DML execution requires an active transaction")
+        if isinstance(plan, InsertPlan):
+            self._check_params(plan.param_count, params)
+            return self._execute_insert(plan, params, txn)
+        if isinstance(plan, UpdatePlan):
+            self._check_params(plan.param_count, params)
+            return self._execute_update(plan, params, txn)
+        if isinstance(plan, DeletePlan):
+            self._check_params(plan.param_count, params)
+            return self._execute_delete(plan, params, txn)
+        raise StorageError(f"EE cannot execute {type(plan).__name__}")
+
+    @staticmethod
+    def _check_params(expected: int, params: tuple[Any, ...]) -> None:
+        if len(params) < expected:
+            raise BindingError(
+                f"statement expects {expected} parameters, got {len(params)}"
+            )
+
+    def execute_select_plan(self, plan: SelectPlan, params: tuple[Any, ...]):
+        """Run a (sub)query plan in-EE; used by planned subquery nodes."""
+        self.stats.bump("subquery_executions")
+        return self._execute_select(plan, params)
+
+    # -- access paths ------------------------------------------------------------
+
+    def _iter_access(
+        self,
+        access: AccessPath,
+        params: tuple[Any, ...],
+        outer_columns: dict[str, int] | None = None,
+        outer_row: tuple[Any, ...] = (),
+    ) -> Iterator[tuple[int, Row]]:
+        table = self.table(access.table)
+
+        if isinstance(access, SeqScan):
+            yield from table.scan()
+            return
+
+        probe_ctx = EvalContext(
+            columns=outer_columns or {}, row=outer_row, params=params,
+            executor=self,
+        )
+
+        if isinstance(access, IndexEqScan):
+            key = tuple(expr.eval(probe_ctx) for expr in access.key_exprs)
+            index = table.index(access.index)
+            for rowid in sorted(index.lookup(key)):
+                yield rowid, table.get(rowid)
+            return
+
+        if isinstance(access, IndexRangeScan):
+            index = table.index(access.index)
+            low = (
+                (access.low.eval(probe_ctx),) if access.low is not None else None
+            )
+            high = (
+                (access.high.eval(probe_ctx),) if access.high is not None else None
+            )
+            # A NULL bound matches nothing (SQL comparison semantics).
+            if (access.low is not None and low == (None,)) or (
+                access.high is not None and high == (None,)
+            ):
+                return
+            for _key, rowids in index.range_scan(
+                low,
+                high,
+                low_inclusive=access.low_inclusive,
+                high_inclusive=access.high_inclusive,
+            ):
+                for rowid in sorted(rowids):
+                    yield rowid, table.get(rowid)
+            return
+
+        raise StorageError(f"unknown access path {type(access).__name__}")  # pragma: no cover
+
+    # -- SELECT -------------------------------------------------------------------
+
+    def _execute_select(
+        self, plan: SelectPlan, params: tuple[Any, ...]
+    ) -> ResultSet:
+        combined_rows = self._combined_rows(plan, params)
+
+        if plan.grouped:
+            ext_rows = self._aggregate(plan, params, combined_rows)
+        else:
+            ext_rows = combined_rows
+
+        ctx = EvalContext(columns=plan.ext_columns, params=params, executor=self)
+
+        if plan.post_having is not None:
+            ext_rows = [
+                row
+                for row in ext_rows
+                if plan.post_having.eval(ctx.with_row(row)) is True
+            ]
+
+        produced: list[tuple[tuple[Any, ...], tuple[Any, ...]]] = []
+        for ext_row in ext_rows:
+            row_ctx = ctx.with_row(ext_row)
+            out = tuple(expr.eval(row_ctx) for expr in plan.post_exprs)
+            produced.append((ext_row, out))
+
+        if plan.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique: list[tuple[tuple[Any, ...], tuple[Any, ...]]] = []
+            for ext_row, out in produced:
+                if out not in seen:
+                    seen.add(out)
+                    unique.append((ext_row, out))
+            produced = unique
+
+        if plan.post_order:
+            comparator = self._make_comparator(plan, params)
+            produced.sort(key=functools.cmp_to_key(comparator))
+
+        rows = [out for _ext, out in produced]
+        if plan.offset:
+            rows = rows[plan.offset :]
+        if plan.limit is not None:
+            rows = rows[: plan.limit]
+        return ResultSet(columns=list(plan.output_names), rows=rows)
+
+    def _combined_rows(
+        self, plan: SelectPlan, params: tuple[Any, ...]
+    ) -> list[tuple[Any, ...]]:
+        """Drive the scan + join pipeline; returns fully joined rows."""
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+        rows: list[tuple[Any, ...]] = [
+            row for _rowid, row in self._iter_access(plan.access, params)
+        ]
+
+        for step in plan.joins:
+            joined: list[tuple[Any, ...]] = []
+            null_pad = (None,) * step.inner_width
+            for outer in rows:
+                matched = False
+                for _rowid, inner in self._iter_access(
+                    step.access, params, plan.columns, outer
+                ):
+                    candidate = outer + inner
+                    if step.on is not None:
+                        if step.on.eval(ctx.with_row(candidate)) is not True:
+                            continue
+                    matched = True
+                    joined.append(candidate)
+                if step.left_outer and not matched:
+                    joined.append(outer + null_pad)
+            rows = joined
+
+        if plan.where is not None:
+            rows = [
+                row for row in rows if plan.where.eval(ctx.with_row(row)) is True
+            ]
+        return rows
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _aggregate(
+        self,
+        plan: SelectPlan,
+        params: tuple[Any, ...],
+        rows: list[tuple[Any, ...]],
+    ) -> list[tuple[Any, ...]]:
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+        groups: dict[tuple[Any, ...], list[_Accumulator]] = {}
+        order: list[tuple[Any, ...]] = []
+
+        for row in rows:
+            row_ctx = ctx.with_row(row)
+            key = tuple(expr.eval(row_ctx) for expr in plan.group_exprs)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [_Accumulator(agg) for agg in plan.aggregates]
+                groups[key] = accumulators
+                order.append(key)
+            for accumulator in accumulators:
+                accumulator.feed(row_ctx)
+
+        # Global aggregation over an empty input still yields one row.
+        if not groups and not plan.group_exprs:
+            groups[()] = [_Accumulator(agg) for agg in plan.aggregates]
+            order.append(())
+
+        ext_rows: list[tuple[Any, ...]] = []
+        for key in order:
+            values = tuple(acc.result() for acc in groups[key])
+            ext_rows.append(key + values)
+        return ext_rows
+
+    # -- ordering -------------------------------------------------------------------
+
+    def _make_comparator(
+        self, plan: SelectPlan, params: tuple[Any, ...]
+    ) -> Callable[[Any, Any], int]:
+        ctx = EvalContext(columns=plan.ext_columns, params=params, executor=self)
+        order = plan.post_order
+
+        def compare(
+            left: tuple[tuple[Any, ...], tuple[Any, ...]],
+            right: tuple[tuple[Any, ...], tuple[Any, ...]],
+        ) -> int:
+            left_ctx = ctx.with_row(left[0])
+            right_ctx = ctx.with_row(right[0])
+            for expr, ascending in order:
+                a = expr.eval(left_ctx)
+                b = expr.eval(right_ctx)
+                if a is None and b is None:
+                    continue
+                if a is None:
+                    return 1  # NULLs sort last
+                if b is None:
+                    return -1
+                if a == b:
+                    continue
+                result = -1 if a < b else 1
+                return result if ascending else -result
+            return 0
+
+        return compare
+
+    # -- INSERT --------------------------------------------------------------------
+
+    def _execute_insert(
+        self, plan: InsertPlan, params: tuple[Any, ...], txn: TransactionContext
+    ) -> int:
+        table = self.table(plan.table)
+        value_rows: list[tuple[Any, ...]]
+        if plan.select is not None:
+            value_rows = list(self._execute_select(plan.select, params).rows)
+        else:
+            ctx = EvalContext(columns={}, params=params, executor=self)
+            value_rows = [
+                tuple(expr.eval(ctx) for expr in row) for row in plan.rows
+            ]
+
+        new_rowids: list[int] = []
+        for values in value_rows:
+            full_row = [
+                values[slot] if slot is not None else column.default
+                for slot, column in zip(plan.slots, table.schema)
+            ]
+            rowid = table.insert(full_row)
+            txn.record_insert(plan.table, rowid)
+            new_rowids.append(rowid)
+
+        self.stats.rows_inserted += len(new_rowids)
+        self._fire_insert_hooks(txn, plan.table, new_rowids)
+        return len(new_rowids)
+
+    def insert_rows(
+        self,
+        txn: TransactionContext,
+        table_name: str,
+        rows: list[tuple[Any, ...]] | list[list[Any]],
+        *,
+        fire_hooks: bool = True,
+    ) -> list[int]:
+        """Direct (non-SQL) bulk insert used by the streaming layer.
+
+        Validates against the schema, records undo, optionally fires insert
+        hooks, and returns the new rowids.
+        """
+        table = self.table(table_name)
+        new_rowids = []
+        for values in rows:
+            rowid = table.insert(values)
+            txn.record_insert(table.name, rowid)
+            new_rowids.append(rowid)
+        self.stats.rows_inserted += len(new_rowids)
+        if fire_hooks:
+            self._fire_insert_hooks(txn, table.name, new_rowids)
+        return new_rowids
+
+    def delete_rows(
+        self, txn: TransactionContext, table_name: str, rowids: list[int]
+    ) -> int:
+        """Direct (non-SQL) delete by rowid, used by GC and window expiry."""
+        table = self.table(table_name)
+        for rowid in rowids:
+            before = table.delete(rowid)
+            txn.record_delete(table.name, rowid, before)
+        self.stats.rows_deleted += len(rowids)
+        return len(rowids)
+
+    # -- UPDATE --------------------------------------------------------------------
+
+    def _execute_update(
+        self, plan: UpdatePlan, params: tuple[Any, ...], txn: TransactionContext
+    ) -> int:
+        table = self.table(plan.table)
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+
+        matches: list[int] = []
+        for rowid, row in self._iter_access(plan.access, params):
+            if plan.where is None or plan.where.eval(ctx.with_row(row)) is True:
+                matches.append(rowid)
+
+        for rowid in matches:
+            old_row = table.get(rowid)
+            row_ctx = ctx.with_row(old_row)
+            new_row = list(old_row)
+            for offset, expr in plan.assignments:
+                new_row[offset] = expr.eval(row_ctx)
+            before = table.update(rowid, new_row)
+            txn.record_update(plan.table, rowid, before)
+
+        self.stats.rows_updated += len(matches)
+        return len(matches)
+
+    # -- DELETE --------------------------------------------------------------------
+
+    def _execute_delete(
+        self, plan: DeletePlan, params: tuple[Any, ...], txn: TransactionContext
+    ) -> int:
+        table = self.table(plan.table)
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+
+        matches: list[int] = []
+        for rowid, row in self._iter_access(plan.access, params):
+            if plan.where is None or plan.where.eval(ctx.with_row(row)) is True:
+                matches.append(rowid)
+
+        for rowid in matches:
+            before = table.delete(rowid)
+            txn.record_delete(plan.table, rowid, before)
+
+        self.stats.rows_deleted += len(matches)
+        return len(matches)
+
+    # -- snapshot support -------------------------------------------------------------
+
+    def dump_state(self) -> dict[str, Any]:
+        return {name: table.dump_state() for name, table in self._tables.items()}
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        for name, table_state in state.items():
+            self.table(name).load_state(table_state)
+        # Tables present in storage but absent from the snapshot are emptied
+        # (they were created before the snapshot was taken but held no rows,
+        # or the snapshot predates them — recovery replays the rest).
+        for name, table in self._tables.items():
+            if name not in state:
+                table.truncate()
+
+
+class _Accumulator:
+    """Incremental state for one aggregate call over one group."""
+
+    def __init__(self, agg: AggregateCall) -> None:
+        self._agg = agg
+        self._count = 0
+        self._sum: Any = None
+        self._min: Any = None
+        self._max: Any = None
+        self._distinct: set[Any] | None = set() if agg.distinct else None
+
+    def feed(self, row_ctx: EvalContext) -> None:
+        if self._agg.arg is None:  # COUNT(*)
+            self._count += 1
+            return
+        value = self._agg.arg.eval(row_ctx)
+        if value is None:
+            return  # SQL aggregates ignore NULLs
+        if self._distinct is not None:
+            if value in self._distinct:
+                return
+            self._distinct.add(value)
+        self._count += 1
+        self._sum = value if self._sum is None else self._sum + value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def result(self) -> Any:
+        name = self._agg.name
+        if name == "count":
+            return self._count
+        if name == "sum":
+            return self._sum
+        if name == "avg":
+            if self._count == 0:
+                return None
+            return self._sum / self._count
+        if name == "min":
+            return self._min
+        if name == "max":
+            return self._max
+        raise StorageError(f"unknown aggregate {name!r}")  # pragma: no cover

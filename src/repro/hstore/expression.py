@@ -1,0 +1,770 @@
+"""Expression AST and evaluation.
+
+Expressions appear in SELECT lists, WHERE/HAVING clauses, UPDATE SET clauses
+and INSERT VALUES.  The AST is built by the parser and evaluated by the
+executor against an :class:`EvalContext` that resolves column references and
+statement parameters.
+
+SQL three-valued logic is honoured where it matters for the engine's
+workloads: any comparison or arithmetic with NULL yields NULL, and a WHERE
+predicate only accepts rows whose predicate is exactly TRUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import BindingError, PlanningError, TypeSystemError
+
+__all__ = [
+    "EvalContext",
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Parameter",
+    "BinaryOp",
+    "UnaryOp",
+    "Comparison",
+    "BooleanOp",
+    "NotOp",
+    "InList",
+    "Between",
+    "Like",
+    "IsNull",
+    "FunctionCall",
+    "AggregateCall",
+    "Star",
+    "walk",
+]
+
+
+@dataclass
+class EvalContext:
+    """Everything an expression needs at evaluation time.
+
+    ``columns`` maps a fully-qualified column key (``"alias.column"``) and,
+    when unambiguous, the bare column name to its position in ``row``.
+    ``executor`` is the execution engine evaluating the statement; planned
+    subquery nodes run their inner plans through it.
+    """
+
+    columns: dict[str, int]
+    row: tuple[Any, ...] = ()
+    params: tuple[Any, ...] = ()
+    executor: Any = None
+
+    def resolve(self, name: str) -> Any:
+        try:
+            return self.row[self.columns[name]]
+        except KeyError:
+            raise BindingError(
+                f"cannot resolve column {name!r}; known: {sorted(self.columns)}"
+            ) from None
+
+    def with_row(self, row: tuple[Any, ...]) -> "EvalContext":
+        return EvalContext(
+            columns=self.columns,
+            row=row,
+            params=self.params,
+            executor=self.executor,
+        )
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def eval(self, ctx: EvalContext) -> Any:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def sql(self) -> str:
+        """Render back to SQL text (used in plan explanations and tests)."""
+        raise NotImplementedError
+
+
+def walk(expr: Expression) -> Iterator[Expression]:
+    """Depth-first iterator over an expression tree (node first)."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def eval(self, ctx: EvalContext) -> Any:
+        return self.value
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to ``table_alias.column`` or a bare ``column``."""
+
+    name: str
+    table: str | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def eval(self, ctx: EvalContext) -> Any:
+        return ctx.resolve(self.key)
+
+    def sql(self) -> str:
+        return self.key
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional ``?`` placeholder (0-based ``index``)."""
+
+    index: int
+
+    def eval(self, ctx: EvalContext) -> Any:
+        if self.index >= len(ctx.params):
+            raise BindingError(
+                f"statement requires parameter #{self.index + 1}, "
+                f"only {len(ctx.params)} bound"
+            )
+        return ctx.params[self.index]
+
+    def sql(self) -> str:
+        return "?"
+
+
+_ARITH: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else _int_div(a, b),
+    "%": lambda a, b: a % b,
+}
+
+
+def _int_div(a: int, b: int) -> int:
+    """SQL integer division truncates toward zero."""
+    if b == 0:
+        raise TypeSystemError("division by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        left = self.left.eval(ctx)
+        right = self.right.eval(ctx)
+        if left is None or right is None:
+            return None
+        if self.op == "||":
+            return str(left) + str(right)
+        try:
+            fn = _ARITH[self.op]
+        except KeyError:  # pragma: no cover - parser only emits known ops
+            raise PlanningError(f"unknown binary operator {self.op!r}") from None
+        if self.op in ("/", "%") and right == 0:
+            raise TypeSystemError("division by zero")
+        return fn(left, right)
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # only "-" is produced by the parser
+    operand: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        value = self.operand.eval(ctx)
+        if value is None:
+            return None
+        if self.op == "-":
+            return -value
+        raise PlanningError(f"unknown unary operator {self.op!r}")  # pragma: no cover
+
+    def sql(self) -> str:
+        return f"(-{self.operand.sql()})"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        left = self.left.eval(ctx)
+        right = self.right.eval(ctx)
+        if left is None or right is None:
+            return None
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except KeyError:  # pragma: no cover
+            raise PlanningError(f"unknown comparator {self.op!r}") from None
+        except TypeError:
+            raise TypeSystemError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from None
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """N-ary AND / OR with SQL three-valued logic."""
+
+    op: str  # "AND" | "OR"
+    operands: tuple[Expression, ...]
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.operands
+
+    def eval(self, ctx: EvalContext) -> Any:
+        saw_null = False
+        for operand in self.operands:
+            value = operand.eval(ctx)
+            if value is None:
+                saw_null = True
+            elif self.op == "AND" and not value:
+                return False
+            elif self.op == "OR" and value:
+                return True
+        if saw_null:
+            return None
+        return self.op == "AND"
+
+    def sql(self) -> str:
+        joined = f" {self.op} ".join(part.sql() for part in self.operands)
+        return f"({joined})"
+
+
+@dataclass(frozen=True)
+class NotOp(Expression):
+    operand: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        value = self.operand.eval(ctx)
+        if value is None:
+            return None
+        return not value
+
+    def sql(self) -> str:
+        return f"(NOT {self.operand.sql()})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    options: tuple[Expression, ...]
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, *self.options)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        value = self.operand.eval(ctx)
+        if value is None:
+            return None
+        saw_null = False
+        found = False
+        for option in self.options:
+            candidate = option.eval(ctx)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                found = True
+                break
+        if found:
+            return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def sql(self) -> str:
+        options = ", ".join(option.sql() for option in self.options)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} ({options}))"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.low, self.high)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        value = self.operand.eval(ctx)
+        low = self.low.eval(ctx)
+        high = self.high.eval(ctx)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if self.negated else result
+
+    def sql(self) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand.sql()} {keyword} {self.low.sql()} AND {self.high.sql()})"
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL LIKE with ``%`` (any run) and ``_`` (any one char) wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.pattern)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        value = self.operand.eval(ctx)
+        pattern = self.pattern.eval(ctx)
+        if value is None or pattern is None:
+            return None
+        result = _like_match(str(value), str(pattern))
+        return not result if self.negated else result
+
+    def sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.sql()} {keyword} {self.pattern.sql()})"
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """Iterative LIKE matcher (no regex, no catastrophic backtracking)."""
+    # Classic two-pointer wildcard match, '%' == '*', '_' == '?'.
+    v_idx = p_idx = 0
+    star_p = star_v = -1
+    while v_idx < len(value):
+        if p_idx < len(pattern) and (pattern[p_idx] == "_" or pattern[p_idx] == value[v_idx]):
+            v_idx += 1
+            p_idx += 1
+        elif p_idx < len(pattern) and pattern[p_idx] == "%":
+            star_p = p_idx
+            star_v = v_idx
+            p_idx += 1
+        elif star_p != -1:
+            star_v += 1
+            v_idx = star_v
+            p_idx = star_p + 1
+        else:
+            return False
+    while p_idx < len(pattern) and pattern[p_idx] == "%":
+        p_idx += 1
+    return p_idx == len(pattern)
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        value = self.operand.eval(ctx)
+        return (value is not None) if self.negated else (value is None)
+
+    def sql(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.sql()} {keyword})"
+
+
+def _sql_abs(value: Any) -> Any:
+    return abs(value)
+
+
+def _sql_coalesce(*values: Any) -> Any:
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": _sql_abs,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+    "length": lambda s: len(s),
+    "coalesce": _sql_coalesce,
+    "sqrt": lambda x: x**0.5,
+    "floor": lambda x: int(x // 1),
+    "ceil": lambda x: -int((-x) // 1),
+    "min2": min,
+    "max2": max,
+}
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str
+    args: tuple[Expression, ...] = ()
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.args
+
+    def eval(self, ctx: EvalContext) -> Any:
+        try:
+            fn = _SCALAR_FUNCTIONS[self.name.lower()]
+        except KeyError:
+            raise PlanningError(f"unknown function {self.name!r}") from None
+        values = [arg.eval(ctx) for arg in self.args]
+        if self.name.lower() != "coalesce" and any(value is None for value in values):
+            return None
+        return fn(*values)
+
+    def sql(self) -> str:
+        args = ", ".join(arg.sql() for arg in self.args)
+        return f"{self.name.upper()}({args})"
+
+
+AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """``COUNT(*)``, ``COUNT(x)``, ``SUM/AVG/MIN/MAX(expr)``.
+
+    Aggregates never evaluate directly: the aggregate executor computes them
+    over a group and substitutes their value.  ``eval`` therefore raises.
+    """
+
+    name: str  # lower-cased
+    arg: Expression | None = None  # None means COUNT(*)
+    distinct: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.arg,) if self.arg is not None else ()
+
+    def eval(self, ctx: EvalContext) -> Any:
+        raise PlanningError(
+            f"aggregate {self.name.upper()} evaluated outside GROUP BY context"
+        )
+
+    def sql(self) -> str:
+        inner = "*" if self.arg is None else self.arg.sql()
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name.upper()}({inner})"
+
+
+@dataclass(frozen=True, eq=False)
+class InSubquery(Expression):
+    """``operand [NOT] IN (SELECT ...)`` — parsed form.
+
+    The planner replaces this with :class:`PlannedInSubquery`; evaluating
+    the raw form is a planning bug.  The inner query may reference columns
+    of the enclosing statement (one level up); the planner decorrelates
+    such references into parameters.
+    """
+
+    operand: Expression
+    select: Any  # SelectStmt (kept loose to avoid an import cycle)
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def eval(self, ctx: EvalContext) -> Any:  # pragma: no cover - planner bug
+        raise PlanningError("IN (SELECT ...) must be planned before evaluation")
+
+    def sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} (<subquery>))"
+
+
+@dataclass(frozen=True, eq=False)
+class Exists(Expression):
+    """``EXISTS (SELECT ...)`` — parsed form (correlation allowed, one level)."""
+
+    select: Any  # SelectStmt
+
+    def eval(self, ctx: EvalContext) -> Any:  # pragma: no cover - planner bug
+        raise PlanningError("EXISTS must be planned before evaluation")
+
+    def sql(self) -> str:
+        return "(EXISTS (<subquery>))"
+
+
+def _subquery_params(ctx: EvalContext, outer_offsets: tuple[int, ...]) -> tuple:
+    """Statement params extended with the correlated outer-column values."""
+    return tuple(ctx.params) + tuple(ctx.row[offset] for offset in outer_offsets)
+
+
+@dataclass(frozen=True, eq=False)
+class PlannedInSubquery(Expression):
+    """Planned ``IN (SELECT ...)``: the inner plan runs per evaluation.
+
+    ``outer_offsets`` lists the combined-row positions of correlated outer
+    columns; their current values are appended to the statement parameters
+    (the planner rewrote the inner references to the matching ``?`` slots).
+    """
+
+    operand: Expression
+    plan: Any  # SelectPlan
+    negated: bool = False
+    outer_offsets: tuple[int, ...] = ()
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        if ctx.executor is None:
+            raise PlanningError("subquery evaluation requires an executor")
+        value = self.operand.eval(ctx)
+        if value is None:
+            return None
+        result = ctx.executor.execute_select_plan(
+            self.plan, _subquery_params(ctx, self.outer_offsets)
+        )
+        saw_null = False
+        for (candidate,) in result.rows:
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.sql()} {keyword} (<subquery>))"
+
+
+@dataclass(frozen=True, eq=False)
+class PlannedExists(Expression):
+    """Planned ``EXISTS (SELECT ...)`` (optionally correlated)."""
+
+    plan: Any  # SelectPlan
+    outer_offsets: tuple[int, ...] = ()
+
+    def eval(self, ctx: EvalContext) -> Any:
+        if ctx.executor is None:
+            raise PlanningError("subquery evaluation requires an executor")
+        result = ctx.executor.execute_select_plan(
+            self.plan, _subquery_params(ctx, self.outer_offsets)
+        )
+        return bool(result.rows)
+
+    def sql(self) -> str:
+        return "(EXISTS (<subquery>))"
+
+
+@dataclass(frozen=True, eq=False)
+class ScalarSubquery(Expression):
+    """``(SELECT ...)`` used as a value — parsed form."""
+
+    select: Any  # SelectStmt
+
+    def eval(self, ctx: EvalContext) -> Any:  # pragma: no cover - planner bug
+        raise PlanningError("scalar subquery must be planned before evaluation")
+
+    def sql(self) -> str:
+        return "(<scalar subquery>)"
+
+
+@dataclass(frozen=True, eq=False)
+class PlannedScalarSubquery(Expression):
+    """Planned scalar subquery: yields the single value, NULL when empty.
+
+    More than one row is a runtime error, per standard SQL.
+    """
+
+    plan: Any  # SelectPlan
+    outer_offsets: tuple[int, ...] = ()
+
+    def eval(self, ctx: EvalContext) -> Any:
+        if ctx.executor is None:
+            raise PlanningError("subquery evaluation requires an executor")
+        result = ctx.executor.execute_select_plan(
+            self.plan, _subquery_params(ctx, self.outer_offsets)
+        )
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise TypeSystemError(
+                f"scalar subquery returned {len(result.rows)} rows"
+            )
+        return result.rows[0][0]
+
+    def sql(self) -> str:
+        return "(<scalar subquery>)"
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expression):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``.
+
+    With an operand it is a *simple* CASE (operand compared to each WHEN
+    value); without, a *searched* CASE (each WHEN is a predicate).
+    """
+
+    whens: tuple[tuple[Expression, Expression], ...]
+    operand: Expression | None = None
+    default: Expression | None = None
+
+    def children(self) -> tuple[Expression, ...]:
+        nodes: list[Expression] = []
+        if self.operand is not None:
+            nodes.append(self.operand)
+        for when, then in self.whens:
+            nodes.append(when)
+            nodes.append(then)
+        if self.default is not None:
+            nodes.append(self.default)
+        return tuple(nodes)
+
+    def eval(self, ctx: EvalContext) -> Any:
+        if self.operand is not None:
+            subject = self.operand.eval(ctx)
+            for when, then in self.whens:
+                candidate = when.eval(ctx)
+                if subject is not None and candidate == subject:
+                    return then.eval(ctx)
+        else:
+            for when, then in self.whens:
+                if when.eval(ctx) is True:
+                    return then.eval(ctx)
+        if self.default is not None:
+            return self.default.eval(ctx)
+        return None
+
+    def sql(self) -> str:
+        parts = ["CASE"]
+        if self.operand is not None:
+            parts.append(self.operand.sql())
+        for when, then in self.whens:
+            parts.append(f"WHEN {when.sql()} THEN {then.sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.sql()}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``SELECT *`` (optionally ``alias.*``); expanded by the planner."""
+
+    table: str | None = None
+
+    def eval(self, ctx: EvalContext) -> Any:  # pragma: no cover - planner expands
+        raise PlanningError("* must be expanded by the planner before evaluation")
+
+    def sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+def rewrite(
+    expr: Expression,
+    transform: Callable[[Expression], Expression | None],
+) -> Expression:
+    """Generic top-down expression rewriter.
+
+    ``transform`` is called on each node first; returning a replacement stops
+    descent into that node, returning ``None`` rebuilds it with rewritten
+    children.  Frozen dataclass nodes are reconstructed only when a child
+    actually changed.
+    """
+    import dataclasses as _dataclasses
+
+    replacement = transform(expr)
+    if replacement is not None:
+        return replacement
+
+    kwargs: dict[str, Any] = {}
+    changed = False
+    for fld in _dataclasses.fields(expr):
+        value = getattr(expr, fld.name)
+        if isinstance(value, Expression):
+            new_value = rewrite(value, transform)
+            changed = changed or new_value is not value
+            kwargs[fld.name] = new_value
+        elif (
+            isinstance(value, tuple)
+            and value
+            and all(isinstance(item, Expression) for item in value)
+        ):
+            new_tuple = tuple(rewrite(item, transform) for item in value)
+            changed = changed or any(
+                new is not old for new, old in zip(new_tuple, value)
+            )
+            kwargs[fld.name] = new_tuple
+        elif (
+            isinstance(value, tuple)
+            and value
+            and all(
+                isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[0], Expression)
+                for item in value
+            )
+        ):
+            new_pairs = tuple(
+                (rewrite(a, transform), rewrite(b, transform)) for a, b in value
+            )
+            changed = changed or new_pairs != value
+            kwargs[fld.name] = new_pairs
+        else:
+            kwargs[fld.name] = value
+    if not changed:
+        return expr
+    return _dataclasses.replace(expr, **kwargs)
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """Whether any node in the tree is an :class:`AggregateCall`."""
+    return any(isinstance(node, AggregateCall) for node in walk(expr))
+
+
+def find_parameters(expr: Expression) -> list[Parameter]:
+    """All parameter placeholders in the tree, in tree order."""
+    return [node for node in walk(expr) if isinstance(node, Parameter)]

@@ -1,0 +1,191 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  The token
+set covers the SQL subset the engine executes: identifiers (optionally
+double-quoted), integer/float/string literals, ``?`` parameters, operators
+and punctuation.  Keywords are recognized case-insensitively but remain
+plain ``IDENT`` tokens until the parser classifies them, which keeps the
+lexer independent of grammar changes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    PARAM = "PARAM"  # ?
+    OPERATOR = "OPERATOR"  # = <> != < <= > >= + - * / % ||
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    SEMICOLON = "SEMICOLON"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.name}, {self.text!r}@{self.position})"
+
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    ";": TokenType.SEMICOLON,
+}
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPERATORS = "=<>+-*/%"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(sql))
+
+
+def _tokens(sql: str) -> Iterator[Token]:
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        char = sql[pos]
+
+        if char.isspace():
+            pos += 1
+            continue
+
+        # -- comments ----------------------------------------------------
+        if char == "-" and sql.startswith("--", pos):
+            newline = sql.find("\n", pos)
+            pos = length if newline == -1 else newline + 1
+            continue
+
+        # -- punctuation (DOT needs care: 1.5 is a float, tbl.col is a dot)
+        if char in _SINGLE_CHAR:
+            if char == "." and pos + 1 < length and sql[pos + 1].isdigit():
+                pass  # fall through to number scanning below
+            else:
+                yield Token(_SINGLE_CHAR[char], char, pos)
+                pos += 1
+                continue
+
+        # -- parameters ---------------------------------------------------
+        if char == "?":
+            yield Token(TokenType.PARAM, "?", pos)
+            pos += 1
+            continue
+
+        # -- string literals (single-quoted, '' escapes a quote) ----------
+        if char == "'":
+            token, pos = _scan_string(sql, pos)
+            yield token
+            continue
+
+        # -- numbers -------------------------------------------------------
+        if char.isdigit() or (char == "." and pos + 1 < length and sql[pos + 1].isdigit()):
+            token, pos = _scan_number(sql, pos)
+            yield token
+            continue
+
+        # -- identifiers / keywords ----------------------------------------
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            yield Token(TokenType.IDENT, sql[start:pos], start)
+            continue
+
+        # -- quoted identifiers ---------------------------------------------
+        if char == '"':
+            end = sql.find('"', pos + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", pos)
+            yield Token(TokenType.IDENT, sql[pos + 1 : end], pos)
+            pos = end + 1
+            continue
+
+        # -- operators ---------------------------------------------------
+        two = sql[pos : pos + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            yield Token(TokenType.OPERATOR, two, pos)
+            pos += 2
+            continue
+        if char in _ONE_CHAR_OPERATORS:
+            yield Token(TokenType.OPERATOR, char, pos)
+            pos += 1
+            continue
+
+        raise SqlSyntaxError(f"unexpected character {char!r}", pos)
+
+    yield Token(TokenType.EOF, "", length)
+
+
+def _scan_string(sql: str, start: int) -> tuple[Token, int]:
+    """Scan a single-quoted string starting at ``start`` (the quote).
+
+    Returns the token and the position just past the closing quote.
+    """
+    parts: list[str] = []
+    pos = start + 1
+    length = len(sql)
+    while pos < length:
+        char = sql[pos]
+        if char == "'":
+            if pos + 1 < length and sql[pos + 1] == "'":
+                parts.append("'")
+                pos += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start), pos + 1
+        parts.append(char)
+        pos += 1
+    raise SqlSyntaxError("unterminated string literal", start)
+
+
+def _scan_number(sql: str, start: int) -> tuple[Token, int]:
+    pos = start
+    length = len(sql)
+    saw_dot = False
+    saw_exp = False
+    while pos < length:
+        char = sql[pos]
+        if char.isdigit():
+            pos += 1
+        elif char == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            pos += 1
+        elif char in "eE" and not saw_exp and pos > start:
+            # exponent must be followed by optional sign + digit
+            nxt = pos + 1
+            if nxt < length and sql[nxt] in "+-":
+                nxt += 1
+            if nxt < length and sql[nxt].isdigit():
+                saw_exp = True
+                pos = nxt + 1
+            else:
+                break
+        else:
+            break
+    text = sql[start:pos]
+    token_type = TokenType.FLOAT if (saw_dot or saw_exp) else TokenType.INTEGER
+    return Token(token_type, text, start), pos

@@ -1,0 +1,883 @@
+"""Recursive-descent SQL parser.
+
+Grammar (the subset the engine executes — everything the Voter and BikeShare
+applications and the benchmarks need):
+
+.. code-block:: text
+
+    statement   := select | insert | update | delete | create | ';'?
+    create      := CREATE TABLE name '(' column_def (',' column_def)*
+                       [',' PRIMARY KEY '(' ident_list ')'] ')'
+                       [PARTITION ON ident]
+                 | CREATE STREAM name '(' column_def (',' column_def)* ')'
+                 | CREATE WINDOW name ON stream (ROWS n | RANGE n) [SLIDE n]
+                 | CREATE [UNIQUE] INDEX name ON table '(' ident_list ')'
+                       [USING (HASH | TREE)]
+    select      := SELECT select_item (',' select_item)*
+                   FROM table_ref (join)* [WHERE expr]
+                   [GROUP BY expr_list [HAVING expr]]
+                   [ORDER BY order_item (',' order_item)*]
+                   [LIMIT int [OFFSET int]]
+    insert      := INSERT INTO name ['(' ident_list ')']
+                   (VALUES tuple (',' tuple)* | select)
+    update      := UPDATE name SET ident '=' expr (',' ident '=' expr)*
+                   [WHERE expr]
+    delete      := DELETE FROM name [WHERE expr]
+
+Expressions support the usual precedence: OR < AND < NOT < comparison /
+IN / BETWEEN / LIKE / IS NULL < additive < multiplicative < unary minus <
+atoms (literals, ``?`` parameters, column refs, function calls, aggregates,
+parenthesised expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+from repro.hstore.catalog import Column
+from repro.hstore.expression import (
+    AGGREGATE_NAMES,
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Exists,
+    Expression,
+    FunctionCall,
+    InSubquery,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    NotOp,
+    Parameter,
+    ScalarSubquery,
+    Star,
+    UnaryOp,
+)
+from repro.hstore.lexer import Token, TokenType, tokenize
+from repro.hstore.types import SqlType
+
+__all__ = [
+    "parse",
+    "Statement",
+    "SelectItem",
+    "TableRef",
+    "Join",
+    "OrderItem",
+    "SelectStmt",
+    "InsertStmt",
+    "UpdateStmt",
+    "DeleteStmt",
+    "CreateTableStmt",
+    "CreateStreamStmt",
+    "CreateWindowStmt",
+    "CreateIndexStmt",
+    "DropTableStmt",
+    "DropIndexStmt",
+    "TruncateStmt",
+]
+
+
+# ---------------------------------------------------------------------------
+# Statement AST
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    on: Expression
+    #: LEFT OUTER join: unmatched left rows survive with NULL-padded right
+    left_outer: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    items: tuple[SelectItem, ...]
+    table: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStmt(Statement):
+    table: str
+    columns: tuple[str, ...] = ()  # empty = full schema order
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    select: SelectStmt | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStmt(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStmt(Statement):
+    table: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class CreateTableStmt(Statement):
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    partition_column: str | None = None
+
+
+@dataclass(frozen=True)
+class CreateStreamStmt(Statement):
+    name: str
+    columns: tuple[Column, ...]
+
+
+@dataclass(frozen=True)
+class CreateWindowStmt(Statement):
+    name: str
+    stream: str
+    kind: str  # "ROWS" (tuple-based) or "RANGE" (time-based)
+    size: int
+    slide: int
+    #: stored procedure the window is scoped to (None = assign later)
+    owner: str | None = None
+
+
+@dataclass(frozen=True)
+class DropTableStmt(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class DropIndexStmt(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class TruncateStmt(Statement):
+    table: str
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    ordered: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TYPE_NAMES = {
+    "INT": SqlType.INTEGER,
+    "INTEGER": SqlType.INTEGER,
+    "BIGINT": SqlType.BIGINT,
+    "FLOAT": SqlType.FLOAT,
+    "DOUBLE": SqlType.FLOAT,
+    "REAL": SqlType.FLOAT,
+    "VARCHAR": SqlType.VARCHAR,
+    "TEXT": SqlType.VARCHAR,
+    "STRING": SqlType.VARCHAR,
+    "BOOLEAN": SqlType.BOOLEAN,
+    "BOOL": SqlType.BOOLEAN,
+    "TIMESTAMP": SqlType.TIMESTAMP,
+}
+
+#: Keywords that terminate an expression / cannot start an operand.
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "TABLE", "STREAM", "WINDOW", "INDEX", "PRIMARY", "KEY",
+    "JOIN", "ON", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS",
+    "NULL", "TRUE", "FALSE", "AS", "ASC", "DESC", "DISTINCT", "UNIQUE",
+    "INNER", "USING", "PARTITION", "ROWS", "RANGE", "SLIDE",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "LEFT", "OUTER", "EXISTS",
+    "DROP", "TRUNCATE",
+}
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement; raises :class:`SqlSyntaxError` on failure."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.parse_statement()
+    parser.accept_type(TokenType.SEMICOLON)
+    parser.expect_type(TokenType.EOF)
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_type(self, token_type: TokenType) -> Token | None:
+        if self.current.type is token_type:
+            return self.advance()
+        return None
+
+    def expect_type(self, token_type: TokenType) -> Token:
+        if self.current.type is token_type:
+            return self.advance()
+        raise SqlSyntaxError(
+            f"expected {token_type.name}, found {self.current.text!r}",
+            self.current.position,
+        )
+
+    def accept_keyword(self, *keywords: str) -> Token | None:
+        token = self.current
+        if token.type is TokenType.IDENT and token.upper in keywords:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            raise SqlSyntaxError(
+                f"expected {keyword}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return token
+
+    def peek_keyword(self, *keywords: str) -> bool:
+        token = self.current
+        return token.type is TokenType.IDENT and token.upper in keywords
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.type is not TokenType.IDENT:
+            raise SqlSyntaxError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        if token.upper in _RESERVED:
+            raise SqlSyntaxError(
+                f"reserved word {token.text!r} cannot be used as identifier",
+                token.position,
+            )
+        return self.advance().text.lower()
+
+    def expect_integer(self) -> int:
+        token = self.expect_type(TokenType.INTEGER)
+        return int(token.text)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.peek_keyword("SELECT"):
+            return self.parse_select()
+        if self.peek_keyword("INSERT"):
+            return self.parse_insert()
+        if self.peek_keyword("UPDATE"):
+            return self.parse_update()
+        if self.peek_keyword("DELETE"):
+            return self.parse_delete()
+        if self.peek_keyword("CREATE"):
+            return self.parse_create()
+        if self.peek_keyword("DROP"):
+            return self.parse_drop()
+        if self.peek_keyword("TRUNCATE"):
+            self.expect_keyword("TRUNCATE")
+            self.expect_keyword("TABLE")
+            return TruncateStmt(self.expect_ident())
+        raise SqlSyntaxError(
+            f"expected a statement, found {self.current.text!r}",
+            self.current.position,
+        )
+
+    # SELECT --------------------------------------------------------------
+
+    def parse_select(self) -> SelectStmt:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT") is not None
+        items = [self.parse_select_item()]
+        while self.accept_type(TokenType.COMMA):
+            items.append(self.parse_select_item())
+
+        self.expect_keyword("FROM")
+        table = self.parse_table_ref()
+        joins: list[Join] = []
+        while True:
+            left_outer = False
+            if self.accept_keyword("JOIN"):
+                pass
+            elif self.peek_keyword("INNER"):
+                self._accept_inner_join()
+            elif self.peek_keyword("LEFT"):
+                self.expect_keyword("LEFT")
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                left_outer = True
+            else:
+                break
+            join_table = self.parse_table_ref()
+            self.expect_keyword("ON")
+            joins.append(
+                Join(join_table, self.parse_expression(), left_outer=left_outer)
+            )
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+
+        group_by: list[Expression] = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_type(TokenType.COMMA):
+                group_by.append(self.parse_expression())
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expression()
+
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_type(TokenType.COMMA):
+                order_by.append(self.parse_order_item())
+
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expect_integer()
+            if self.accept_keyword("OFFSET"):
+                offset = self.expect_integer()
+
+        return SelectStmt(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _accept_inner_join(self) -> bool:
+        self.expect_keyword("INNER")
+        self.expect_keyword("JOIN")
+        return True
+
+    def parse_select_item(self) -> SelectItem:
+        if self.current.type is TokenType.OPERATOR and self.current.text == "*":
+            self.advance()
+            return SelectItem(Star())
+        expr = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif (
+            self.current.type is TokenType.IDENT
+            and self.current.upper not in _RESERVED
+        ):
+            alias = self.expect_ident()
+        return SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif (
+            self.current.type is TokenType.IDENT
+            and self.current.upper not in _RESERVED
+        ):
+            alias = self.expect_ident()
+        return TableRef(name, alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr, ascending)
+
+    # INSERT ----------------------------------------------------------------
+
+    def parse_insert(self) -> InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: tuple[str, ...] = ()
+        if self.accept_type(TokenType.LPAREN):
+            names = [self.expect_ident()]
+            while self.accept_type(TokenType.COMMA):
+                names.append(self.expect_ident())
+            self.expect_type(TokenType.RPAREN)
+            columns = tuple(names)
+        if self.peek_keyword("SELECT"):
+            return InsertStmt(table=table, columns=columns, select=self.parse_select())
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_tuple()]
+        while self.accept_type(TokenType.COMMA):
+            rows.append(self.parse_value_tuple())
+        return InsertStmt(table=table, columns=columns, rows=tuple(rows))
+
+    def parse_value_tuple(self) -> tuple[Expression, ...]:
+        self.expect_type(TokenType.LPAREN)
+        values = [self.parse_expression()]
+        while self.accept_type(TokenType.COMMA):
+            values.append(self.parse_expression())
+        self.expect_type(TokenType.RPAREN)
+        return tuple(values)
+
+    # UPDATE ----------------------------------------------------------------
+
+    def parse_update(self) -> UpdateStmt:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.accept_type(TokenType.COMMA):
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return UpdateStmt(table=table, assignments=tuple(assignments), where=where)
+
+    def parse_assignment(self) -> tuple[str, Expression]:
+        column = self.expect_ident()
+        token = self.current
+        if token.type is not TokenType.OPERATOR or token.text != "=":
+            raise SqlSyntaxError("expected '=' in SET clause", token.position)
+        self.advance()
+        return column, self.parse_expression()
+
+    # DELETE ----------------------------------------------------------------
+
+    def parse_delete(self) -> DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return DeleteStmt(table=table, where=where)
+
+    # CREATE ----------------------------------------------------------------
+
+    def parse_create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self.parse_create_table()
+        if self.accept_keyword("STREAM"):
+            return self.parse_create_stream()
+        if self.accept_keyword("WINDOW"):
+            return self.parse_create_window()
+        unique = self.accept_keyword("UNIQUE") is not None
+        if self.accept_keyword("INDEX"):
+            return self.parse_create_index(unique)
+        raise SqlSyntaxError(
+            f"expected TABLE, STREAM, WINDOW or INDEX after CREATE, "
+            f"found {self.current.text!r}",
+            self.current.position,
+        )
+
+    def parse_drop(self) -> Statement:
+        self.expect_keyword("DROP")
+        if self.accept_keyword("TABLE"):
+            return DropTableStmt(self.expect_ident())
+        if self.accept_keyword("INDEX"):
+            return DropIndexStmt(self.expect_ident())
+        raise SqlSyntaxError(
+            f"expected TABLE or INDEX after DROP, found {self.current.text!r}",
+            self.current.position,
+        )
+
+    def parse_column_defs(self) -> tuple[tuple[Column, ...], tuple[str, ...]]:
+        self.expect_type(TokenType.LPAREN)
+        columns: list[Column] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect_type(TokenType.LPAREN)
+                names = [self.expect_ident()]
+                while self.accept_type(TokenType.COMMA):
+                    names.append(self.expect_ident())
+                self.expect_type(TokenType.RPAREN)
+                primary_key = tuple(names)
+            else:
+                columns.append(self.parse_column_def())
+            if not self.accept_type(TokenType.COMMA):
+                break
+        self.expect_type(TokenType.RPAREN)
+        return tuple(columns), primary_key
+
+    def parse_column_def(self) -> Column:
+        name = self.expect_ident()
+        type_token = self.current
+        if type_token.type is not TokenType.IDENT:
+            raise SqlSyntaxError("expected a type name", type_token.position)
+        try:
+            sql_type = _TYPE_NAMES[type_token.upper]
+        except KeyError:
+            raise SqlSyntaxError(
+                f"unknown type {type_token.text!r}", type_token.position
+            ) from None
+        self.advance()
+        # VARCHAR(n) — length is parsed and ignored (no length enforcement).
+        if self.accept_type(TokenType.LPAREN):
+            self.expect_type(TokenType.INTEGER)
+            self.expect_type(TokenType.RPAREN)
+        nullable = True
+        if self.accept_keyword("NOT"):
+            self.expect_keyword("NULL")
+            nullable = False
+        return Column(name, sql_type, nullable=nullable)
+
+    def parse_create_table(self) -> CreateTableStmt:
+        name = self.expect_ident()
+        columns, primary_key = self.parse_column_defs()
+        partition_column = None
+        if self.accept_keyword("PARTITION"):
+            self.expect_keyword("ON")
+            partition_column = self.expect_ident()
+        return CreateTableStmt(
+            name=name,
+            columns=columns,
+            primary_key=primary_key,
+            partition_column=partition_column,
+        )
+
+    def parse_create_stream(self) -> CreateStreamStmt:
+        name = self.expect_ident()
+        columns, primary_key = self.parse_column_defs()
+        if primary_key:
+            raise SqlSyntaxError("streams cannot declare a primary key")
+        return CreateStreamStmt(name=name, columns=columns)
+
+    def parse_create_window(self) -> CreateWindowStmt:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        stream = self.expect_ident()
+        if self.accept_keyword("ROWS"):
+            kind = "ROWS"
+        elif self.accept_keyword("RANGE"):
+            kind = "RANGE"
+        else:
+            raise SqlSyntaxError(
+                f"expected ROWS or RANGE, found {self.current.text!r}",
+                self.current.position,
+            )
+        size = self.expect_integer()
+        slide = size  # default: tumbling window
+        if self.accept_keyword("SLIDE"):
+            slide = self.expect_integer()
+        owner = None
+        if self.accept_keyword("OWNED"):
+            self.expect_keyword("BY")
+            owner = self.expect_ident()
+        return CreateWindowStmt(
+            name=name, stream=stream, kind=kind, size=size, slide=slide, owner=owner
+        )
+
+    def parse_create_index(self, unique: bool) -> CreateIndexStmt:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_type(TokenType.LPAREN)
+        columns = [self.expect_ident()]
+        while self.accept_type(TokenType.COMMA):
+            columns.append(self.expect_ident())
+        self.expect_type(TokenType.RPAREN)
+        ordered = False
+        if self.accept_keyword("USING"):
+            if self.accept_keyword("TREE"):
+                ordered = True
+            elif self.accept_keyword("HASH"):
+                ordered = False
+            else:
+                raise SqlSyntaxError(
+                    f"expected HASH or TREE, found {self.current.text!r}",
+                    self.current.position,
+                )
+        return CreateIndexStmt(
+            name=name, table=table, columns=tuple(columns), unique=unique, ordered=ordered
+        )
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        operands = [self.parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("OR", tuple(operands))
+
+    def parse_and(self) -> Expression:
+        operands = [self.parse_not()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("AND", tuple(operands))
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return NotOp(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.text in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            self.advance()
+            right = self.parse_additive()
+            return Comparison(token.text, left, right)
+
+        negated = False
+        if self.peek_keyword("NOT"):
+            # lookahead: NOT IN / NOT BETWEEN / NOT LIKE
+            save = self._pos
+            self.advance()
+            if self.peek_keyword("IN", "BETWEEN", "LIKE"):
+                negated = True
+            else:
+                self._pos = save
+                return left
+
+        if self.accept_keyword("IN"):
+            self.expect_type(TokenType.LPAREN)
+            if self.peek_keyword("SELECT"):
+                select = self.parse_select()
+                self.expect_type(TokenType.RPAREN)
+                return InSubquery(left, select, negated=negated)
+            options = [self.parse_expression()]
+            while self.accept_type(TokenType.COMMA):
+                options.append(self.parse_expression())
+            self.expect_type(TokenType.RPAREN)
+            return InList(left, tuple(options), negated=negated)
+
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated=negated)
+
+        if self.accept_keyword("LIKE"):
+            return Like(left, self.parse_additive(), negated=negated)
+
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=is_negated)
+
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.text in ("+", "-", "||"):
+                self.advance()
+                right = self.parse_multiplicative()
+                left = BinaryOp(token.text, left, right)
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.text in ("*", "/", "%"):
+                self.advance()
+                right = self.parse_unary()
+                left = BinaryOp(token.text, left, right)
+            else:
+                return left
+
+    def parse_unary(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.text == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        if token.type is TokenType.OPERATOR and token.text == "+":
+            self.advance()
+            return self.parse_unary()
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expression:
+        token = self.current
+
+        if token.type is TokenType.INTEGER:
+            self.advance()
+            return Literal(int(token.text))
+        if token.type is TokenType.FLOAT:
+            self.advance()
+            return Literal(float(token.text))
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            param = Parameter(self._param_count)
+            self._param_count += 1
+            return param
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            if self.peek_keyword("SELECT"):
+                select = self.parse_select()
+                self.expect_type(TokenType.RPAREN)
+                return ScalarSubquery(select)
+            expr = self.parse_expression()
+            self.expect_type(TokenType.RPAREN)
+            return expr
+
+        if token.type is TokenType.IDENT:
+            upper = token.upper
+            if upper == "CASE":
+                return self.parse_case()
+            if upper == "EXISTS":
+                self.advance()
+                self.expect_type(TokenType.LPAREN)
+                select = self.parse_select()
+                self.expect_type(TokenType.RPAREN)
+                return Exists(select)
+            if upper == "NULL":
+                self.advance()
+                return Literal(None)
+            if upper == "TRUE":
+                self.advance()
+                return Literal(True)
+            if upper == "FALSE":
+                self.advance()
+                return Literal(False)
+            if upper in _RESERVED:
+                raise SqlSyntaxError(
+                    f"unexpected keyword {token.text!r} in expression",
+                    token.position,
+                )
+            return self.parse_name_or_call()
+
+        raise SqlSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.position
+        )
+
+    def parse_name_or_call(self) -> Expression:
+        name_token = self.advance()
+        name = name_token.text
+
+        # function or aggregate call
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            lowered = name.lower()
+            if lowered in AGGREGATE_NAMES:
+                return self._parse_aggregate_tail(lowered)
+            args: list[Expression] = []
+            if self.current.type is not TokenType.RPAREN:
+                args.append(self.parse_expression())
+                while self.accept_type(TokenType.COMMA):
+                    args.append(self.parse_expression())
+            self.expect_type(TokenType.RPAREN)
+            return FunctionCall(lowered, tuple(args))
+
+        # qualified column (table.column or table.*)
+        if self.accept_type(TokenType.DOT):
+            if self.current.type is TokenType.OPERATOR and self.current.text == "*":
+                self.advance()
+                return Star(table=name.lower())
+            column = self.expect_ident()
+            return ColumnRef(column, table=name.lower())
+
+        return ColumnRef(name.lower())
+
+    def parse_case(self) -> CaseExpr:
+        """CASE [operand] WHEN ... THEN ... [ELSE ...] END."""
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.peek_keyword("WHEN"):
+            operand = self.parse_expression()
+        whens: list[tuple[Expression, Expression]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.parse_expression()))
+        if not whens:
+            raise SqlSyntaxError(
+                "CASE requires at least one WHEN clause", self.current.position
+            )
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expression()
+        self.expect_keyword("END")
+        return CaseExpr(whens=tuple(whens), operand=operand, default=default)
+
+    def _parse_aggregate_tail(self, name: str) -> AggregateCall:
+        distinct = self.accept_keyword("DISTINCT") is not None
+        if self.current.type is TokenType.OPERATOR and self.current.text == "*":
+            if name != "count":
+                raise SqlSyntaxError(
+                    f"{name.upper()}(*) is not valid SQL", self.current.position
+                )
+            self.advance()
+            self.expect_type(TokenType.RPAREN)
+            return AggregateCall("count", None, distinct=False)
+        arg = self.parse_expression()
+        self.expect_type(TokenType.RPAREN)
+        return AggregateCall(name, arg, distinct=distinct)

@@ -1,0 +1,75 @@
+"""Partitions: the unit of serial execution.
+
+An H-Store node is divided into partitions; each partition owns a slice of
+the database and executes its transactions *serially* — no locks, no
+latches.  Here a partition bundles one :class:`ExecutionEngine` (storage +
+query processing) with a busy flag the engine uses to assert serial
+execution, plus the deterministic value-routing hash.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.errors import PartitionError
+from repro.hstore.catalog import Catalog
+from repro.hstore.executor import ExecutionEngine
+from repro.hstore.stats import EngineStats
+
+__all__ = ["Partition", "stable_hash", "route_value"]
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic, process-independent hash for partition routing.
+
+    Python's built-in ``hash`` is salted per process for strings, which would
+    make routing non-reproducible across runs (and break command-log replay
+    after a "reboot"), so integers route by value and strings by CRC-32.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    raise PartitionError(f"cannot route on value of type {type(value).__name__}")
+
+
+def route_value(value: Any, partition_count: int) -> int:
+    """Partition id for a routing value."""
+    if partition_count < 1:
+        raise PartitionError("engine requires at least one partition")
+    return stable_hash(value) % partition_count
+
+
+class Partition:
+    """One serial execution site: an EE plus execution bookkeeping."""
+
+    def __init__(self, partition_id: int, catalog: Catalog, stats: EngineStats) -> None:
+        self.partition_id = partition_id
+        self.ee = ExecutionEngine(catalog, stats)
+        self._busy = False
+
+    def acquire(self) -> None:
+        """Mark the partition busy; serial execution means this never nests."""
+        if self._busy:
+            raise PartitionError(
+                f"partition {self.partition_id} is already executing a "
+                f"transaction (serial execution violated)"
+            )
+        self._busy = True
+
+    def release(self) -> None:
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition({self.partition_id})"

@@ -1,0 +1,87 @@
+"""Transaction-consistent snapshots.
+
+H-Store pairs command logging with periodic snapshots so recovery replays a
+bounded log suffix.  Because transactions execute serially per partition, a
+snapshot taken between transactions is trivially transaction-consistent.
+
+Snapshots here are deep copies of every partition's table state (rows only —
+indexes are rebuilt on load) plus any extra state the streaming layer
+registers (stream cursors, window metadata), standing in for H-Store's
+checkpoint files on disk.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RecoveryError
+
+__all__ = ["Snapshot", "SnapshotStore"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One transaction-consistent checkpoint."""
+
+    snapshot_id: int
+    #: log position the snapshot covers: replay starts at this LSN
+    through_lsn: int
+    logical_time: int
+    #: partition id → ExecutionEngine.dump_state() payload
+    partition_state: dict[int, dict[str, Any]]
+    #: opaque extra state (the streaming layer stores cursors/windows here)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class SnapshotStore:
+    """Holds the snapshots "on disk"; only the newest matters for recovery."""
+
+    def __init__(self) -> None:
+        self._snapshots: list[Snapshot] = []
+        self._next_id = 0
+
+    def take(
+        self,
+        through_lsn: int,
+        logical_time: int,
+        partition_state: dict[int, dict[str, Any]],
+        extra: dict[str, Any] | None = None,
+    ) -> Snapshot:
+        snapshot = Snapshot(
+            snapshot_id=self._next_id,
+            through_lsn=through_lsn,
+            logical_time=logical_time,
+            partition_state=copy.deepcopy(partition_state),
+            extra=copy.deepcopy(extra or {}),
+        )
+        self._next_id += 1
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    @property
+    def latest(self) -> Snapshot | None:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def adopt(self, snapshot: Snapshot) -> None:
+        """Install a snapshot loaded from disk as the latest checkpoint."""
+        self._snapshots.append(snapshot)
+        self._next_id = max(self._next_id, snapshot.snapshot_id + 1)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def require_latest(self) -> Snapshot:
+        snapshot = self.latest
+        if snapshot is None:
+            raise RecoveryError("no snapshot available")
+        return snapshot
+
+    def prune(self, keep: int = 1) -> int:
+        """Drop all but the newest ``keep`` snapshots; returns count dropped."""
+        if keep < 1:
+            raise RecoveryError("must keep at least one snapshot")
+        dropped = max(0, len(self._snapshots) - keep)
+        self._snapshots = self._snapshots[-keep:]
+        return dropped

@@ -1,0 +1,96 @@
+"""Engine statistics counters.
+
+The paper's throughput argument is architectural: S-Store wins because it
+removes client↔PE round trips (push-based workflows instead of polling) and
+PE↔EE round trips (native windowing via EE triggers).  To make that argument
+measurable, every layer crossing in this reproduction increments a counter
+here.  Benchmarks E3–E5 read these counters directly.
+
+Counter semantics:
+
+``client_pe_roundtrips``
+    One per client request/response pair — a ``call_procedure`` from a client
+    session, or a poll.  Engine-internal PE-trigger invocations do *not*
+    count: that is precisely the saving S-Store's push-based workflows buy.
+
+``pe_ee_roundtrips``
+    One per SQL statement the PE sends to the EE for execution.  Statements
+    executed *inside* the EE by an EE trigger do not count — the second
+    saving, bought by native windowing.
+
+``ee_statements``
+    Every statement the EE executes, regardless of who asked (superset of
+    ``pe_ee_roundtrips``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Mutable counters shared by the PE, EE and client layers."""
+
+    client_pe_roundtrips: int = 0
+    pe_ee_roundtrips: int = 0
+    ee_statements: int = 0
+    ee_trigger_firings: int = 0
+    pe_trigger_firings: int = 0
+    txns_committed: int = 0
+    txns_aborted: int = 0
+    rows_inserted: int = 0
+    rows_updated: int = 0
+    rows_deleted: int = 0
+    stream_tuples_ingested: int = 0
+    stream_tuples_gced: int = 0
+    window_slides: int = 0
+    log_records: int = 0
+    log_flushes: int = 0
+    snapshots_taken: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment an ad-hoc named counter (kept in :attr:`extra`)."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def snapshot(self) -> dict[str, int]:
+        """A flat copy of all counters (for benchmark deltas)."""
+        result = {
+            name: getattr(self, name)
+            for name in (
+                "client_pe_roundtrips",
+                "pe_ee_roundtrips",
+                "ee_statements",
+                "ee_trigger_firings",
+                "pe_trigger_firings",
+                "txns_committed",
+                "txns_aborted",
+                "rows_inserted",
+                "rows_updated",
+                "rows_deleted",
+                "stream_tuples_ingested",
+                "stream_tuples_gced",
+                "window_slides",
+                "log_records",
+                "log_flushes",
+                "snapshots_taken",
+            )
+        }
+        result.update(self.extra)
+        return result
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name, value in vars(self).items():
+            if isinstance(value, int):
+                setattr(self, name, 0)
+        self.extra.clear()
+
+    @staticmethod
+    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+        """Per-counter difference between two :meth:`snapshot` results."""
+        keys = set(before) | set(after)
+        return {key: after.get(key, 0) - before.get(key, 0) for key in sorted(keys)}

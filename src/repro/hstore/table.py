@@ -1,0 +1,245 @@
+"""In-memory tables: the storage half of the execution engine.
+
+A :class:`Table` stores typed tuples keyed by an internal, monotonically
+increasing row id.  Row ids double as *insertion-order* markers, which the
+streaming layer relies on: stream state is ordered by arrival, and windows
+expire tuples in arrival order.
+
+Constraint enforcement (primary key, unique secondary indexes) happens here,
+*before* any mutation is applied, so a violating statement leaves no trace
+even without consulting the undo log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import PrimaryKeyViolationError, StorageError, UniqueViolationError
+from repro.hstore.catalog import Schema, TableEntry, TableKind
+from repro.hstore.index import Key, make_index, _BaseIndex
+from repro.hstore.types import coerce_value
+
+__all__ = ["Table", "Row"]
+
+#: Stored rows are immutable tuples of column values.
+Row = tuple[Any, ...]
+
+
+class Table:
+    """One in-memory table plus its indexes."""
+
+    def __init__(self, entry: TableEntry) -> None:
+        self.entry = entry
+        self.name = entry.name
+        self.schema: Schema = entry.schema
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 0
+        self._indexes: dict[str, _BaseIndex] = {}
+        self._index_offsets: dict[str, tuple[int, ...]] = {}
+        self._pk_index: _BaseIndex | None = None
+        if entry.primary_key:
+            offsets = tuple(self.schema.offset_of(col) for col in entry.primary_key)
+            self._pk_index = make_index(f"{self.name}__pk", unique=True, ordered=False)
+            self._register_index(self._pk_index, offsets)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def kind(self) -> TableKind:
+        return self.entry.kind
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def rowids(self) -> list[int]:
+        """All live row ids in insertion order."""
+        return sorted(self._rows)
+
+    def get(self, rowid: int) -> Row:
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise StorageError(f"table {self.name!r} has no row {rowid}") from None
+
+    def has_rowid(self, rowid: int) -> bool:
+        return rowid in self._rows
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield ``(rowid, row)`` in insertion order."""
+        for rowid in sorted(self._rows):
+            yield rowid, self._rows[rowid]
+
+    def rows(self) -> list[Row]:
+        """All rows in insertion order (convenience for tests/apps)."""
+        return [self._rows[rowid] for rowid in sorted(self._rows)]
+
+    # -- index plumbing --------------------------------------------------
+
+    def _register_index(self, index: _BaseIndex, offsets: tuple[int, ...]) -> None:
+        self._indexes[index.name] = index
+        self._index_offsets[index.name] = offsets
+        for rowid, row in self._rows.items():
+            index.insert(self._key_for(offsets, row), rowid)
+
+    def add_index(
+        self,
+        name: str,
+        column_names: tuple[str, ...],
+        *,
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> _BaseIndex:
+        """Create (and backfill) a secondary index."""
+        offsets = tuple(self.schema.offset_of(col) for col in column_names)
+        index = make_index(name, unique=unique, ordered=ordered)
+        self._register_index(index, offsets)
+        return index
+
+    def index(self, name: str) -> _BaseIndex:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise StorageError(f"table {self.name!r} has no index {name!r}") from None
+
+    def drop_index(self, name: str) -> None:
+        """Remove a secondary index (the primary-key index cannot go)."""
+        index = self.index(name)
+        if index is self._pk_index:
+            raise StorageError(f"cannot drop the primary-key index of {self.name!r}")
+        del self._indexes[index.name]
+        del self._index_offsets[index.name]
+
+    def indexes(self) -> dict[str, _BaseIndex]:
+        return dict(self._indexes)
+
+    def index_offsets(self, name: str) -> tuple[int, ...]:
+        return self._index_offsets[name.lower()]
+
+    @staticmethod
+    def _key_for(offsets: tuple[int, ...], row: Row) -> Key:
+        return tuple(row[offset] for offset in offsets)
+
+    # -- validation -------------------------------------------------------
+
+    def validate_row(self, values: list[Any] | tuple[Any, ...]) -> Row:
+        """Coerce a full row of values against the schema; returns the tuple."""
+        if len(values) != len(self.schema):
+            raise StorageError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(values)}"
+            )
+        coerced = [
+            coerce_value(value, column.sql_type, nullable=column.nullable)
+            for value, column in zip(values, self.schema)
+        ]
+        return tuple(coerced)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, values: list[Any] | tuple[Any, ...]) -> int:
+        """Validate and insert a row; returns the new rowid.
+
+        Raises :class:`PrimaryKeyViolationError` /
+        :class:`UniqueViolationError` without mutating anything.
+        """
+        row = self.validate_row(values)
+        # Check all uniqueness constraints before touching any structure.
+        for name, index in self._indexes.items():
+            key = self._key_for(self._index_offsets[name], row)
+            if index.would_violate(key):
+                if index is self._pk_index:
+                    raise PrimaryKeyViolationError(
+                        f"duplicate primary key {key!r} in table {self.name!r}"
+                    )
+                raise UniqueViolationError(
+                    f"duplicate key {key!r} in unique index {name!r}"
+                )
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        for name, index in self._indexes.items():
+            index.insert(self._key_for(self._index_offsets[name], row), rowid)
+        return rowid
+
+    def insert_with_rowid(self, rowid: int, values: list[Any] | tuple[Any, ...]) -> None:
+        """Re-insert a row under a specific rowid (undo of a delete)."""
+        if rowid in self._rows:
+            raise StorageError(f"rowid {rowid} already live in {self.name!r}")
+        row = self.validate_row(values)
+        self._rows[rowid] = row
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+        for name, index in self._indexes.items():
+            index.insert(self._key_for(self._index_offsets[name], row), rowid)
+
+    def delete(self, rowid: int) -> Row:
+        """Delete a row by id; returns the deleted row (for undo logging)."""
+        row = self.get(rowid)
+        for name, index in self._indexes.items():
+            index.remove(self._key_for(self._index_offsets[name], row), rowid)
+        del self._rows[rowid]
+        return row
+
+    def update(self, rowid: int, new_values: list[Any] | tuple[Any, ...]) -> Row:
+        """Replace a row in place; returns the before-image (for undo).
+
+        Uniqueness is re-checked for any index whose key changes.
+        """
+        old_row = self.get(rowid)
+        new_row = self.validate_row(new_values)
+        for name, index in self._indexes.items():
+            offsets = self._index_offsets[name]
+            old_key = self._key_for(offsets, old_row)
+            new_key = self._key_for(offsets, new_row)
+            if old_key != new_key and index.would_violate(new_key):
+                if index is self._pk_index:
+                    raise PrimaryKeyViolationError(
+                        f"duplicate primary key {new_key!r} in table {self.name!r}"
+                    )
+                raise UniqueViolationError(
+                    f"unique index {name!r} violated by update to {new_key!r}"
+                )
+        for name, index in self._indexes.items():
+            offsets = self._index_offsets[name]
+            old_key = self._key_for(offsets, old_row)
+            new_key = self._key_for(offsets, new_row)
+            if old_key != new_key:
+                index.remove(old_key, rowid)
+                index.insert(new_key, rowid)
+        self._rows[rowid] = new_row
+        return old_row
+
+    def truncate(self) -> int:
+        """Remove every row; returns how many were removed."""
+        count = len(self._rows)
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+        return count
+
+    # -- snapshot support ---------------------------------------------------
+
+    def dump_state(self) -> dict[str, Any]:
+        """Serializable physical state (rows only; indexes are rebuilt)."""
+        return {
+            "next_rowid": self._next_rowid,
+            "rows": {rowid: list(row) for rowid, row in self._rows.items()},
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Restore from :meth:`dump_state` output, rebuilding indexes."""
+        self._rows = {int(rowid): tuple(row) for rowid, row in state["rows"].items()}
+        self._next_rowid = int(state["next_rowid"])
+        for name, index in self._indexes.items():
+            index.clear()
+            offsets = self._index_offsets[name]
+            for rowid, row in self._rows.items():
+                index.insert(self._key_for(offsets, row), rowid)
+
+    # -- iteration helpers for executor -------------------------------------
+
+    def select_rowids(self, predicate: Callable[[Row], bool]) -> list[int]:
+        """Row ids whose rows satisfy ``predicate`` (insertion order)."""
+        return [rowid for rowid, row in self.scan() if predicate(row)]

@@ -1,0 +1,112 @@
+"""Transaction contexts and undo logging.
+
+H-Store runs transactions serially per partition, so no locks or latches are
+needed; atomicity comes from an in-memory undo log.  Every mutation the EE
+applies is recorded here as a logical undo record; abort walks the records in
+reverse and restores the before-images.
+
+A :class:`TransactionContext` is bound to one partition's execution engine —
+the single-sited case the paper demonstrates.  Multi-partition transactions
+are built from one context per touched partition (see
+:mod:`repro.hstore.engine`), which stays atomic because the engine holds all
+partitions for the duration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import NoActiveTransactionError, TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hstore.executor import ExecutionEngine
+
+__all__ = ["TxnState", "UndoKind", "UndoRecord", "TransactionContext"]
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "ACTIVE"
+    COMMITTED = "COMMITTED"
+    ABORTED = "ABORTED"
+
+
+class UndoKind(enum.Enum):
+    INSERT = "INSERT"
+    DELETE = "DELETE"
+    UPDATE = "UPDATE"
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    kind: UndoKind
+    table: str
+    rowid: int
+    before: tuple[Any, ...] | None = None
+
+
+@dataclass
+class TransactionContext:
+    """State of one in-flight transaction on one partition."""
+
+    txn_id: int
+    ee: "ExecutionEngine"
+    procedure_name: str = ""
+    state: TxnState = TxnState.ACTIVE
+    undo_log: list[UndoRecord] = field(default_factory=list)
+    #: arbitrary per-transaction scratch used by the streaming layer
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    # -- undo recording -----------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise NoActiveTransactionError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    def record_insert(self, table: str, rowid: int) -> None:
+        self._require_active()
+        self.undo_log.append(UndoRecord(UndoKind.INSERT, table, rowid))
+
+    def record_delete(
+        self, table: str, rowid: int, before: tuple[Any, ...]
+    ) -> None:
+        self._require_active()
+        self.undo_log.append(UndoRecord(UndoKind.DELETE, table, rowid, before))
+
+    def record_update(
+        self, table: str, rowid: int, before: tuple[Any, ...]
+    ) -> None:
+        self._require_active()
+        self.undo_log.append(UndoRecord(UndoKind.UPDATE, table, rowid, before))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        self.state = TxnState.COMMITTED
+        self.undo_log.clear()
+
+    def abort(self) -> None:
+        """Undo every recorded mutation (reverse order) and mark aborted."""
+        self._require_active()
+        for record in reversed(self.undo_log):
+            table = self.ee.table(record.table)
+            if record.kind is UndoKind.INSERT:
+                table.delete(record.rowid)
+            elif record.kind is UndoKind.DELETE:
+                if record.before is None:  # pragma: no cover - defensive
+                    raise TransactionError("delete undo record lacks before-image")
+                table.insert_with_rowid(record.rowid, record.before)
+            else:  # UPDATE
+                if record.before is None:  # pragma: no cover - defensive
+                    raise TransactionError("update undo record lacks before-image")
+                table.update(record.rowid, record.before)
+        self.undo_log.clear()
+        self.state = TxnState.ABORTED
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE

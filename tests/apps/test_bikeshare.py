@@ -1,0 +1,331 @@
+"""BikeShare application tests: OLTP, streaming and hybrid correctness."""
+
+import pytest
+
+from repro.apps.bikeshare import (
+    BikeShareApp,
+    BikeShareSimulation,
+    LOW_WATER,
+    STOLEN_SPEED_MPH,
+    render_ride_stats,
+    render_station_map,
+)
+
+
+@pytest.fixture
+def app() -> BikeShareApp:
+    return BikeShareApp(
+        num_stations=4, capacity=6, bikes_per_station=3, num_riders=10
+    )
+
+
+class TestCheckoutReturn:
+    def test_checkout_updates_everything(self, app):
+        result = app.checkout(rider_id=1, station_id=1, ts=10)
+        assert result.success
+        ride_id = result.data
+        bikes, docks = app.engine.execute_sql(
+            "SELECT bikes_available, docks_available FROM stations "
+            "WHERE station_id = 1"
+        ).first()
+        assert (bikes, docks) == (2, 4)
+        assert (
+            app.engine.execute_sql(
+                "SELECT status FROM bikes WHERE rider_id = 1"
+            ).scalar()
+            == "riding"
+        )
+        assert (
+            app.engine.execute_sql(
+                "SELECT active_ride FROM riders WHERE rider_id = 1"
+            ).scalar()
+            == ride_id
+        )
+
+    def test_double_checkout_rejected(self, app):
+        assert app.checkout(1, 1, 10).success
+        second = app.checkout(1, 2, 11)
+        assert not second.success
+        assert "active ride" in second.error
+
+    def test_checkout_from_empty_station(self, app):
+        for rider in (1, 2, 3):
+            assert app.checkout(rider, 1, 10).success
+        result = app.checkout(4, 1, 11)
+        assert not result.success
+        assert "no bikes" in result.error
+
+    def test_unknown_rider_or_station(self, app):
+        assert not app.checkout(999, 1, 10).success
+        assert not app.checkout(1, 999, 10).success
+
+    def test_return_bills_by_duration(self, app):
+        app.checkout(1, 1, ts=0)
+        result = app.return_bike(1, 2, ts=600)  # 10 minutes
+        assert result.success
+        assert result.data == pytest.approx(1.0 + 0.15 * 10)
+        assert app.billing_total() == pytest.approx(result.data)
+
+    def test_return_without_ride_rejected(self, app):
+        assert not app.return_bike(1, 1, ts=5).success
+
+    def test_return_to_full_station_rejected(self, app):
+        # fill station 2 to capacity first
+        app.engine.execute_sql(
+            "UPDATE stations SET docks_available = 0 WHERE station_id = 2"
+        )
+        app.checkout(1, 1, ts=0)
+        assert not app.return_bike(1, 2, ts=60).success
+
+    def test_bike_counters_conserved(self, app):
+        app.checkout(1, 1, 0)
+        app.checkout(2, 2, 0)
+        app.return_bike(1, 3, 120)
+        total_docked = app.engine.execute_sql(
+            "SELECT SUM(bikes_available) FROM stations"
+        ).scalar()
+        riding = app.engine.execute_sql(
+            "SELECT COUNT(*) FROM bikes WHERE status = 'riding'"
+        ).scalar()
+        assert total_docked + riding == 12  # 4 stations × 3 bikes
+
+
+class TestGpsPipeline:
+    def test_ride_stats_accumulate(self, app):
+        app.checkout(1, 1, ts=0)
+        bike = app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = 1"
+        ).scalar()
+        # 4 fixes moving 0.005 miles/second east (18 mph)
+        fixes = [(bike, t, 0.005 * t, 0.0) for t in range(1, 5)]
+        app.report_gps(fixes)
+        stats = app.ride_stats(1, ts=4)
+        assert stats["distance_miles"] == pytest.approx(0.02, abs=1e-6)
+        assert stats["max_speed_mph"] == pytest.approx(18.0, rel=1e-3)
+        assert stats["calories"] == pytest.approx(0.02 * 40, abs=0.1)
+
+    def test_stolen_bike_alert(self, app):
+        app.checkout(1, 1, ts=0)
+        bike = app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = 1"
+        ).scalar()
+        mph70 = 70.0 / 3600.0
+        # four fixes = one full gps batch (the deployment's batch size)
+        app.report_gps([(bike, t, t * mph70, 0.0) for t in range(1, 5)])
+        alerts = app.alerts()
+        assert len(alerts) == 1
+        assert alerts[0][1] == bike and alerts[0][2] == "stolen"
+        assert (
+            app.engine.execute_sql(
+                "SELECT status FROM bikes WHERE bike_id = ?", bike
+            ).scalar()
+            == "stolen"
+        )
+
+    def test_no_duplicate_stolen_alerts(self, app):
+        app.checkout(1, 1, ts=0)
+        bike = app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = 1"
+        ).scalar()
+        mph70 = 70.0 / 3600.0
+        fixes = [(bike, t, t * mph70, 0.0) for t in range(1, 6)]
+        app.report_gps(fixes)
+        assert len(app.alerts()) == 1
+
+    def test_normal_speed_no_alert(self, app):
+        app.checkout(1, 1, ts=0)
+        bike = app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = 1"
+        ).scalar()
+        mph12 = 12.0 / 3600.0
+        app.report_gps([(bike, t, t * mph12, 0.0) for t in range(1, 5)])
+        assert app.alerts() == []
+
+    def test_city_speed_from_window(self, app):
+        app.checkout(1, 1, ts=0)
+        bike = app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = 1"
+        ).scalar()
+        mph12 = 12.0 / 3600.0
+        app.report_gps([(bike, t, t * mph12, 0.0) for t in range(1, 6)])
+        assert app.city_speed() == pytest.approx(12.0, rel=1e-3)
+
+
+class TestDiscounts:
+    def drain_station(self, app, station=1):
+        """Take bikes until the station is below the low-water mark."""
+        rider = 1
+        while True:
+            bikes = app.engine.execute_sql(
+                "SELECT bikes_available FROM stations WHERE station_id = ?",
+                station,
+            ).scalar()
+            if bikes < LOW_WATER:
+                break
+            assert app.checkout(rider, station, ts=rider).success
+            rider += 1
+
+    def test_offers_created_when_drained(self, app):
+        self.drain_station(app)
+        offers = app.open_discounts()
+        assert offers
+        assert all(station == 1 for _id, station, _pct in offers)
+
+    def test_accept_is_exclusive(self, app):
+        self.drain_station(app)
+        discount_id = app.open_discounts()[0][0]
+        assert app.accept_discount(8, discount_id, ts=100).success
+        second = app.accept_discount(9, discount_id, ts=101)
+        assert not second.success
+        assert "not open" in second.error
+
+    def test_accepted_discount_applies_at_return(self, app):
+        self.drain_station(app)
+        discount_id = app.open_discounts()[0][0]
+        app.checkout(9, 2, ts=0)
+        assert app.accept_discount(9, discount_id, ts=10).success
+        result = app.return_bike(9, 1, ts=600)
+        full_price = 1.0 + 0.15 * 10
+        assert result.data == pytest.approx(full_price * 0.75)
+        state = app.engine.execute_sql(
+            "SELECT state FROM discounts WHERE discount_id = ?", discount_id
+        ).scalar()
+        assert state == "redeemed"
+
+    def test_expired_discount_does_not_apply(self, app):
+        self.drain_station(app)
+        discount_id = app.open_discounts()[0][0]
+        app.checkout(9, 2, ts=0)
+        app.accept_discount(9, discount_id, ts=10)
+        # 15 minutes = 900 ticks; return at 950 > 10 + 900
+        result = app.return_bike(9, 1, ts=950)
+        full_price = 1.0 + 0.15 * (950 / 60)
+        assert result.data == pytest.approx(round(full_price, 4))
+
+    def test_expire_reopens_offers(self, app):
+        self.drain_station(app)
+        discount_id = app.open_discounts()[0][0]
+        app.accept_discount(9, discount_id, ts=10)
+        expired = app.expire_discounts(ts=2000)
+        assert expired.data == 1
+        state, rider = app.engine.execute_sql(
+            "SELECT state, rider_id FROM discounts WHERE discount_id = ?",
+            discount_id,
+        ).first()
+        assert state == "offered" and rider is None
+
+    def test_offers_withdrawn_when_station_recovers(self, app):
+        self.drain_station(app)
+        assert app.open_discounts()
+        # ferry bikes in from other stations until the high-water mark
+        # (HIGH_WATER=4 > the 3 bikes the station started with)
+        ferries = [(7, 2), (8, 2), (9, 3), (10, 3)]
+        for i, (rider, from_station) in enumerate(ferries):
+            assert app.checkout(rider, from_station, ts=100 + i).success
+            assert app.return_bike(rider, 1, ts=200 + i).success
+        bikes = app.engine.execute_sql(
+            "SELECT bikes_available FROM stations WHERE station_id = 1"
+        ).scalar()
+        assert bikes >= 4
+        # station 1's offers are withdrawn (the ferry source stations may
+        # have drained below low water and opened their own offers)
+        assert [d for d in app.open_discounts() if d[1] == 1] == []
+
+
+class TestSimulation:
+    def test_deterministic(self):
+        def run():
+            app = BikeShareApp(
+                num_stations=4, capacity=6, bikes_per_station=3, num_riders=8
+            )
+            sim = BikeShareSimulation(app, seed=2, trip_speed_mph=30.0)
+            report = sim.run(120)
+            return (
+                report.checkouts,
+                report.returns,
+                report.gps_fixes,
+                app.billing_total(),
+            )
+
+        assert run() == run()
+
+    def test_ground_truth_distances_match(self):
+        app = BikeShareApp(
+            num_stations=4, capacity=8, bikes_per_station=4, num_riders=8
+        )
+        sim = BikeShareSimulation(app, seed=3, trip_speed_mph=30.0)
+        report = sim.run(300)
+        assert report.returns > 0
+        step = 30.0 / 3600.0  # one tick of movement
+        finished = app.engine.execute_sql(
+            "SELECT rider_id, distance FROM rides WHERE end_ts IS NOT NULL "
+            "ORDER BY ride_id"
+        ).rows
+        compared = 0
+        remaining = {k: list(v) for k, v in report.true_distances.items()}
+        for rider, engine_distance in finished:
+            if remaining.get(rider):
+                true = remaining[rider].pop(0)
+                assert abs(true - engine_distance) <= step + 1e-9
+                compared += 1
+        assert compared == report.returns
+
+    def test_theft_scenario_produces_alert(self):
+        app = BikeShareApp(
+            num_stations=4, capacity=6, bikes_per_station=3, num_riders=8
+        )
+        sim = BikeShareSimulation(
+            app, seed=2, theft_at_tick=10, trip_start_probability=0.0
+        )
+        sim.run(30)
+        assert len(app.alerts()) == 1
+
+    def test_drain_scenario_offers_discounts(self):
+        app = BikeShareApp(
+            num_stations=4, capacity=6, bikes_per_station=3, num_riders=12
+        )
+        sim = BikeShareSimulation(
+            app, seed=4, drain_station=1, drain_bias=1.0,
+            trip_start_probability=1.0, trip_speed_mph=20.0,
+        )
+        report = sim.run(60)
+        total_discounts = app.engine.execute_sql(
+            "SELECT COUNT(*) FROM discounts"
+        ).scalar()
+        assert total_discounts > 0
+
+
+class TestDisplays:
+    def test_station_map_renders(self, app):
+        app.checkout(1, 1, 0)
+        text = render_station_map(app)
+        assert "Station-1" in text
+        assert "ALERTS" in text
+
+    def test_city_grid_renders(self, app):
+        from repro.apps.bikeshare import render_city_grid
+
+        app.checkout(1, 1, 0)
+        text = render_city_grid(app)
+        assert "[2/6]" in text  # station 1 after one checkout
+        assert "[3/6]" in text  # an untouched station
+        assert "bikes/capacity" in text
+
+    def test_city_grid_marks_discounts(self, app):
+        from repro.apps.bikeshare import render_city_grid
+
+        for rider in (1, 2):
+            app.checkout(rider, 1, rider)
+        assert "[1/6]$" in render_city_grid(app)
+
+    def test_ride_stats_render(self, app):
+        app.checkout(1, 1, 0)
+        bike = app.engine.execute_sql(
+            "SELECT bike_id FROM bikes WHERE rider_id = 1"
+        ).scalar()
+        app.report_gps([(bike, 1, 0.003, 0.0)])
+        text = render_ride_stats(app.ride_stats(1, 2), 1)
+        assert "distance" in text
+
+    def test_ride_stats_no_ride(self):
+        assert "no active ride" in render_ride_stats(None, 7)

@@ -1,0 +1,139 @@
+"""Tests for batches, the stream registry and cursors."""
+
+import pytest
+
+from repro.core.batch import Batch, BatchFactory
+from repro.core.stream import StreamRegistry
+from repro.errors import (
+    DuplicateObjectError,
+    StreamingError,
+    UnknownObjectError,
+)
+
+
+class TestBatch:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(StreamingError):
+            Batch(0, 0, "s", ())
+
+    def test_len_and_iter(self):
+        batch = Batch(0, 0, "s", ((1,), (2,)))
+        assert len(batch) == 2
+        assert list(batch) == [(1,), (2,)]
+
+
+class TestBatchFactory:
+    def test_origin_batches_get_fresh_origins(self):
+        factory = BatchFactory()
+        first = factory.origin_batch("s", [(1,)])
+        second = factory.origin_batch("s", [(2,)])
+        assert first.origin_batch_id == 0
+        assert second.origin_batch_id == 1
+        assert second.batch_id == first.batch_id + 1
+
+    def test_derived_batch_inherits_origin(self):
+        factory = BatchFactory()
+        origin = factory.origin_batch("s", [(1,)])
+        derived = factory.derived_batch(origin, "t", [(2,)])
+        assert derived.origin_batch_id == origin.origin_batch_id
+        assert derived.stream == "t"
+        assert derived.batch_id != origin.batch_id
+
+    def test_rows_are_coerced_to_tuples(self):
+        factory = BatchFactory()
+        batch = factory.origin_batch("s", [[1, 2]])
+        assert batch.rows == ((1, 2),)
+
+    def test_state_roundtrip(self):
+        factory = BatchFactory()
+        factory.origin_batch("s", [(1,)])
+        state = factory.dump_state()
+        other = BatchFactory()
+        other.load_state(state)
+        batch = other.origin_batch("s", [(9,)])
+        assert batch.batch_id == 1
+        assert batch.origin_batch_id == 1
+
+
+class TestStreamRegistry:
+    def test_add_and_get_case_insensitive(self):
+        reg = StreamRegistry()
+        reg.add("Votes")
+        assert reg.get("VOTES").name == "votes"
+        assert reg.has("votes")
+
+    def test_duplicate_rejected(self):
+        reg = StreamRegistry()
+        reg.add("s")
+        with pytest.raises(DuplicateObjectError):
+            reg.add("S")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            StreamRegistry().get("ghost")
+
+    def test_single_producer_enforced(self):
+        reg = StreamRegistry()
+        reg.add("s")
+        reg.set_producer("s", "sp1")
+        reg.set_producer("s", "sp1")  # idempotent
+        with pytest.raises(StreamingError):
+            reg.set_producer("s", "sp2")
+
+
+class TestCursors:
+    def test_watermark_none_without_consumers(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        assert info.collectible_watermark() is None
+
+    def test_watermark_is_min_cursor(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        info.add_consumer("a")
+        info.add_consumer("b")
+        info.advance_cursor("a", 10)
+        info.advance_cursor("b", 4)
+        assert info.collectible_watermark() == 4
+
+    def test_fresh_consumer_blocks_gc(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        info.add_consumer("a")
+        assert info.collectible_watermark() == -1
+
+    def test_cursor_never_regresses(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        info.add_consumer("a")
+        info.advance_cursor("a", 10)
+        info.advance_cursor("a", 3)
+        assert info.cursors["a"] == 10
+
+    def test_duplicate_consumer_rejected(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        info.add_consumer("a")
+        with pytest.raises(DuplicateObjectError):
+            info.add_consumer("a")
+
+    def test_unknown_consumer_rejected(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        with pytest.raises(UnknownObjectError):
+            info.advance_cursor("ghost", 1)
+
+    def test_state_roundtrip(self):
+        reg = StreamRegistry()
+        info = reg.add("s")
+        info.add_consumer("a")
+        info.advance_cursor("a", 7)
+        info.producer = "sp0"
+        state = reg.dump_state()
+
+        other = StreamRegistry()
+        restored = other.add("s")
+        restored.add_consumer("a")
+        other.load_state(state)
+        assert other.get("s").cursors == {"a": 7}
+        assert other.get("s").producer == "sp0"

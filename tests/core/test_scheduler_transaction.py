@@ -1,0 +1,126 @@
+"""Tests for the stream scheduler and the schedule validator."""
+
+import pytest
+
+from repro.core.batch import BatchFactory
+from repro.core.scheduler import StreamScheduler, StreamTask
+from repro.core.transaction import TERecord, validate_schedule
+from repro.core.workflow import WorkflowSpec
+from repro.errors import SchedulingError
+from repro.hstore.catalog import Catalog
+
+
+def task(factory, origin_rows, depth, proc, origin=None):
+    if origin is None:
+        batch = factory.origin_batch("s", origin_rows)
+    else:
+        batch = factory.derived_batch(origin, "s2", origin_rows)
+    return StreamTask(
+        procedure_name=proc, batch=batch, depth=depth, workflow_name="wf"
+    ), batch
+
+
+class TestSchedulerOrdering:
+    def test_pops_by_origin_then_depth(self):
+        factory = BatchFactory()
+        sched = StreamScheduler()
+        t0, b0 = task(factory, [(1,)], 0, "sp1")
+        t1, _ = task(factory, [(2,)], 0, "sp1")
+        t2, _ = task(factory, [(1,)], 1, "sp2", origin=b0)
+        sched.enqueue(t0)
+        sched.enqueue(t1)
+        sched.enqueue(t2)
+        order = [sched.pop_next() for _ in range(3)]
+        # batch 0's whole pipeline (sp1 then sp2) before batch 1
+        assert [(t.batch.origin_batch_id, t.depth) for t in order] == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+        ]
+
+    def test_fifo_within_same_priority(self):
+        factory = BatchFactory()
+        sched = StreamScheduler()
+        origin = factory.origin_batch("s", [(0,)])
+        first = StreamTask("a", factory.derived_batch(origin, "x", [(1,)]), 1, "wf")
+        second = StreamTask("b", factory.derived_batch(origin, "y", [(2,)]), 1, "wf")
+        sched.enqueue(first)
+        sched.enqueue(second)
+        assert sched.pop_next().procedure_name == "a"
+        assert sched.pop_next().procedure_name == "b"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            StreamScheduler().pop_next()
+
+    def test_pending_count_and_clear(self):
+        factory = BatchFactory()
+        sched = StreamScheduler()
+        t0, _ = task(factory, [(1,)], 0, "sp1")
+        sched.enqueue(t0)
+        assert sched.pending_count == 1
+        assert sched.clear() == 1
+        assert not sched.has_pending
+
+
+def make_workflow(serial: bool) -> WorkflowSpec:
+    wf = WorkflowSpec("wf")
+    wf.add_node("sp1", input_stream="in", output_streams=("mid",))
+    wf.add_node("sp2", input_stream="mid")
+    # bypass full finalize: set what the validator needs
+    wf.nodes["sp1"].depth = 0
+    wf.nodes["sp2"].depth = 1
+    wf.border_procedures = ["sp1"]
+    wf.interior_procedures = ["sp2"]
+    wf.shared_writable_tables = {"t"} if serial else set()
+    wf._finalized = True
+    return wf
+
+
+def rec(seq, proc, origin, depth):
+    return TERecord(seq=seq, procedure=proc, origin_batch_id=origin, depth=depth,
+                    workflow="wf")
+
+
+class TestScheduleValidator:
+    def test_clean_serial_history_passes(self):
+        history = [
+            rec(0, "sp1", 0, 0),
+            rec(1, "sp2", 0, 1),
+            rec(2, "sp1", 1, 0),
+            rec(3, "sp2", 1, 1),
+        ]
+        assert validate_schedule(history, make_workflow(serial=True)) == []
+
+    def test_natural_order_violation(self):
+        history = [rec(0, "sp1", 1, 0), rec(1, "sp1", 0, 0)]
+        violations = validate_schedule(history, make_workflow(serial=False))
+        assert [v.rule for v in violations] == ["natural-order"]
+
+    def test_workflow_order_violation(self):
+        history = [rec(0, "sp2", 0, 1), rec(1, "sp1", 0, 0)]
+        violations = validate_schedule(history, make_workflow(serial=False))
+        assert "workflow-order" in [v.rule for v in violations]
+
+    def test_contiguity_violation_only_when_serial(self):
+        interleaved = [
+            rec(0, "sp1", 0, 0),
+            rec(1, "sp1", 1, 0),  # batch 1 starts before batch 0 finished
+            rec(2, "sp2", 0, 1),  # batch 0 resumes
+            rec(3, "sp2", 1, 1),
+        ]
+        serial_violations = validate_schedule(interleaved, make_workflow(True))
+        assert any(v.rule == "contiguity" for v in serial_violations)
+        relaxed = validate_schedule(interleaved, make_workflow(False))
+        assert all(v.rule != "contiguity" for v in relaxed)
+
+    def test_other_workflow_records_ignored(self):
+        foreign = [
+            TERecord(seq=0, procedure="x", origin_batch_id=5, depth=3,
+                     workflow="other")
+        ]
+        assert validate_schedule(foreign, make_workflow(True)) == []
+
+    def test_unsorted_input_is_sorted_by_seq(self):
+        history = [rec(1, "sp2", 0, 1), rec(0, "sp1", 0, 0)]
+        assert validate_schedule(history, make_workflow(False)) == []

@@ -1,0 +1,88 @@
+"""Direct unit tests for the trigger primitives."""
+
+import pytest
+
+from repro.core.triggers import EETrigger, PETrigger
+from repro.errors import StreamingError
+from repro.hstore.catalog import Catalog, Column, Schema, TableEntry, TableKind
+from repro.hstore.executor import ExecutionEngine
+from repro.hstore.parser import parse
+from repro.hstore.planner import Planner
+from repro.hstore.stats import EngineStats
+from repro.hstore.txn import TransactionContext
+from repro.hstore.types import SqlType
+
+
+@pytest.fixture
+def rig():
+    catalog = Catalog()
+    source = catalog.add_table(
+        TableEntry(
+            "src",
+            Schema([Column("a", SqlType.INTEGER), Column("b", SqlType.INTEGER)]),
+            kind=TableKind.STREAM,
+        )
+    )
+    target = catalog.add_table(
+        TableEntry("dst", Schema([Column("v", SqlType.INTEGER)]))
+    )
+    stats = EngineStats()
+    ee = ExecutionEngine(catalog, stats)
+    ee.create_storage(source)
+    ee.create_storage(target)
+    planner = Planner(catalog)
+    return ee, planner, stats
+
+
+class TestEETrigger:
+    def make(self, planner, param_offsets=(1,)):
+        return EETrigger(
+            name="t",
+            on_table="src",
+            plan=planner.plan(parse("INSERT INTO dst VALUES (?)")),
+            param_offsets=param_offsets,
+            sql="INSERT INTO dst VALUES (?)",
+        )
+
+    def test_fires_once_per_row_with_bound_params(self, rig):
+        ee, planner, stats = rig
+        trigger = self.make(planner)
+        txn = TransactionContext(1, ee)
+        trigger.fire(ee, stats, txn, [(10, 100), (20, 200)])
+        assert ee.table("dst").rows() == [(100,), (200,)]
+        assert stats.ee_trigger_firings == 2
+
+    def test_fired_inserts_are_undoable(self, rig):
+        ee, planner, stats = rig
+        trigger = self.make(planner)
+        txn = TransactionContext(1, ee)
+        trigger.fire(ee, stats, txn, [(1, 7)])
+        txn.abort()
+        assert ee.table("dst").rows() == []
+
+    def test_multi_column_binding_order(self, rig):
+        ee, planner, stats = rig
+        plan = planner.plan(parse("INSERT INTO dst VALUES (? - ?)"))
+        trigger = EETrigger("t2", "src", plan, (1, 0), "INSERT ...")
+        txn = TransactionContext(1, ee)
+        trigger.fire(ee, stats, txn, [(3, 10)])
+        assert ee.table("dst").rows() == [(7,)]  # b - a
+
+    def test_no_rows_no_firing(self, rig):
+        ee, planner, stats = rig
+        trigger = self.make(planner)
+        txn = TransactionContext(1, ee)
+        trigger.fire(ee, stats, txn, [])
+        assert stats.ee_trigger_firings == 0
+
+
+class TestPETrigger:
+    def test_valid_edge(self):
+        edge = PETrigger(
+            stream="s", producer="sp1", consumer="sp2", consumer_depth=1
+        )
+        assert edge.consumer_depth == 1
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(StreamingError):
+            PETrigger(stream="s", producer=None, consumer="sp", consumer_depth=-1)

@@ -1,0 +1,159 @@
+"""Tests for CASE expressions and LEFT OUTER joins."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.parser import parse
+
+
+@pytest.fixture
+def eng() -> HStoreEngine:
+    engine = HStoreEngine()
+    engine.execute_ddl("CREATE TABLE nums (v INTEGER)")
+    for v in (1, 5, 12, None):
+        engine.execute_sql("INSERT INTO nums VALUES (?)", v)
+    return engine
+
+
+class TestSearchedCase:
+    def test_branches(self, eng):
+        rows = eng.execute_sql(
+            "SELECT v, CASE WHEN v < 3 THEN 'low' WHEN v < 10 THEN 'mid' "
+            "ELSE 'high' END FROM nums"
+        ).rows
+        assert rows == [
+            (1, "low"),
+            (5, "mid"),
+            (12, "high"),
+            (None, "high"),  # NULL < 3 is NULL, not TRUE → falls to ELSE
+        ]
+
+    def test_no_else_yields_null(self, eng):
+        rows = eng.execute_sql(
+            "SELECT CASE WHEN v > 100 THEN 1 END FROM nums"
+        ).rows
+        assert rows == [(None,)] * 4
+
+    def test_case_in_where(self, eng):
+        rows = eng.execute_sql(
+            "SELECT v FROM nums WHERE CASE WHEN v IS NULL THEN FALSE "
+            "ELSE v > 3 END"
+        ).rows
+        assert sorted(r[0] for r in rows) == [5, 12]
+
+    def test_case_with_aggregate(self, eng):
+        # conditional counting, the classic CASE idiom
+        total = eng.execute_sql(
+            "SELECT SUM(CASE WHEN v > 3 THEN 1 ELSE 0 END) FROM nums"
+        ).scalar()
+        assert total == 2
+
+    def test_nested_case(self, eng):
+        value = eng.execute_sql(
+            "SELECT CASE WHEN v = 1 THEN CASE WHEN TRUE THEN 'inner' END "
+            "ELSE 'outer' END FROM nums WHERE v = 1"
+        ).scalar()
+        assert value == "inner"
+
+
+class TestSimpleCase:
+    def test_operand_comparison(self, eng):
+        rows = eng.execute_sql(
+            "SELECT CASE v WHEN 1 THEN 'one' WHEN 5 THEN 'five' "
+            "ELSE 'other' END FROM nums"
+        ).rows
+        assert rows == [("one",), ("five",), ("other",), ("other",)]
+
+    def test_null_operand_never_matches(self, eng):
+        # CASE NULL WHEN NULL THEN ... never matches (NULL = NULL is unknown)
+        rows = eng.execute_sql(
+            "SELECT CASE v WHEN 1 THEN 'x' END FROM nums WHERE v IS NULL"
+        ).rows
+        assert rows == [(None,)]
+
+    def test_case_without_when_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE END FROM t")
+
+    def test_case_requires_end(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE WHEN TRUE THEN 1 FROM t")
+
+    def test_sql_rendering(self):
+        stmt = parse("SELECT CASE v WHEN 1 THEN 'a' ELSE 'b' END FROM t")
+        assert stmt.items[0].expr.sql() == (
+            "(CASE v WHEN 1 THEN 'a' ELSE 'b' END)"
+        )
+
+
+class TestLeftOuterJoin:
+    @pytest.fixture
+    def joined(self) -> HStoreEngine:
+        engine = HStoreEngine()
+        engine.execute_ddl("CREATE TABLE a (id INTEGER, name VARCHAR(8))")
+        engine.execute_ddl("CREATE TABLE b (aid INTEGER, score INTEGER)")
+        engine.execute_ddl("CREATE INDEX b_by_aid ON b (aid)")
+        engine.execute_sql("INSERT INTO a VALUES (1,'x'),(2,'y'),(3,'z')")
+        engine.execute_sql("INSERT INTO b VALUES (1,10),(1,20),(3,30)")
+        return engine
+
+    def test_unmatched_rows_padded(self, joined):
+        rows = joined.execute_sql(
+            "SELECT a.id, b.score FROM a LEFT JOIN b ON b.aid = a.id "
+            "ORDER BY a.id, b.score"
+        ).rows
+        assert rows == [(1, 10), (1, 20), (2, None), (3, 30)]
+
+    def test_left_outer_keyword(self, joined):
+        rows = joined.execute_sql(
+            "SELECT a.id FROM a LEFT OUTER JOIN b ON b.aid = a.id "
+            "WHERE b.score IS NULL"
+        ).rows
+        assert rows == [(2,)]
+
+    def test_inner_join_drops_unmatched(self, joined):
+        rows = joined.execute_sql(
+            "SELECT a.id FROM a JOIN b ON b.aid = a.id"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 1, 3]
+
+    def test_anti_join_count(self, joined):
+        count = joined.execute_sql(
+            "SELECT COUNT(*) FROM a LEFT JOIN b ON b.aid = a.id "
+            "WHERE b.aid IS NULL"
+        ).scalar()
+        assert count == 1
+
+    def test_aggregate_over_left_join(self, joined):
+        rows = joined.execute_sql(
+            "SELECT a.id, COUNT(b.score) FROM a LEFT JOIN b ON b.aid = a.id "
+            "GROUP BY a.id ORDER BY a.id"
+        ).rows
+        # COUNT(column) skips the NULL padding: unmatched row counts 0
+        assert rows == [(1, 2), (2, 0), (3, 1)]
+
+    def test_left_join_with_residual_predicate(self, joined):
+        rows = joined.execute_sql(
+            "SELECT a.id, b.score FROM a LEFT JOIN b "
+            "ON b.aid = a.id AND b.score > 15 ORDER BY a.id"
+        ).rows
+        # score=10 fails the ON predicate, so id=1 keeps only score=20;
+        # ids without any qualifying match get padded
+        assert rows == [(1, 20), (2, None), (3, 30)]
+
+    def test_chained_left_joins(self, joined):
+        joined.execute_ddl("CREATE TABLE c (bscore INTEGER, tag VARCHAR(4))")
+        joined.execute_sql("INSERT INTO c VALUES (10, 'ten')")
+        rows = joined.execute_sql(
+            "SELECT a.id, b.score, c.tag FROM a "
+            "LEFT JOIN b ON b.aid = a.id "
+            "LEFT JOIN c ON c.bscore = b.score "
+            "ORDER BY a.id, b.score"
+        ).rows
+        assert rows == [
+            (1, 10, "ten"),
+            (1, 20, None),
+            (2, None, None),
+            (3, 30, None),
+        ]

@@ -1,0 +1,134 @@
+"""Unit tests for the catalog (schemas, tables, indexes)."""
+
+import pytest
+
+from repro.errors import CatalogError, DuplicateObjectError, UnknownObjectError
+from repro.hstore.catalog import (
+    Catalog,
+    Column,
+    IndexEntry,
+    Schema,
+    TableEntry,
+    TableKind,
+)
+from repro.hstore.types import SqlType
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Column("Id", SqlType.INTEGER, nullable=False),
+            Column("NAME", SqlType.VARCHAR),
+        ]
+    )
+
+
+class TestSchema:
+    def test_column_names_normalized_lowercase(self):
+        schema = make_schema()
+        assert schema.column_names == ["id", "name"]
+
+    def test_offset_lookup_case_insensitive(self):
+        schema = make_schema()
+        assert schema.offset_of("ID") == 0
+        assert schema.offset_of("Name") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownObjectError):
+            make_schema().offset_of("missing")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Column("a", SqlType.INTEGER), Column("A", SqlType.FLOAT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([])
+
+    def test_equality_is_structural(self):
+        assert make_schema() == make_schema()
+
+    def test_has_column(self):
+        schema = make_schema()
+        assert schema.has_column("id")
+        assert not schema.has_column("zzz")
+
+
+class TestTableEntry:
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableEntry("t", make_schema(), primary_key=("nope",))
+
+    def test_partition_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableEntry("t", make_schema(), partition_column="nope")
+
+    def test_names_normalized(self):
+        entry = TableEntry("T1", make_schema(), primary_key=("ID",))
+        assert entry.name == "t1"
+        assert entry.primary_key == ("id",)
+
+    def test_default_kind_is_table(self):
+        assert TableEntry("t", make_schema()).kind is TableKind.TABLE
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("t", make_schema()))
+        assert cat.table("T").name == "t"
+        assert cat.has_table("t")
+
+    def test_duplicate_table_rejected(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("t", make_schema()))
+        with pytest.raises(DuplicateObjectError):
+            cat.add_table(TableEntry("T", make_schema()))
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownObjectError):
+            Catalog().table("ghost")
+
+    def test_tables_filter_by_kind(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("a", make_schema()))
+        cat.add_table(TableEntry("s", make_schema(), kind=TableKind.STREAM))
+        assert [t.name for t in cat.tables(TableKind.STREAM)] == ["s"]
+        assert len(cat.tables()) == 2
+
+    def test_index_requires_existing_table(self):
+        cat = Catalog()
+        with pytest.raises(UnknownObjectError):
+            cat.add_index(IndexEntry("i", "ghost", ("id",)))
+
+    def test_index_requires_existing_columns(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("t", make_schema()))
+        with pytest.raises(CatalogError):
+            cat.add_index(IndexEntry("i", "t", ("ghost",)))
+
+    def test_index_registered_on_table(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("t", make_schema()))
+        cat.add_index(IndexEntry("i", "t", ("name",)))
+        assert [ix.name for ix in cat.indexes_on("t")] == ["i"]
+
+    def test_duplicate_index_rejected(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("t", make_schema()))
+        cat.add_index(IndexEntry("i", "t", ("name",)))
+        with pytest.raises(DuplicateObjectError):
+            cat.add_index(IndexEntry("i", "t", ("id",)))
+
+    def test_drop_table_removes_its_indexes(self):
+        cat = Catalog()
+        cat.add_table(TableEntry("t", make_schema()))
+        cat.add_index(IndexEntry("i", "t", ("name",)))
+        cat.drop_table("t")
+        assert not cat.has_table("t")
+        with pytest.raises(UnknownObjectError):
+            cat.index("i")
+
+    def test_index_without_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            IndexEntry("i", "t", ())

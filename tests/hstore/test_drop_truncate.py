@@ -1,0 +1,87 @@
+"""Tests for DROP TABLE / DROP INDEX / TRUNCATE TABLE DDL."""
+
+import pytest
+
+from repro.core.engine import SStoreEngine
+from repro.errors import CatalogError, StorageError, UnknownObjectError
+from repro.hstore.engine import HStoreEngine
+
+
+@pytest.fixture
+def eng() -> HStoreEngine:
+    engine = HStoreEngine()
+    engine.execute_ddl(
+        "CREATE TABLE t (id INTEGER NOT NULL, v VARCHAR(8), PRIMARY KEY (id))"
+    )
+    engine.execute_ddl("CREATE INDEX t_by_v ON t (v)")
+    engine.execute_sql("INSERT INTO t VALUES (1,'a'),(2,'b')")
+    return engine
+
+
+class TestDropTable:
+    def test_drop_removes_catalog_and_storage(self, eng):
+        eng.execute_ddl("DROP TABLE t")
+        assert not eng.catalog.has_table("t")
+        with pytest.raises(UnknownObjectError):
+            eng.execute_sql("SELECT * FROM t")
+
+    def test_drop_unknown_table(self, eng):
+        with pytest.raises(UnknownObjectError):
+            eng.execute_ddl("DROP TABLE ghost")
+
+    def test_recreate_after_drop(self, eng):
+        eng.execute_ddl("DROP TABLE t")
+        eng.execute_ddl("CREATE TABLE t (id INTEGER)")
+        eng.execute_sql("INSERT INTO t VALUES (9)")
+        assert eng.execute_sql("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_drop_stream_rejected(self):
+        engine = SStoreEngine()
+        engine.execute_ddl("CREATE STREAM s (v INTEGER)")
+        with pytest.raises(CatalogError):
+            engine.execute_ddl("DROP TABLE s")
+
+    def test_drop_window_rejected(self):
+        engine = SStoreEngine()
+        engine.execute_ddl("CREATE STREAM s (v INTEGER)")
+        engine.execute_ddl("CREATE WINDOW w ON s ROWS 3 OWNED BY x")
+        with pytest.raises(CatalogError):
+            engine.execute_ddl("DROP TABLE w")
+
+
+class TestDropIndex:
+    def test_drop_index_changes_plan(self, eng):
+        assert "t_by_v" in eng.explain("SELECT id FROM t WHERE v = 'a'")
+        eng.execute_ddl("DROP INDEX t_by_v")
+        assert "SeqScan" in eng.explain("SELECT id FROM t WHERE v = 'a'")
+
+    def test_results_unchanged_after_drop(self, eng):
+        before = eng.execute_sql("SELECT id FROM t WHERE v = 'a'").rows
+        eng.execute_ddl("DROP INDEX t_by_v")
+        assert eng.execute_sql("SELECT id FROM t WHERE v = 'a'").rows == before
+
+    def test_drop_unknown_index(self, eng):
+        with pytest.raises(UnknownObjectError):
+            eng.execute_ddl("DROP INDEX ghost")
+
+    def test_pk_index_protected(self, eng):
+        with pytest.raises(StorageError):
+            eng.partitions[0].ee.table("t").drop_index("t__pk")
+
+
+class TestTruncate:
+    def test_truncate_clears_rows(self, eng):
+        eng.execute_ddl("TRUNCATE TABLE t")
+        assert eng.execute_sql("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_truncate_keeps_schema_and_indexes(self, eng):
+        eng.execute_ddl("TRUNCATE TABLE t")
+        eng.execute_sql("INSERT INTO t VALUES (1, 'z')")
+        assert "t_by_v" in eng.explain("SELECT id FROM t WHERE v = 'z'")
+        assert eng.execute_sql("SELECT id FROM t WHERE v = 'z'").scalar() == 1
+
+    def test_truncate_stream_rejected(self):
+        engine = SStoreEngine()
+        engine.execute_ddl("CREATE STREAM s (v INTEGER)")
+        with pytest.raises(CatalogError):
+            engine.execute_ddl("TRUNCATE TABLE s")

@@ -1,0 +1,141 @@
+"""Executor tests: INSERT / UPDATE / DELETE and parameter binding."""
+
+import pytest
+
+from repro.errors import BindingError, PrimaryKeyViolationError
+
+
+class TestInsert:
+    def test_insert_values_returns_count(self, people_engine):
+        count = people_engine.execute_sql(
+            "INSERT INTO people VALUES (10, 'zoe', 19, 'boston'), "
+            "(11, 'yan', 22, 'boston')"
+        )
+        assert count == 2
+
+    def test_insert_with_column_list_fills_defaults(self, people_engine):
+        people_engine.execute_sql(
+            "INSERT INTO people (id, name) VALUES (20, 'pat')"
+        )
+        row = people_engine.execute_sql(
+            "SELECT * FROM people WHERE id = 20"
+        ).first()
+        assert row == (20, "pat", None, None)
+
+    def test_insert_column_order_respected(self, people_engine):
+        people_engine.execute_sql(
+            "INSERT INTO people (name, id) VALUES ('flip', 21)"
+        )
+        row = people_engine.execute_sql(
+            "SELECT id, name FROM people WHERE id = 21"
+        ).first()
+        assert row == (21, "flip")
+
+    def test_insert_select(self, people_engine):
+        people_engine.execute_ddl(
+            "CREATE TABLE bostonians (id INTEGER, name VARCHAR(32))"
+        )
+        count = people_engine.execute_sql(
+            "INSERT INTO bostonians SELECT id, name FROM people "
+            "WHERE city = 'boston'"
+        )
+        assert count == 3
+
+    def test_insert_params(self, people_engine):
+        people_engine.execute_sql(
+            "INSERT INTO people VALUES (?, ?, ?, ?)", 30, "q", 1, "x"
+        )
+        assert (
+            people_engine.execute_sql(
+                "SELECT COUNT(*) FROM people WHERE id = 30"
+            ).scalar()
+            == 1
+        )
+
+    def test_missing_params_rejected(self, people_engine):
+        with pytest.raises(BindingError):
+            people_engine.execute_sql(
+                "INSERT INTO people VALUES (?, ?, ?, ?)", 1
+            )
+
+    def test_pk_violation_propagates(self, people_engine):
+        with pytest.raises(PrimaryKeyViolationError):
+            people_engine.execute_sql(
+                "INSERT INTO people VALUES (1, 'dup', 0, 'x')"
+            )
+
+
+class TestUpdate:
+    def test_update_by_pk(self, people_engine):
+        count = people_engine.execute_sql(
+            "UPDATE people SET age = 35 WHERE id = 1"
+        )
+        assert count == 1
+        assert (
+            people_engine.execute_sql(
+                "SELECT age FROM people WHERE id = 1"
+            ).scalar()
+            == 35
+        )
+
+    def test_update_expression_uses_old_row(self, people_engine):
+        people_engine.execute_sql(
+            "UPDATE people SET age = age + 1 WHERE age IS NOT NULL"
+        )
+        rows = people_engine.execute_sql(
+            "SELECT id, age FROM people ORDER BY id"
+        ).rows
+        assert rows == [(1, 35), (2, 29), (3, 42), (4, 29), (5, None)]
+
+    def test_update_all_rows(self, people_engine):
+        count = people_engine.execute_sql("UPDATE people SET city = 'metro'")
+        assert count == 5
+
+    def test_update_no_match(self, people_engine):
+        assert (
+            people_engine.execute_sql(
+                "UPDATE people SET age = 1 WHERE id = 999"
+            )
+            == 0
+        )
+
+    def test_multi_assignment_sees_consistent_old_row(self, people_engine):
+        people_engine.execute_sql(
+            "UPDATE people SET age = age + 1, name = name || '!' WHERE id = 2"
+        )
+        row = people_engine.execute_sql(
+            "SELECT age, name FROM people WHERE id = 2"
+        ).first()
+        assert row == (29, "bob!")
+
+
+class TestDelete:
+    def test_delete_by_predicate(self, people_engine):
+        count = people_engine.execute_sql(
+            "DELETE FROM people WHERE city = 'boston'"
+        )
+        assert count == 3
+        assert (
+            people_engine.execute_sql("SELECT COUNT(*) FROM people").scalar() == 2
+        )
+
+    def test_delete_all(self, people_engine):
+        assert people_engine.execute_sql("DELETE FROM people") == 5
+        assert (
+            people_engine.execute_sql("SELECT COUNT(*) FROM people").scalar() == 0
+        )
+
+    def test_delete_then_reinsert_same_pk(self, people_engine):
+        people_engine.execute_sql("DELETE FROM people WHERE id = 1")
+        people_engine.execute_sql(
+            "INSERT INTO people VALUES (1, 'again', 1, 'y')"
+        )
+        assert (
+            people_engine.execute_sql(
+                "SELECT name FROM people WHERE id = 1"
+            ).scalar()
+            == "again"
+        )
+
+    def test_delete_no_match(self, people_engine):
+        assert people_engine.execute_sql("DELETE FROM people WHERE id = 0") == 0

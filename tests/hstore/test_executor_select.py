@@ -1,0 +1,253 @@
+"""Executor tests: SELECT pipeline (scan, filter, join, aggregate, sort)."""
+
+import pytest
+
+from repro.hstore.engine import HStoreEngine
+
+
+@pytest.fixture
+def eng(people_engine) -> HStoreEngine:
+    return people_engine
+
+
+def q(eng, sql, *params):
+    return eng.execute_sql(sql, *params)
+
+
+class TestScansAndFilters:
+    def test_full_scan_insertion_order(self, eng):
+        rows = q(eng, "SELECT id FROM people").rows
+        assert [r[0] for r in rows] == [1, 2, 3, 4, 5]
+
+    def test_pk_lookup(self, eng):
+        assert q(eng, "SELECT name FROM people WHERE id = ?", 3).scalar() == "carol"
+
+    def test_where_filters(self, eng):
+        rows = q(eng, "SELECT name FROM people WHERE city = 'boston'").rows
+        assert [r[0] for r in rows] == ["alice", "bob", "erin"]
+
+    def test_null_never_matches_equality(self, eng):
+        assert q(eng, "SELECT id FROM people WHERE age = NULL").rows == []
+
+    def test_is_null(self, eng):
+        assert q(eng, "SELECT name FROM people WHERE age IS NULL").scalar() == "erin"
+
+    def test_between(self, eng):
+        rows = q(eng, "SELECT id FROM people WHERE age BETWEEN 28 AND 34").rows
+        assert sorted(r[0] for r in rows) == [1, 2, 4]
+
+    def test_in(self, eng):
+        rows = q(eng, "SELECT id FROM people WHERE id IN (1, 3, 99)").rows
+        assert sorted(r[0] for r in rows) == [1, 3]
+
+    def test_like(self, eng):
+        rows = q(eng, "SELECT name FROM people WHERE name LIKE '%a%'").rows
+        assert sorted(r[0] for r in rows) == ["alice", "carol", "dave"]
+
+    def test_projection_expressions(self, eng):
+        row = q(eng, "SELECT id * 10 + 1 FROM people WHERE id = 2").scalar()
+        assert row == 21
+
+    def test_select_star_all_columns(self, eng):
+        result = q(eng, "SELECT * FROM people WHERE id = 1")
+        assert result.columns == ["id", "name", "age", "city"]
+        assert result.first() == (1, "alice", 34, "boston")
+
+
+class TestJoins:
+    @pytest.fixture
+    def orders_engine(self, eng):
+        eng.execute_ddl(
+            "CREATE TABLE orders (order_id INTEGER NOT NULL, "
+            "person_id INTEGER, amount FLOAT, PRIMARY KEY (order_id))"
+        )
+        eng.execute_ddl("CREATE INDEX o_by_person ON orders (person_id)")
+        for order_id, person, amount in [
+            (1, 1, 10.0),
+            (2, 1, 20.0),
+            (3, 2, 5.0),
+            (4, 99, 1.0),  # dangling person
+        ]:
+            eng.execute_sql(
+                "INSERT INTO orders VALUES (?, ?, ?)", order_id, person, amount
+            )
+        return eng
+
+    def test_inner_join(self, orders_engine):
+        rows = q(
+            orders_engine,
+            "SELECT p.name, o.amount FROM people p JOIN orders o "
+            "ON o.person_id = p.id ORDER BY o.amount",
+        ).rows
+        assert rows == [("bob", 5.0), ("alice", 10.0), ("alice", 20.0)]
+
+    def test_join_with_extra_filter(self, orders_engine):
+        rows = q(
+            orders_engine,
+            "SELECT o.order_id FROM people p JOIN orders o "
+            "ON o.person_id = p.id WHERE o.amount > 8 AND p.city = 'boston'",
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_three_way_join(self, orders_engine):
+        orders_engine.execute_ddl(
+            "CREATE TABLE cities (city VARCHAR(32), state VARCHAR(2))"
+        )
+        orders_engine.execute_sql("INSERT INTO cities VALUES ('boston', 'MA')")
+        rows = q(
+            orders_engine,
+            "SELECT p.name, c.state FROM people p "
+            "JOIN orders o ON o.person_id = p.id "
+            "JOIN cities c ON c.city = p.city "
+            "WHERE o.amount = 5.0",
+        ).rows
+        assert rows == [("bob", "MA")]
+
+    def test_join_no_matches(self, orders_engine):
+        rows = q(
+            orders_engine,
+            "SELECT p.name FROM people p JOIN orders o ON o.person_id = p.id "
+            "WHERE o.amount > 1000",
+        ).rows
+        assert rows == []
+
+
+class TestAggregates:
+    def test_count_star(self, eng):
+        assert q(eng, "SELECT COUNT(*) FROM people").scalar() == 5
+
+    def test_count_column_skips_nulls(self, eng):
+        assert q(eng, "SELECT COUNT(age) FROM people").scalar() == 4
+
+    def test_sum_avg_min_max(self, eng):
+        row = q(
+            eng, "SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM people"
+        ).first()
+        assert row == (131, 131 / 4, 28, 41)
+
+    def test_empty_input_global_aggregate(self, eng):
+        row = q(
+            eng,
+            "SELECT COUNT(*), SUM(age), MIN(age) FROM people WHERE id > 100",
+        ).first()
+        assert row == (0, None, None)
+
+    def test_group_by(self, eng):
+        rows = q(
+            eng,
+            "SELECT city, COUNT(*) FROM people GROUP BY city "
+            "ORDER BY city",
+        ).rows
+        assert rows == [("boston", 3), ("cambridge", 1), ("somerville", 1)]
+
+    def test_group_by_empty_input_yields_no_rows(self, eng):
+        rows = q(
+            eng,
+            "SELECT city, COUNT(*) FROM people WHERE id > 100 GROUP BY city",
+        ).rows
+        assert rows == []
+
+    def test_having(self, eng):
+        rows = q(
+            eng,
+            "SELECT city, COUNT(*) AS n FROM people GROUP BY city "
+            "HAVING COUNT(*) > 1",
+        ).rows
+        assert rows == [("boston", 3)]
+
+    def test_count_distinct(self, eng):
+        assert (
+            q(eng, "SELECT COUNT(DISTINCT age) FROM people").scalar() == 3
+        )  # 34, 28, 41 (NULL skipped, 28 duplicated)
+
+    def test_aggregate_in_expression(self, eng):
+        assert q(eng, "SELECT MAX(age) - MIN(age) FROM people").scalar() == 13
+
+    def test_group_key_expression(self, eng):
+        rows = q(
+            eng,
+            "SELECT age % 2, COUNT(*) FROM people WHERE age IS NOT NULL "
+            "GROUP BY age % 2 ORDER BY age % 2",
+        ).rows
+        assert rows == [(0, 3), (1, 1)]
+
+
+class TestOrderingAndLimits:
+    def test_order_asc_desc(self, eng):
+        asc = q(eng, "SELECT age FROM people WHERE age IS NOT NULL ORDER BY age").rows
+        desc = q(
+            eng, "SELECT age FROM people WHERE age IS NOT NULL ORDER BY age DESC"
+        ).rows
+        assert [r[0] for r in asc] == [28, 28, 34, 41]
+        assert [r[0] for r in desc] == [41, 34, 28, 28]
+
+    def test_nulls_sort_last(self, eng):
+        rows = q(eng, "SELECT age FROM people ORDER BY age").rows
+        assert rows[-1][0] is None
+
+    def test_multi_key_sort(self, eng):
+        rows = q(
+            eng,
+            "SELECT age, name FROM people WHERE age IS NOT NULL "
+            "ORDER BY age ASC, name DESC",
+        ).rows
+        assert rows == [(28, "dave"), (28, "bob"), (34, "alice"), (41, "carol")]
+
+    def test_limit_offset(self, eng):
+        rows = q(eng, "SELECT id FROM people ORDER BY id LIMIT 2 OFFSET 1").rows
+        assert [r[0] for r in rows] == [2, 3]
+
+    def test_limit_zero(self, eng):
+        assert q(eng, "SELECT id FROM people LIMIT 0").rows == []
+
+    def test_distinct(self, eng):
+        rows = q(eng, "SELECT DISTINCT city FROM people ORDER BY city").rows
+        assert [r[0] for r in rows] == ["boston", "cambridge", "somerville"]
+
+    def test_positional_order_by(self, eng):
+        rows = q(eng, "SELECT name, age FROM people WHERE age IS NOT NULL "
+                      "ORDER BY 2 DESC, 1").rows
+        assert rows == [
+            ("carol", 41),
+            ("alice", 34),
+            ("bob", 28),
+            ("dave", 28),
+        ]
+
+    def test_positional_group_by(self, eng):
+        rows = q(eng, "SELECT city, COUNT(*) FROM people GROUP BY 1 "
+                      "ORDER BY 2 DESC, 1").rows
+        assert rows[0] == ("boston", 3)
+
+    def test_positional_out_of_range(self, eng):
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            q(eng, "SELECT id FROM people ORDER BY 2")
+
+    def test_order_by_aggregate(self, eng):
+        rows = q(
+            eng,
+            "SELECT city FROM people GROUP BY city ORDER BY COUNT(*) DESC, city",
+        ).rows
+        assert [r[0] for r in rows] == ["boston", "cambridge", "somerville"]
+
+
+class TestResultSet:
+    def test_column_accessor(self, eng):
+        result = q(eng, "SELECT id, name FROM people WHERE id <= 2 ORDER BY id")
+        assert result.column("name") == ["alice", "bob"]
+
+    def test_column_missing_raises(self, eng):
+        from repro.errors import BindingError
+
+        with pytest.raises(BindingError):
+            q(eng, "SELECT id FROM people").column("ghost")
+
+    def test_as_dicts(self, eng):
+        dicts = q(eng, "SELECT id, name FROM people WHERE id = 1").as_dicts()
+        assert dicts == [{"id": 1, "name": "alice"}]
+
+    def test_bool_and_len(self, eng):
+        empty = q(eng, "SELECT id FROM people WHERE id = 0")
+        assert not empty and len(empty) == 0

@@ -1,0 +1,123 @@
+"""Tests for EXPLAIN plan rendering."""
+
+import pytest
+
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.procedure import StoredProcedure
+
+
+@pytest.fixture
+def eng(people_engine) -> HStoreEngine:
+    people_engine.execute_ddl(
+        "CREATE INDEX people_by_age ON people (age) USING TREE"
+    )
+    people_engine.execute_ddl("CREATE INDEX people_by_city ON people (city)")
+    return people_engine
+
+
+class TestExplainSelect:
+    def test_seq_scan(self, eng):
+        text = eng.explain("SELECT name FROM people")
+        assert "SeqScan(people)" in text
+        assert "project: name AS name" in text
+
+    def test_pk_lookup(self, eng):
+        text = eng.explain("SELECT name FROM people WHERE id = ?")
+        assert "IndexEqScan(people VIA people__pk ON [?])" in text
+
+    def test_range_scan(self, eng):
+        text = eng.explain("SELECT name FROM people WHERE age >= 30 AND age < 40")
+        assert "IndexRangeScan(people VIA people_by_age RANGE [30, 40))" in text
+
+    def test_residual_filter_shown(self, eng):
+        text = eng.explain(
+            "SELECT name FROM people WHERE city = 'boston' AND age > 1"
+        )
+        assert "IndexEqScan" in text
+        assert "filter:" in text
+
+    def test_join_rendering(self, eng):
+        eng.execute_ddl("CREATE TABLE pets (owner_id INTEGER, species VARCHAR(16))")
+        eng.execute_ddl("CREATE INDEX pets_by_owner ON pets (owner_id)")
+        text = eng.explain(
+            "SELECT p.name, t.species FROM people p JOIN pets t "
+            "ON t.owner_id = p.id"
+        )
+        assert "join: IndexEqScan(pets AS t VIA pets_by_owner" in text
+
+    def test_aggregate_rendering(self, eng):
+        text = eng.explain(
+            "SELECT city, COUNT(*) FROM people GROUP BY city "
+            "HAVING COUNT(*) > 1 ORDER BY city LIMIT 2"
+        )
+        assert "aggregate: group by city computing [COUNT(*)]" in text
+        assert "having:" in text
+        assert "sort: city ASC" in text
+        assert "limit: 2" in text
+
+    def test_distinct_rendering(self, eng):
+        assert "distinct" in eng.explain("SELECT DISTINCT city FROM people")
+
+
+class TestExplainSubqueries:
+    def test_correlated_subplans_rendered(self, eng):
+        eng.execute_ddl("CREATE TABLE refs (pid INTEGER NOT NULL, PRIMARY KEY (pid))")
+        text = eng.explain(
+            "SELECT name FROM people WHERE age > "
+            "(SELECT AVG(age) FROM people AS i WHERE i.city = people.city) "
+            "AND EXISTS (SELECT pid FROM refs WHERE pid = people.id)"
+        )
+        assert "subquery #1 (scalarsubquery, correlated on 1 outer column(s))" in text
+        assert "subquery #2 (exists, correlated on 1 outer column(s))" in text
+        # the inner EXISTS probe uses the pk index of refs
+        assert "refs VIA refs__pk" in text
+
+    def test_left_join_labelled(self, eng):
+        eng.execute_ddl("CREATE TABLE extras (pid INTEGER, note VARCHAR(8))")
+        text = eng.explain(
+            "SELECT p.name FROM people p LEFT JOIN extras e ON e.pid = p.id"
+        )
+        assert "left join:" in text
+
+
+class TestExplainDml:
+    def test_insert_values(self, eng):
+        text = eng.explain("INSERT INTO people VALUES (9, 'x', 1, 'y')")
+        assert text.startswith("INSERT INTO people")
+        assert "values: 1 row(s)" in text
+
+    def test_insert_select(self, eng):
+        eng.execute_ddl("CREATE TABLE names (name VARCHAR(32))")
+        text = eng.explain("INSERT INTO names SELECT name FROM people")
+        assert "from query:" in text
+        assert "SeqScan(people)" in text
+
+    def test_update(self, eng):
+        text = eng.explain("UPDATE people SET age = age + 1 WHERE id = 1")
+        assert text.startswith("UPDATE people")
+        assert "IndexEqScan" in text
+        assert "set: col#2 = (age + 1)" in text
+
+    def test_delete(self, eng):
+        text = eng.explain("DELETE FROM people WHERE city = 'boston'")
+        assert text.startswith("DELETE FROM people")
+        assert "people_by_city" in text
+
+
+class TestExplainProcedure:
+    def test_all_statements_rendered(self, eng):
+        class Audit(StoredProcedure):
+            name = "audit"
+            statements = {
+                "find": "SELECT * FROM people WHERE id = ?",
+                "touch": "UPDATE people SET age = ? WHERE id = ?",
+            }
+
+            def run(self, ctx, pid, age):  # pragma: no cover
+                pass
+
+        eng.register_procedure(Audit)
+        text = eng.explain_procedure("audit")
+        assert "-- find" in text
+        assert "-- touch" in text
+        assert text.count("IndexEqScan") == 2

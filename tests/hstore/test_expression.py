@@ -1,0 +1,240 @@
+"""Unit tests for expression evaluation (including SQL three-valued logic)."""
+
+import pytest
+
+from repro.errors import BindingError, PlanningError, TypeSystemError
+from repro.hstore.expression import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    EvalContext,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    NotOp,
+    Parameter,
+    UnaryOp,
+    contains_aggregate,
+    find_parameters,
+    walk,
+)
+
+
+def ctx(row=(), columns=None, params=()):
+    return EvalContext(columns=columns or {}, row=row, params=params)
+
+
+def lit(value):
+    return Literal(value)
+
+
+class TestAtoms:
+    def test_literal(self):
+        assert lit(5).eval(ctx()) == 5
+
+    def test_column_ref(self):
+        context = ctx(row=(10, 20), columns={"a": 0, "b": 1})
+        assert ColumnRef("b").eval(context) == 20
+
+    def test_qualified_column_ref(self):
+        context = ctx(row=(10,), columns={"t.a": 0})
+        assert ColumnRef("a", table="t").eval(context) == 10
+
+    def test_unresolvable_column_raises(self):
+        with pytest.raises(BindingError):
+            ColumnRef("ghost").eval(ctx())
+
+    def test_parameter(self):
+        assert Parameter(1).eval(ctx(params=(5, 7))) == 7
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(BindingError):
+            Parameter(0).eval(ctx())
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert BinaryOp("+", lit(2), lit(3)).eval(ctx()) == 5
+        assert BinaryOp("-", lit(2), lit(3)).eval(ctx()) == -1
+        assert BinaryOp("*", lit(4), lit(3)).eval(ctx()) == 12
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert BinaryOp("/", lit(7), lit(2)).eval(ctx()) == 3
+        assert BinaryOp("/", lit(-7), lit(2)).eval(ctx()) == -3
+
+    def test_float_division(self):
+        assert BinaryOp("/", lit(7.0), lit(2)).eval(ctx()) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(TypeSystemError):
+            BinaryOp("/", lit(1), lit(0)).eval(ctx())
+
+    def test_modulo(self):
+        assert BinaryOp("%", lit(7), lit(3)).eval(ctx()) == 1
+
+    def test_concat(self):
+        assert BinaryOp("||", lit("a"), lit("b")).eval(ctx()) == "ab"
+
+    def test_null_propagates(self):
+        assert BinaryOp("+", lit(None), lit(3)).eval(ctx()) is None
+
+    def test_unary_minus(self):
+        assert UnaryOp("-", lit(5)).eval(ctx()) == -5
+        assert UnaryOp("-", lit(None)).eval(ctx()) is None
+
+
+class TestComparison:
+    def test_operators(self):
+        assert Comparison("=", lit(1), lit(1)).eval(ctx()) is True
+        assert Comparison("<>", lit(1), lit(2)).eval(ctx()) is True
+        assert Comparison("<", lit(1), lit(2)).eval(ctx()) is True
+        assert Comparison(">=", lit(2), lit(2)).eval(ctx()) is True
+
+    def test_null_comparison_is_null(self):
+        assert Comparison("=", lit(None), lit(None)).eval(ctx()) is None
+        assert Comparison("<", lit(1), lit(None)).eval(ctx()) is None
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(TypeSystemError):
+            Comparison("<", lit("a"), lit(1)).eval(ctx())
+
+
+class TestThreeValuedLogic:
+    def test_and_short_circuit_false(self):
+        # FALSE AND NULL = FALSE
+        expr = BooleanOp("AND", (lit(False), lit(None)))
+        assert expr.eval(ctx()) is False
+
+    def test_and_with_null_and_true_is_null(self):
+        expr = BooleanOp("AND", (lit(True), lit(None)))
+        assert expr.eval(ctx()) is None
+
+    def test_or_short_circuit_true(self):
+        # TRUE OR NULL = TRUE
+        expr = BooleanOp("OR", (lit(True), lit(None)))
+        assert expr.eval(ctx()) is True
+
+    def test_or_with_null_and_false_is_null(self):
+        expr = BooleanOp("OR", (lit(False), lit(None)))
+        assert expr.eval(ctx()) is None
+
+    def test_not(self):
+        assert NotOp(lit(True)).eval(ctx()) is False
+        assert NotOp(lit(None)).eval(ctx()) is None
+
+
+class TestPredicates:
+    def test_in_list(self):
+        assert InList(lit(2), (lit(1), lit(2))).eval(ctx()) is True
+        assert InList(lit(3), (lit(1), lit(2))).eval(ctx()) is False
+
+    def test_not_in(self):
+        assert InList(lit(3), (lit(1), lit(2)), negated=True).eval(ctx()) is True
+
+    def test_in_with_null_option_not_found_is_null(self):
+        # 3 IN (1, NULL) is NULL, not FALSE
+        assert InList(lit(3), (lit(1), lit(None))).eval(ctx()) is None
+
+    def test_in_found_beats_null(self):
+        assert InList(lit(1), (lit(None), lit(1))).eval(ctx()) is True
+
+    def test_between(self):
+        assert Between(lit(5), lit(1), lit(10)).eval(ctx()) is True
+        assert Between(lit(0), lit(1), lit(10)).eval(ctx()) is False
+        assert Between(lit(0), lit(1), lit(10), negated=True).eval(ctx()) is True
+
+    def test_between_null(self):
+        assert Between(lit(None), lit(1), lit(10)).eval(ctx()) is None
+
+    def test_is_null(self):
+        assert IsNull(lit(None)).eval(ctx()) is True
+        assert IsNull(lit(1)).eval(ctx()) is False
+        assert IsNull(lit(1), negated=True).eval(ctx()) is True
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%o", True),
+            ("hello", "%ell%", True),
+            ("hello", "h_llo", True),
+            ("hello", "h_y%", False),
+            ("hello", "", False),
+            ("", "%", True),
+            ("abc", "a%b%c", True),
+            ("abc", "%%", True),
+            ("aXbXc", "a_b_c", True),
+            ("ab", "a_b", False),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert Like(lit(value), lit(pattern)).eval(ctx()) is expected
+
+    def test_not_like(self):
+        assert Like(lit("x"), lit("y"), negated=True).eval(ctx()) is True
+
+    def test_null_like_is_null(self):
+        assert Like(lit(None), lit("%")).eval(ctx()) is None
+
+
+class TestFunctions:
+    def test_scalar_functions(self):
+        assert FunctionCall("abs", (lit(-5),)).eval(ctx()) == 5
+        assert FunctionCall("upper", (lit("ab"),)).eval(ctx()) == "AB"
+        assert FunctionCall("lower", (lit("AB"),)).eval(ctx()) == "ab"
+        assert FunctionCall("length", (lit("abc"),)).eval(ctx()) == 3
+        assert FunctionCall("sqrt", (lit(9),)).eval(ctx()) == 3.0
+        assert FunctionCall("floor", (lit(1.7),)).eval(ctx()) == 1
+        assert FunctionCall("ceil", (lit(1.2),)).eval(ctx()) == 2
+
+    def test_coalesce(self):
+        expr = FunctionCall("coalesce", (lit(None), lit(None), lit(3)))
+        assert expr.eval(ctx()) == 3
+        assert FunctionCall("coalesce", (lit(None),)).eval(ctx()) is None
+
+    def test_null_arg_yields_null(self):
+        assert FunctionCall("abs", (lit(None),)).eval(ctx()) is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(PlanningError):
+            FunctionCall("nope", ()).eval(ctx())
+
+
+class TestTreeUtilities:
+    def test_walk_visits_all_nodes(self):
+        expr = BinaryOp("+", lit(1), BinaryOp("*", lit(2), Parameter(0)))
+        assert len(list(walk(expr))) == 5
+
+    def test_contains_aggregate(self):
+        agg = AggregateCall("count", None)
+        assert contains_aggregate(BinaryOp("+", agg, lit(1)))
+        assert not contains_aggregate(lit(1))
+
+    def test_find_parameters_in_order(self):
+        expr = BinaryOp("+", Parameter(1), Parameter(0))
+        assert [p.index for p in find_parameters(expr)] == [1, 0]
+
+    def test_aggregate_eval_outside_group_raises(self):
+        with pytest.raises(PlanningError):
+            AggregateCall("sum", lit(1)).eval(ctx())
+
+    def test_sql_rendering_roundtrippable_text(self):
+        expr = BooleanOp(
+            "AND",
+            (
+                Comparison("=", ColumnRef("a"), lit(1)),
+                Like(ColumnRef("b"), lit("x%")),
+            ),
+        )
+        assert expr.sql() == "((a = 1) AND (b LIKE 'x%'))"
+
+    def test_string_literal_sql_escapes_quotes(self):
+        assert lit("it's").sql() == "'it''s'"

@@ -1,0 +1,118 @@
+"""Unit tests for hash and ordered indexes."""
+
+import pytest
+
+from repro.errors import StorageError, UniqueViolationError
+from repro.hstore.index import HashIndex, OrderedIndex, make_index
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex("i", unique=False)
+        index.insert(("a",), 1)
+        index.insert(("a",), 2)
+        assert index.lookup(("a",)) == {1, 2}
+
+    def test_lookup_missing_returns_empty(self):
+        assert HashIndex("i", unique=False).lookup(("x",)) == frozenset()
+
+    def test_unique_violation(self):
+        index = HashIndex("i", unique=True)
+        index.insert(("a",), 1)
+        with pytest.raises(UniqueViolationError):
+            index.insert(("a",), 2)
+
+    def test_would_violate(self):
+        index = HashIndex("i", unique=True)
+        index.insert(("a",), 1)
+        assert index.would_violate(("a",))
+        assert not index.would_violate(("b",))
+
+    def test_nonunique_never_would_violate(self):
+        index = HashIndex("i", unique=False)
+        index.insert(("a",), 1)
+        assert not index.would_violate(("a",))
+
+    def test_remove(self):
+        index = HashIndex("i", unique=False)
+        index.insert(("a",), 1)
+        index.remove(("a",), 1)
+        assert index.lookup(("a",)) == frozenset()
+        assert ("a",) not in index
+
+    def test_remove_missing_raises(self):
+        index = HashIndex("i", unique=False)
+        with pytest.raises(StorageError):
+            index.remove(("a",), 1)
+
+    def test_null_keys_not_indexed(self):
+        index = HashIndex("i", unique=True)
+        index.insert((None,), 1)
+        index.insert((None,), 2)  # two NULLs never conflict
+        assert index.lookup((None,)) == frozenset()
+        assert len(index) == 0
+
+    def test_len_counts_entries(self):
+        index = HashIndex("i", unique=False)
+        index.insert(("a",), 1)
+        index.insert(("a",), 2)
+        index.insert(("b",), 3)
+        assert len(index) == 3
+
+
+class TestOrderedIndex:
+    def make(self) -> OrderedIndex:
+        index = OrderedIndex("o", unique=False)
+        for value, rowid in [(5, 0), (1, 1), (3, 2), (3, 3), (9, 4)]:
+            index.insert((value,), rowid)
+        return index
+
+    def test_range_scan_inclusive(self):
+        index = self.make()
+        result = [key[0] for key, _ in index.range_scan((1,), (5,))]
+        assert result == [1, 3, 5]
+
+    def test_range_scan_exclusive_bounds(self):
+        index = self.make()
+        result = [
+            key[0]
+            for key, _ in index.range_scan(
+                (1,), (5,), low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert result == [3]
+
+    def test_range_scan_open_ended(self):
+        index = self.make()
+        assert [k[0] for k, _ in index.range_scan(None, (3,))] == [1, 3]
+        assert [k[0] for k, _ in index.range_scan((5,), None)] == [5, 9]
+        assert [k[0] for k, _ in index.range_scan(None, None)] == [1, 3, 5, 9]
+
+    def test_range_scan_returns_all_rowids_for_key(self):
+        index = self.make()
+        rowids = dict(index.range_scan((3,), (3,)))[(3,)]
+        assert rowids == {2, 3}
+
+    def test_remove_updates_sorted_keys(self):
+        index = self.make()
+        index.remove((3,), 2)
+        index.remove((3,), 3)
+        assert [k[0] for k, _ in index.range_scan(None, None)] == [1, 5, 9]
+
+    def test_clear(self):
+        index = self.make()
+        index.clear()
+        assert list(index.range_scan(None, None)) == []
+        assert len(index) == 0
+
+    def test_unique_ordered(self):
+        index = OrderedIndex("o", unique=True)
+        index.insert((1,), 0)
+        with pytest.raises(UniqueViolationError):
+            index.insert((1,), 1)
+
+
+class TestMakeIndex:
+    def test_factory_dispatch(self):
+        assert isinstance(make_index("a", unique=False, ordered=True), OrderedIndex)
+        assert isinstance(make_index("b", unique=True, ordered=False), HashIndex)

@@ -1,0 +1,117 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.hstore.lexer import TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_idents_and_punctuation(self):
+        assert kinds("SELECT a, b FROM t") == [
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.COMMA,
+            TokenType.IDENT,
+            TokenType.IDENT,
+            TokenType.IDENT,
+        ]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[0].text == "42"
+
+    def test_float_literals(self):
+        assert kinds("1.5") == [TokenType.FLOAT]
+        assert kinds(".5") == [TokenType.FLOAT]
+        assert kinds("1e3") == [TokenType.FLOAT]
+        assert kinds("2.5e-2") == [TokenType.FLOAT]
+
+    def test_qualified_name_is_ident_dot_ident(self):
+        assert kinds("t.col") == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_param(self):
+        assert kinds("?") == [TokenType.PARAM]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.text == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_adjacent_tokens_after_string(self):
+        assert texts("'a' , 'b'") == ["a", ",", "b"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "||"])
+    def test_two_char_operators(self, op):
+        token = tokenize(f"a {op} b")[1]
+        assert token.type is TokenType.OPERATOR
+        assert token.text == op
+
+    @pytest.mark.parametrize("op", list("=<>+-*/%"))
+    def test_one_char_operators(self, op):
+        token = tokenize(f"a {op} b")[1]
+        assert token.type is TokenType.OPERATOR
+        assert token.text == op
+
+    def test_less_equal_not_split(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+
+class TestMisc:
+    def test_line_comment_skipped(self):
+        assert texts("SELECT 1 -- comment\n+ 2") == ["SELECT", "1", "+", "2"]
+
+    def test_comment_at_end(self):
+        assert texts("SELECT 1 -- trailing") == ["SELECT", "1"]
+
+    def test_quoted_identifier(self):
+        token = tokenize('"My Table"')[0]
+        assert token.type is TokenType.IDENT
+        assert token.text == "My Table"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_minus_minus_digit_is_comment(self):
+        # '--1' starts a comment per SQL, not a double negation
+        assert texts("5 --1") == ["5"]
+
+    def test_exponent_without_digits_stops_number(self):
+        # "1e" is number 1 followed by identifier 'e'
+        assert texts("1e") == ["1", "e"]

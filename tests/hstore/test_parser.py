@@ -1,0 +1,282 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.hstore.expression import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    NotOp,
+    Parameter,
+    Star,
+)
+from repro.hstore.parser import (
+    CreateIndexStmt,
+    CreateStreamStmt,
+    CreateTableStmt,
+    CreateWindowStmt,
+    DeleteStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+    parse,
+)
+from repro.hstore.types import SqlType
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse("SELECT a FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.items[0].expr == ColumnRef("a")
+        assert stmt.table.name == "t"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expr == Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.table.alias == "u"
+
+    def test_where(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 AND b < 2")
+        assert isinstance(stmt.where, BooleanOp)
+        assert stmt.where.op == "AND"
+
+    def test_join_on(self):
+        stmt = parse("SELECT a FROM t JOIN u ON t.id = u.id")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].table.name == "u"
+
+    def test_inner_join(self):
+        stmt = parse("SELECT a FROM t INNER JOIN u ON t.id = u.id")
+        assert len(stmt.joins) == 1
+
+    def test_multiple_joins(self):
+        stmt = parse(
+            "SELECT a FROM t JOIN u ON t.id = u.id JOIN v ON u.id = v.id"
+        )
+        assert [j.table.name for j in stmt.joins] == ["u", "v"]
+
+    def test_group_by_having(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert stmt.group_by == (ColumnRef("a"),)
+        assert isinstance(stmt.having, Comparison)
+
+    def test_order_limit_offset(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 5
+        assert stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT a FROM t;")
+
+    def test_garbage_after_statement_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t SELECT")
+
+
+class TestExpressionsViaParser:
+    def expr(self, text):
+        return parse(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_before_add(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr == BinaryOp("+", Literal(1), BinaryOp("*", Literal(2), Literal(3)))
+
+    def test_parens_override(self):
+        expr = self.expr("(1 + 2) * 3")
+        assert expr == BinaryOp("*", BinaryOp("+", Literal(1), Literal(2)), Literal(3))
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").where
+        assert isinstance(expr, BooleanOp) and expr.op == "OR"
+
+    def test_not(self):
+        expr = parse("SELECT a FROM t WHERE NOT x = 1").where
+        assert isinstance(expr, NotOp)
+
+    def test_in_list(self):
+        expr = parse("SELECT a FROM t WHERE x IN (1, 2, 3)").where
+        assert isinstance(expr, InList) and len(expr.options) == 3
+
+    def test_not_in(self):
+        expr = parse("SELECT a FROM t WHERE x NOT IN (1)").where
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_between(self):
+        expr = parse("SELECT a FROM t WHERE x BETWEEN 1 AND 10").where
+        assert isinstance(expr, Between)
+
+    def test_not_between(self):
+        expr = parse("SELECT a FROM t WHERE x NOT BETWEEN 1 AND 10").where
+        assert isinstance(expr, Between) and expr.negated
+
+    def test_like(self):
+        expr = parse("SELECT a FROM t WHERE x LIKE 'a%'").where
+        assert isinstance(expr, Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert parse("SELECT a FROM t WHERE x IS NULL").where == IsNull(
+            ColumnRef("x")
+        )
+        assert parse("SELECT a FROM t WHERE x IS NOT NULL").where == IsNull(
+            ColumnRef("x"), negated=True
+        )
+
+    def test_boolean_and_null_literals(self):
+        assert self.expr("TRUE") == Literal(True)
+        assert self.expr("FALSE") == Literal(False)
+        assert self.expr("NULL") == Literal(None)
+
+    def test_parameters_numbered_left_to_right(self):
+        stmt = parse("SELECT a FROM t WHERE x = ? AND y = ?")
+        params = [
+            node
+            for node in [stmt.where.operands[0].right, stmt.where.operands[1].right]
+        ]
+        assert params == [Parameter(0), Parameter(1)]
+
+    def test_unary_minus(self):
+        assert self.expr("-5") == __import__(
+            "repro.hstore.expression", fromlist=["UnaryOp"]
+        ).UnaryOp("-", Literal(5))
+
+    def test_aggregates(self):
+        assert self.expr("COUNT(*)") == AggregateCall("count", None)
+        assert self.expr("SUM(x)") == AggregateCall("sum", ColumnRef("x"))
+        assert self.expr("COUNT(DISTINCT x)") == AggregateCall(
+            "count", ColumnRef("x"), distinct=True
+        )
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_function_call(self):
+        expr = self.expr("ABS(x)")
+        assert expr.name == "abs"
+
+    def test_reserved_word_as_column_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t WHERE select = 1")
+
+
+class TestInsert:
+    def test_values(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, InsertStmt)
+        assert len(stmt.rows) == 2
+
+    def test_column_list(self):
+        stmt = parse("INSERT INTO t (b, a) VALUES (?, ?)")
+        assert stmt.columns == ("b", "a")
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a, b FROM u WHERE a > 1")
+        assert stmt.select is not None
+        assert stmt.rows == ()
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE id = ?")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.assignments[0][0] == "a"
+        assert len(stmt.assignments) == 2
+
+    def test_update_requires_equals(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("UPDATE t SET a < 1")
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteStmt)
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(32), "
+            "PRIMARY KEY (id)) PARTITION ON id"
+        )
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.primary_key == ("id",)
+        assert stmt.partition_column == "id"
+        assert stmt.columns[0].nullable is False
+        assert stmt.columns[1].sql_type is SqlType.VARCHAR
+
+    def test_type_synonyms(self):
+        stmt = parse("CREATE TABLE t (a INT, b DOUBLE, c TEXT, d BOOL)")
+        types = [c.sql_type for c in stmt.columns]
+        assert types == [
+            SqlType.INTEGER,
+            SqlType.FLOAT,
+            SqlType.VARCHAR,
+            SqlType.BOOLEAN,
+        ]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TABLE t (a BLOB)")
+
+    def test_create_stream(self):
+        stmt = parse("CREATE STREAM s (a INTEGER, ts TIMESTAMP)")
+        assert isinstance(stmt, CreateStreamStmt)
+
+    def test_stream_with_pk_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE STREAM s (a INTEGER, PRIMARY KEY (a))")
+
+    def test_create_window_rows(self):
+        stmt = parse("CREATE WINDOW w ON s ROWS 100 SLIDE 10 OWNED BY sp2")
+        assert isinstance(stmt, CreateWindowStmt)
+        assert (stmt.kind, stmt.size, stmt.slide, stmt.owner) == (
+            "ROWS",
+            100,
+            10,
+            "sp2",
+        )
+
+    def test_create_window_defaults_tumbling(self):
+        stmt = parse("CREATE WINDOW w ON s RANGE 60")
+        assert stmt.kind == "RANGE"
+        assert stmt.slide == 60
+
+    def test_create_index(self):
+        stmt = parse("CREATE UNIQUE INDEX i ON t (a, b) USING TREE")
+        assert isinstance(stmt, CreateIndexStmt)
+        assert stmt.unique and stmt.ordered
+        assert stmt.columns == ("a", "b")
+
+    def test_create_index_default_hash(self):
+        assert parse("CREATE INDEX i ON t (a)").ordered is False
+
+    def test_bad_create_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE VIEW v")

@@ -1,0 +1,236 @@
+"""Unit tests for the query planner (access-path selection, validation)."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.hstore.catalog import Catalog, Column, IndexEntry, Schema, TableEntry
+from repro.hstore.parser import parse
+from repro.hstore.planner import (
+    IndexEqScan,
+    IndexRangeScan,
+    Planner,
+    SelectPlan,
+    SeqScan,
+)
+from repro.hstore.types import SqlType
+
+
+@pytest.fixture
+def planner() -> Planner:
+    catalog = Catalog()
+    schema = Schema(
+        [
+            Column("id", SqlType.INTEGER, nullable=False),
+            Column("name", SqlType.VARCHAR),
+            Column("age", SqlType.INTEGER),
+        ]
+    )
+    catalog.add_table(TableEntry("people", schema, primary_key=("id",)))
+    catalog.add_index(IndexEntry("by_name", "people", ("name",)))
+    catalog.add_index(
+        IndexEntry("by_age", "people", ("age",), ordered=True)
+    )
+    other = Schema(
+        [
+            Column("person_id", SqlType.INTEGER),
+            Column("amount", SqlType.FLOAT),
+        ]
+    )
+    catalog.add_table(TableEntry("orders", other))
+    catalog.add_index(IndexEntry("by_person", "orders", ("person_id",)))
+    return Planner(catalog)
+
+
+def plan_select(planner, sql) -> SelectPlan:
+    plan = planner.plan(parse(sql))
+    assert isinstance(plan, SelectPlan)
+    return plan
+
+
+class TestAccessPaths:
+    def test_no_predicate_seq_scan(self, planner):
+        plan = plan_select(planner, "SELECT * FROM people")
+        assert isinstance(plan.access, SeqScan)
+
+    def test_pk_equality_uses_pk_index(self, planner):
+        plan = plan_select(planner, "SELECT * FROM people WHERE id = ?")
+        assert isinstance(plan.access, IndexEqScan)
+        assert plan.access.index == "people__pk"
+        assert plan.where is None  # predicate fully consumed
+
+    def test_secondary_equality_uses_hash_index(self, planner):
+        plan = plan_select(planner, "SELECT * FROM people WHERE name = 'x'")
+        assert isinstance(plan.access, IndexEqScan)
+        assert plan.access.index == "by_name"
+
+    def test_range_predicate_uses_ordered_index(self, planner):
+        plan = plan_select(planner, "SELECT * FROM people WHERE age > 30")
+        assert isinstance(plan.access, IndexRangeScan)
+        assert plan.access.index == "by_age"
+        assert plan.access.low is not None and plan.access.high is None
+        assert plan.access.low_inclusive is False
+
+    def test_range_both_bounds(self, planner):
+        plan = plan_select(
+            planner, "SELECT * FROM people WHERE age >= 20 AND age < 40"
+        )
+        assert isinstance(plan.access, IndexRangeScan)
+        assert plan.access.low_inclusive is True
+        assert plan.access.high_inclusive is False
+
+    def test_flipped_comparison_normalized(self, planner):
+        plan = plan_select(planner, "SELECT * FROM people WHERE 30 < age")
+        assert isinstance(plan.access, IndexRangeScan)
+        assert plan.access.low is not None
+
+    def test_range_on_hash_index_falls_back_to_seq(self, planner):
+        plan = plan_select(planner, "SELECT * FROM people WHERE name > 'm'")
+        assert isinstance(plan.access, SeqScan)
+        assert plan.where is not None
+
+    def test_residual_predicate_kept(self, planner):
+        plan = plan_select(
+            planner, "SELECT * FROM people WHERE id = 1 AND age > 10"
+        )
+        assert isinstance(plan.access, IndexEqScan)
+        assert plan.where is not None  # the age conjunct survives
+
+    def test_or_prevents_index_use(self, planner):
+        plan = plan_select(
+            planner, "SELECT * FROM people WHERE id = 1 OR id = 2"
+        )
+        assert isinstance(plan.access, SeqScan)
+
+
+class TestJoins:
+    def test_index_nested_loop_join_selected(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT name, amount FROM people p JOIN orders o "
+            "ON o.person_id = p.id",
+        )
+        assert len(plan.joins) == 1
+        access = plan.joins[0].access
+        assert isinstance(access, IndexEqScan)
+        assert access.index == "by_person"
+        assert plan.joins[0].on is None  # equality consumed by the index
+
+    def test_non_indexed_join_keeps_residual(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT name FROM people p JOIN orders o ON o.amount > p.age",
+        )
+        assert isinstance(plan.joins[0].access, SeqScan)
+        assert plan.joins[0].on is not None
+
+    def test_duplicate_alias_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            plan_select(
+                planner, "SELECT 1 FROM people p JOIN orders p ON 1 = 1"
+            )
+
+
+class TestValidation:
+    def test_unknown_column_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            plan_select(planner, "SELECT ghost FROM people")
+
+    def test_unknown_table_rejected(self, planner):
+        from repro.errors import UnknownObjectError
+
+        with pytest.raises(UnknownObjectError):
+            planner.plan(parse("SELECT 1 FROM ghost"))
+
+    def test_ambiguous_bare_column_rejected(self, planner):
+        # both people and orders would need a shared column; 'id' is unique
+        # but a made-up shared name doesn't exist — use qualified columns
+        plan = plan_select(
+            planner,
+            "SELECT p.id FROM people p JOIN orders o ON o.person_id = p.id",
+        )
+        assert plan.output_names == ["id"]
+
+    def test_group_by_output_must_be_grouped(self, planner):
+        with pytest.raises(PlanningError):
+            plan_select(
+                planner, "SELECT name, COUNT(*) FROM people GROUP BY age"
+            )
+
+    def test_having_without_group_rejected_by_grammar(self, planner):
+        from repro.errors import SqlSyntaxError
+
+        # the grammar only admits HAVING after GROUP BY, so this is a
+        # syntax error before the planner's own check could fire
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT name FROM people HAVING name = 'x'")
+
+    def test_nested_aggregate_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            plan_select(planner, "SELECT SUM(COUNT(*)) FROM people")
+
+    def test_order_by_alias_resolved(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT age * 2 AS double_age FROM people ORDER BY double_age",
+        )
+        assert plan.order_by  # resolved without error
+
+    def test_insert_width_mismatch_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan(parse("INSERT INTO people VALUES (1, 'a')"))
+
+    def test_insert_unknown_column_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan(parse("INSERT INTO people (ghost) VALUES (1)"))
+
+    def test_insert_select_width_checked(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan(parse("INSERT INTO people SELECT id FROM people"))
+
+    def test_param_count_counted(self, planner):
+        plan = plan_select(
+            planner, "SELECT * FROM people WHERE id = ? AND age > ?"
+        )
+        assert plan.param_count == 2
+
+
+class TestAggregatePipeline:
+    def test_grouped_plan_metadata(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT age, COUNT(*), SUM(id) FROM people GROUP BY age",
+        )
+        assert plan.grouped
+        assert len(plan.group_exprs) == 1
+        assert len(plan.aggregates) == 2
+        assert set(plan.ext_columns) == {"__g0", "__a0", "__a1"}
+
+    def test_duplicate_aggregates_deduped(self, planner):
+        plan = plan_select(
+            planner,
+            "SELECT COUNT(*), COUNT(*) FROM people",
+        )
+        assert len(plan.aggregates) == 1
+
+    def test_global_aggregate_plan(self, planner):
+        plan = plan_select(planner, "SELECT MAX(age) FROM people")
+        assert plan.grouped and not plan.group_exprs
+
+    def test_ungrouped_plan_keeps_columns(self, planner):
+        plan = plan_select(planner, "SELECT id FROM people")
+        assert not plan.grouped
+        assert plan.ext_columns == plan.columns
+
+    def test_update_plan_uses_index(self, planner):
+        from repro.hstore.planner import UpdatePlan
+
+        plan = planner.plan(parse("UPDATE people SET age = 1 WHERE id = ?"))
+        assert isinstance(plan, UpdatePlan)
+        assert isinstance(plan.access, IndexEqScan)
+
+    def test_delete_plan_uses_index(self, planner):
+        from repro.hstore.planner import DeletePlan
+
+        plan = planner.plan(parse("DELETE FROM people WHERE name = ?"))
+        assert isinstance(plan, DeletePlan)
+        assert isinstance(plan.access, IndexEqScan)

@@ -1,0 +1,119 @@
+"""Tests for scalar subqueries — in projections, WHERE, and correlated."""
+
+import pytest
+
+from repro.errors import PlanningError, TypeSystemError
+from repro.hstore.engine import HStoreEngine
+
+
+@pytest.fixture
+def eng() -> HStoreEngine:
+    engine = HStoreEngine()
+    engine.execute_ddl(
+        "CREATE TABLE emp (id INTEGER NOT NULL, name VARCHAR(8), "
+        "dept INTEGER, salary INTEGER, PRIMARY KEY (id))"
+    )
+    engine.execute_sql(
+        "INSERT INTO emp VALUES (1,'ann',10,90),(2,'bob',10,80),"
+        "(3,'cal',20,70),(4,'dot',20,95)"
+    )
+    return engine
+
+
+class TestScalarSubquery:
+    def test_in_projection(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name, (SELECT MAX(salary) FROM emp) FROM emp ORDER BY id"
+        ).rows
+        assert all(row[1] == 95 for row in rows)
+
+    def test_in_where_comparison(self, eng):
+        name = eng.execute_sql(
+            "SELECT name FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)"
+        ).scalar()
+        assert name == "dot"
+
+    def test_correlated_per_row(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name, (SELECT MAX(salary) FROM emp AS i "
+            "WHERE i.dept = emp.dept) FROM emp ORDER BY id"
+        ).rows
+        assert rows == [("ann", 90), ("bob", 90), ("cal", 95), ("dot", 95)]
+
+    def test_above_department_average(self, eng):
+        # the canonical correlated-scalar query
+        rows = eng.execute_sql(
+            "SELECT name FROM emp WHERE salary > "
+            "(SELECT AVG(salary) FROM emp AS i WHERE i.dept = emp.dept) "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("ann",), ("dot",)]
+
+    def test_empty_result_is_null(self, eng):
+        value = eng.execute_sql(
+            "SELECT (SELECT salary FROM emp WHERE id = 99) FROM emp LIMIT 1"
+        ).scalar()
+        assert value is None
+
+    def test_multiple_rows_error(self, eng):
+        with pytest.raises(TypeSystemError):
+            eng.execute_sql(
+                "SELECT (SELECT salary FROM emp) FROM emp LIMIT 1"
+            )
+
+    def test_multiple_columns_rejected_at_plan_time(self, eng):
+        with pytest.raises(PlanningError):
+            eng.execute_sql(
+                "SELECT (SELECT id, salary FROM emp WHERE id = 1) FROM emp"
+            )
+
+    def test_in_arithmetic(self, eng):
+        value = eng.execute_sql(
+            "SELECT salary - (SELECT MIN(salary) FROM emp) FROM emp "
+            "WHERE id = 4"
+        ).scalar()
+        assert value == 25
+
+    def test_in_update_set(self, eng):
+        eng.execute_sql(
+            "UPDATE emp SET salary = (SELECT MAX(salary) FROM emp) "
+            "WHERE id = 3"
+        )
+        assert (
+            eng.execute_sql("SELECT salary FROM emp WHERE id = 3").scalar()
+            == 95
+        )
+
+    def test_in_delete_where(self, eng):
+        count = eng.execute_sql(
+            "DELETE FROM emp WHERE salary < (SELECT AVG(salary) FROM emp)"
+        )
+        assert count == 2  # bob (80) and cal (70) below avg 83.75
+
+    def test_correlated_bound_never_used_as_index_probe(self, eng):
+        """Regression: a correlated subquery bound on an indexed column must
+        stay a residual filter (there is no outer row at probe time)."""
+        eng.execute_ddl("CREATE INDEX emp_by_salary ON emp (salary) USING TREE")
+        sql = (
+            "SELECT name FROM emp WHERE salary > "
+            "(SELECT AVG(salary) FROM emp AS i WHERE i.dept = emp.dept) "
+            "ORDER BY name"
+        )
+        assert "SeqScan" in eng.explain(sql)
+        assert eng.execute_sql(sql).rows == [("ann",), ("dot",)]
+
+    def test_uncorrelated_bound_still_probes_index(self, eng):
+        eng.execute_ddl("CREATE INDEX emp_by_salary2 ON emp (salary) USING TREE")
+        sql = (
+            "SELECT name FROM emp WHERE salary > "
+            "(SELECT AVG(salary) FROM emp) ORDER BY name"
+        )
+        assert "IndexRangeScan" in eng.explain(sql)
+        assert eng.execute_sql(sql).rows == [("ann",), ("dot",)]
+
+    def test_parenthesised_expression_still_works(self, eng):
+        # '(' no longer always means subquery: plain grouping is unaffected
+        value = eng.execute_sql(
+            "SELECT (1 + 2) * 3 FROM emp LIMIT 1"
+        ).scalar()
+        assert value == 9

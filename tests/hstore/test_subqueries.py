@@ -1,0 +1,210 @@
+"""Tests for uncorrelated subqueries: IN (SELECT ...) and EXISTS."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.hstore.engine import HStoreEngine
+
+
+@pytest.fixture
+def eng() -> HStoreEngine:
+    engine = HStoreEngine()
+    engine.execute_ddl(
+        "CREATE TABLE employees (id INTEGER NOT NULL, name VARCHAR(16), "
+        "dept INTEGER, PRIMARY KEY (id))"
+    )
+    engine.execute_ddl(
+        "CREATE TABLE depts (dept_id INTEGER NOT NULL, dept_name VARCHAR(16), "
+        "active BOOLEAN, PRIMARY KEY (dept_id))"
+    )
+    engine.execute_sql(
+        "INSERT INTO employees VALUES (1,'ann',10),(2,'bob',20),"
+        "(3,'cal',30),(4,'dot',NULL)"
+    )
+    engine.execute_sql(
+        "INSERT INTO depts VALUES (10,'eng',TRUE),(20,'ops',FALSE),"
+        "(40,'hr',TRUE)"
+    )
+    return engine
+
+
+class TestInSubquery:
+    def test_semi_join(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE dept IN "
+            "(SELECT dept_id FROM depts WHERE active = TRUE) ORDER BY name"
+        ).rows
+        assert rows == [("ann",)]
+
+    def test_not_in(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE dept NOT IN "
+            "(SELECT dept_id FROM depts WHERE active = TRUE) ORDER BY name"
+        ).rows
+        # dot's NULL dept yields NULL, not TRUE → excluded
+        assert rows == [("bob",), ("cal",)]
+
+    def test_empty_subquery(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE dept IN "
+            "(SELECT dept_id FROM depts WHERE dept_id > 999)"
+        ).rows
+        assert rows == []
+
+    def test_not_in_with_null_in_subquery(self, eng):
+        # NULL in the subquery result poisons NOT IN (classic SQL trap)
+        eng.execute_sql("INSERT INTO depts VALUES (99, 'ghost', NULL)")
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE dept NOT IN "
+            "(SELECT active FROM depts WHERE dept_id = 99)"
+        ).rows
+        assert rows == []
+
+    def test_subquery_with_parameters(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE dept IN "
+            "(SELECT dept_id FROM depts WHERE active = ?) ORDER BY name",
+            False,
+        ).rows
+        assert rows == [("bob",)]
+
+    def test_multi_column_subquery_rejected(self, eng):
+        with pytest.raises(PlanningError):
+            eng.execute_sql(
+                "SELECT name FROM employees WHERE dept IN "
+                "(SELECT dept_id, dept_name FROM depts)"
+            )
+
+    def test_correlated_in_subquery(self, eng):
+        # the inner query may reference outer columns (one level up):
+        # here the subquery only yields the employee's own dept when active
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE dept IN "
+            "(SELECT dept_id FROM depts WHERE dept_id = employees.dept "
+            "AND active = TRUE) ORDER BY name"
+        ).rows
+        assert rows == [("ann",)]
+
+    def test_unknown_column_still_rejected(self, eng):
+        # a reference resolvable in NEITHER scope remains a planning error
+        with pytest.raises(PlanningError):
+            eng.execute_sql(
+                "SELECT name FROM employees WHERE dept IN "
+                "(SELECT dept_id FROM depts WHERE dept_id = nonexistent.col)"
+            )
+
+    def test_in_subquery_in_update(self, eng):
+        count = eng.execute_sql(
+            "UPDATE employees SET dept = 40 WHERE dept IN "
+            "(SELECT dept_id FROM depts WHERE active = FALSE)"
+        )
+        assert count == 1
+        assert (
+            eng.execute_sql(
+                "SELECT dept FROM employees WHERE name = 'bob'"
+            ).scalar()
+            == 40
+        )
+
+    def test_in_subquery_in_delete(self, eng):
+        count = eng.execute_sql(
+            "DELETE FROM employees WHERE dept IN (SELECT dept_id FROM depts)"
+        )
+        assert count == 2  # ann (10) and bob (20); 30 and NULL stay
+
+
+class TestCorrelatedExists:
+    def test_semi_join_per_row(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = employees.dept) "
+            "ORDER BY name"
+        ).rows
+        assert rows == [("ann",), ("bob",)]
+
+    def test_anti_join_per_row(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE NOT EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = employees.dept) "
+            "ORDER BY name"
+        ).rows
+        # cal's dept 30 has no row; dot's NULL dept matches nothing
+        assert rows == [("cal",), ("dot",)]
+
+    def test_correlation_with_explicit_params(self, eng):
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE id > ? AND EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = employees.dept "
+            "AND active = ?) ORDER BY name",
+            0,
+            False,
+        ).rows
+        assert rows == [("bob",)]
+
+    def test_repeated_outer_reference_bound_once(self, eng):
+        # the same outer column referenced twice maps to one parameter
+        rows = eng.execute_sql(
+            "SELECT name FROM employees WHERE EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = employees.dept "
+            "AND dept_id <= employees.dept) ORDER BY name"
+        ).rows
+        assert rows == [("ann",), ("bob",)]
+
+    def test_correlated_subquery_in_delete(self, eng):
+        count = eng.execute_sql(
+            "DELETE FROM employees WHERE NOT EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = employees.dept)"
+        )
+        assert count == 2  # cal and dot
+        remaining = eng.execute_sql(
+            "SELECT name FROM employees ORDER BY name"
+        ).rows
+        assert remaining == [("ann",), ("bob",)]
+
+
+class TestExists:
+    def test_exists_true(self, eng):
+        rows = eng.execute_sql(
+            "SELECT COUNT(*) FROM employees WHERE EXISTS "
+            "(SELECT dept_id FROM depts WHERE active = TRUE)"
+        ).scalar()
+        assert rows == 4  # uncorrelated: all or nothing
+
+    def test_exists_false(self, eng):
+        rows = eng.execute_sql(
+            "SELECT COUNT(*) FROM employees WHERE EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = 12345)"
+        ).scalar()
+        assert rows == 0
+
+    def test_not_exists(self, eng):
+        rows = eng.execute_sql(
+            "SELECT COUNT(*) FROM employees WHERE NOT EXISTS "
+            "(SELECT dept_id FROM depts WHERE dept_id = 12345)"
+        ).scalar()
+        assert rows == 4
+
+    def test_subquery_execution_counted(self, eng):
+        before = eng.stats.extra.get("subquery_executions", 0)
+        eng.execute_sql(
+            "SELECT name FROM employees WHERE EXISTS "
+            "(SELECT dept_id FROM depts)"
+        )
+        # one execution per candidate row evaluation
+        assert eng.stats.extra["subquery_executions"] > before
+
+
+class TestSubqueryTableAccess:
+    def test_sharing_analysis_sees_subquery_reads(self, eng):
+        from repro.core.workflow import plan_table_access
+        from repro.hstore.parser import parse
+
+        plan = eng.planner.plan(
+            parse(
+                "DELETE FROM employees WHERE dept IN "
+                "(SELECT dept_id FROM depts)"
+            )
+        )
+        reads, writes = plan_table_access(plan)
+        assert "depts" in reads
+        assert writes == {"employees"}

@@ -1,0 +1,181 @@
+"""Unit tests for in-memory table storage."""
+
+import pytest
+
+from repro.errors import (
+    PrimaryKeyViolationError,
+    StorageError,
+    UniqueViolationError,
+)
+from repro.hstore.catalog import Column, Schema, TableEntry
+from repro.hstore.table import Table
+from repro.hstore.types import SqlType
+
+
+def make_table(primary_key=("id",)) -> Table:
+    schema = Schema(
+        [
+            Column("id", SqlType.INTEGER, nullable=False),
+            Column("name", SqlType.VARCHAR),
+            Column("age", SqlType.INTEGER),
+        ]
+    )
+    return Table(TableEntry("people", schema, primary_key=primary_key))
+
+
+class TestInsert:
+    def test_insert_returns_monotonic_rowids(self):
+        table = make_table()
+        first = table.insert((1, "a", 10))
+        second = table.insert((2, "b", 20))
+        assert second == first + 1
+
+    def test_rows_in_insertion_order(self):
+        table = make_table()
+        table.insert((2, "b", 20))
+        table.insert((1, "a", 10))
+        assert [row[0] for row in table.rows()] == [2, 1]
+
+    def test_wrong_width_rejected(self):
+        table = make_table()
+        with pytest.raises(StorageError):
+            table.insert((1, "a"))
+
+    def test_type_coercion_applied(self):
+        table = make_table()
+        rowid = table.insert((1.0, "a", 10))
+        assert table.get(rowid)[0] == 1 and isinstance(table.get(rowid)[0], int)
+
+    def test_primary_key_enforced(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        with pytest.raises(PrimaryKeyViolationError):
+            table.insert((1, "b", 20))
+
+    def test_pk_violation_leaves_no_trace(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        with pytest.raises(PrimaryKeyViolationError):
+            table.insert((1, "b", 20))
+        assert table.row_count() == 1
+
+    def test_no_pk_table_allows_duplicates(self):
+        table = make_table(primary_key=())
+        table.insert((1, "a", 10))
+        table.insert((1, "a", 10))
+        assert table.row_count() == 2
+
+
+class TestSecondaryIndexes:
+    def test_backfill_on_creation(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        index = table.add_index("by_name", ("name",))
+        assert index.lookup(("a",)) != frozenset()
+
+    def test_unique_secondary_enforced_on_insert(self):
+        table = make_table()
+        table.add_index("by_name", ("name",), unique=True)
+        table.insert((1, "same", 10))
+        with pytest.raises(UniqueViolationError):
+            table.insert((2, "same", 20))
+
+    def test_index_maintained_on_delete(self):
+        table = make_table()
+        index = table.add_index("by_name", ("name",))
+        rowid = table.insert((1, "a", 10))
+        table.delete(rowid)
+        assert index.lookup(("a",)) == frozenset()
+
+    def test_index_maintained_on_update(self):
+        table = make_table()
+        index = table.add_index("by_name", ("name",))
+        rowid = table.insert((1, "a", 10))
+        table.update(rowid, (1, "z", 10))
+        assert index.lookup(("a",)) == frozenset()
+        assert rowid in index.lookup(("z",))
+
+
+class TestDeleteUpdate:
+    def test_delete_returns_before_image(self):
+        table = make_table()
+        rowid = table.insert((1, "a", 10))
+        assert table.delete(rowid) == (1, "a", 10)
+        assert not table.has_rowid(rowid)
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(StorageError):
+            make_table().delete(99)
+
+    def test_update_returns_before_image(self):
+        table = make_table()
+        rowid = table.insert((1, "a", 10))
+        before = table.update(rowid, (1, "a", 11))
+        assert before == (1, "a", 10)
+        assert table.get(rowid) == (1, "a", 11)
+
+    def test_update_pk_collision_rejected(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        rowid = table.insert((2, "b", 20))
+        with pytest.raises(PrimaryKeyViolationError):
+            table.update(rowid, (1, "b", 20))
+
+    def test_update_same_pk_value_allowed(self):
+        table = make_table()
+        rowid = table.insert((1, "a", 10))
+        table.update(rowid, (1, "a", 99))  # key unchanged: no violation
+
+    def test_insert_with_rowid_restores_exact_slot(self):
+        table = make_table()
+        rowid = table.insert((1, "a", 10))
+        before = table.delete(rowid)
+        table.insert_with_rowid(rowid, before)
+        assert table.get(rowid) == (1, "a", 10)
+
+    def test_insert_with_live_rowid_rejected(self):
+        table = make_table()
+        rowid = table.insert((1, "a", 10))
+        with pytest.raises(StorageError):
+            table.insert_with_rowid(rowid, (9, "x", 0))
+
+    def test_truncate(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        assert table.truncate() == 2
+        assert table.row_count() == 0
+
+
+class TestDumpLoad:
+    def test_roundtrip_preserves_rows_and_rowids(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        rowid = table.insert((2, "b", 20))
+        table.delete(rowid)
+        state = table.dump_state()
+
+        other = make_table()
+        other.load_state(state)
+        assert other.rows() == table.rows()
+        assert other.rowids() == table.rowids()
+
+    def test_load_rebuilds_indexes(self):
+        table = make_table()
+        table.add_index("by_name", ("name",))
+        table.insert((1, "a", 10))
+        state = table.dump_state()
+
+        other = make_table()
+        other.add_index("by_name", ("name",))
+        other.load_state(state)
+        assert other.index("by_name").lookup(("a",)) != frozenset()
+
+    def test_rowid_counter_restored(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        state = table.dump_state()
+        other = make_table()
+        other.load_state(state)
+        new_rowid = other.insert((2, "b", 20))
+        assert new_rowid == 1  # continues after the restored counter

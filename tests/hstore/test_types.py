@@ -1,0 +1,122 @@
+"""Unit tests for the SQL type system."""
+
+import pytest
+
+from repro.errors import NullViolationError, TypeSystemError
+from repro.hstore.types import SqlType, coerce_value, is_comparable, type_of_literal
+
+
+class TestCoerceInteger:
+    def test_plain_int(self):
+        assert coerce_value(42, SqlType.INTEGER) == 42
+
+    def test_integral_float_is_lossless(self):
+        assert coerce_value(42.0, SqlType.INTEGER) == 42
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(42.5, SqlType.INTEGER)
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(True, SqlType.INTEGER)
+
+    def test_int32_range_enforced(self):
+        assert coerce_value(2**31 - 1, SqlType.INTEGER) == 2**31 - 1
+        with pytest.raises(TypeSystemError):
+            coerce_value(2**31, SqlType.INTEGER)
+        with pytest.raises(TypeSystemError):
+            coerce_value(-(2**31) - 1, SqlType.INTEGER)
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value("7", SqlType.INTEGER)
+
+
+class TestCoerceBigintAndTimestamp:
+    def test_bigint_accepts_beyond_int32(self):
+        assert coerce_value(2**40, SqlType.BIGINT) == 2**40
+
+    def test_bigint_range_enforced(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(2**63, SqlType.BIGINT)
+
+    def test_timestamp_is_integral(self):
+        assert coerce_value(1234, SqlType.TIMESTAMP) == 1234
+        with pytest.raises(TypeSystemError):
+            coerce_value(12.5, SqlType.TIMESTAMP)
+
+
+class TestCoerceFloat:
+    def test_int_widens_to_float(self):
+        value = coerce_value(3, SqlType.FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(float("nan"), SqlType.FLOAT)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(False, SqlType.FLOAT)
+
+
+class TestCoerceVarcharBoolean:
+    def test_varchar_passthrough(self):
+        assert coerce_value("hi", SqlType.VARCHAR) == "hi"
+
+    def test_varchar_rejects_numbers(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(7, SqlType.VARCHAR)
+
+    def test_boolean_accepts_bool(self):
+        assert coerce_value(True, SqlType.BOOLEAN) is True
+
+    def test_boolean_accepts_zero_one(self):
+        assert coerce_value(1, SqlType.BOOLEAN) is True
+        assert coerce_value(0, SqlType.BOOLEAN) is False
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value(2, SqlType.BOOLEAN)
+
+
+class TestNullHandling:
+    def test_null_passes_when_nullable(self):
+        assert coerce_value(None, SqlType.INTEGER) is None
+
+    def test_null_rejected_when_not_nullable(self):
+        with pytest.raises(NullViolationError):
+            coerce_value(None, SqlType.VARCHAR, nullable=False)
+
+
+class TestComparability:
+    def test_same_type_comparable(self):
+        assert is_comparable(SqlType.VARCHAR, SqlType.VARCHAR)
+
+    def test_numeric_family_comparable(self):
+        assert is_comparable(SqlType.INTEGER, SqlType.FLOAT)
+        assert is_comparable(SqlType.BIGINT, SqlType.TIMESTAMP)
+
+    def test_cross_family_not_comparable(self):
+        assert not is_comparable(SqlType.VARCHAR, SqlType.INTEGER)
+        assert not is_comparable(SqlType.BOOLEAN, SqlType.FLOAT)
+
+
+class TestLiteralTyping:
+    def test_small_int_is_integer(self):
+        assert type_of_literal(5) is SqlType.INTEGER
+
+    def test_large_int_is_bigint(self):
+        assert type_of_literal(2**40) is SqlType.BIGINT
+
+    def test_bool_checked_before_int(self):
+        assert type_of_literal(True) is SqlType.BOOLEAN
+
+    def test_float_and_str(self):
+        assert type_of_literal(1.5) is SqlType.FLOAT
+        assert type_of_literal("x") is SqlType.VARCHAR
+
+    def test_unsupported_raises(self):
+        with pytest.raises(TypeSystemError):
+            type_of_literal(object())

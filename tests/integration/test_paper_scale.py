@@ -1,0 +1,128 @@
+"""Paper-scale integration runs and the SQL shell example.
+
+The demo's actual parameters: 25 candidates, one elimination per 100 valid
+votes, played down to a single winner (24 eliminations, ≥ 2400 valid votes).
+"""
+
+import pytest
+
+from repro.apps.voter import (
+    ELIMINATION_EVERY,
+    NUM_CONTESTANTS,
+    VoterSStoreApp,
+    VoterWorkload,
+)
+from repro.core.transaction import validate_schedule
+
+
+class TestFullCanadianDreamboat:
+    """The complete 25-candidate game show, as demoed."""
+
+    @pytest.fixture(scope="class")
+    def finished(self):
+        app = VoterSStoreApp(num_contestants=NUM_CONTESTANTS, batch_size=10)
+        workload = VoterWorkload(
+            seed=1633,  # the paper's first page number
+            num_contestants=NUM_CONTESTANTS,
+            duplicate_fraction=0.05,
+        )
+        # votes for already-eliminated candidates are rejected (viewers keep
+        # voting for their favorites), so finishing the show takes well over
+        # the theoretical minimum of 2400 valid votes
+        requests = workload.generate(5000)
+        app.submit(requests, ingest_chunk=50)
+        return app, app.summary()
+
+    def test_single_winner_declared(self, finished):
+        _app, summary = finished
+        assert summary.winner is not None
+        assert summary.eliminations == NUM_CONTESTANTS - 1
+
+    def test_every_elimination_at_a_threshold(self, finished):
+        _app, summary = finished
+        for _seq, _contestant, at_total in summary.removals:
+            assert at_total % ELIMINATION_EVERY == 0
+
+    def test_all_removed_candidates_distinct(self, finished):
+        _app, summary = finished
+        removed = summary.removal_order()
+        assert len(removed) == len(set(removed)) == NUM_CONTESTANTS - 1
+
+    def test_winner_never_removed(self, finished):
+        _app, summary = finished
+        assert summary.winner not in summary.removal_order()
+
+    def test_vote_table_only_holds_winner_votes(self, finished):
+        app, summary = finished
+        contestants = app.engine.execute_sql(
+            "SELECT DISTINCT contestant_number FROM votes"
+        ).rows
+        assert contestants == [(summary.winner,)]
+
+    def test_schedule_clean_at_scale(self, finished):
+        app, _summary = finished
+        violations = validate_schedule(
+            app.engine.schedule_history, app.workflow
+        )
+        assert violations == []
+
+    def test_latency_tracked_for_every_batch(self, finished):
+        app, _summary = finished
+        assert app.engine.latency.completed_count == 500  # 5000 / batch 10
+
+
+class TestSqlShell:
+    """Drive the shell's command handler directly."""
+
+    @pytest.fixture
+    def shell(self):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "sql_shell",
+            pathlib.Path(__file__).parents[2] / "examples" / "sql_shell.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        engine_module = module
+        from repro import SStoreEngine
+
+        engine = SStoreEngine()
+        engine_module.load_demo(engine)
+        return engine_module, engine
+
+    def test_ingest_and_select(self, shell):
+        module, engine = shell
+        out = module.handle(engine, "\\ingest readings [[1, 2.0], [1, 3.0]]")
+        assert "ingested 2" in out
+        out = module.handle(engine, "SELECT total FROM totals WHERE sensor = 1")
+        assert "5.0" in out
+
+    def test_describe_and_stats(self, shell):
+        module, engine = shell
+        assert "TABLE totals" in module.handle(engine, "\\d")
+        module.handle(engine, "\\ingest readings [[1, 2.0], [1, 3.0]]")
+        assert "txns_committed" in module.handle(engine, "\\stats")
+
+    def test_explain(self, shell):
+        module, engine = shell
+        out = module.handle(engine, "\\explain SELECT * FROM totals")
+        assert "SeqScan" in out
+
+    def test_ddl_and_dml(self, shell):
+        module, engine = shell
+        assert module.handle(engine, "CREATE TABLE x (v INTEGER)") == "ok"
+        assert "1 rows affected" in module.handle(
+            engine, "INSERT INTO x VALUES (7)"
+        )
+        assert "(1 rows)" in module.handle(engine, "SELECT * FROM x")
+
+    def test_quit_and_empty(self, shell):
+        module, engine = shell
+        assert module.handle(engine, "\\q") is None
+        assert module.handle(engine, "   ") == ""
+
+    def test_tick(self, shell):
+        module, engine = shell
+        assert "clock now at 3" in module.handle(engine, "\\tick 3")

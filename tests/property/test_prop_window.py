@@ -1,0 +1,118 @@
+"""Property tests: native window semantics vs. a reference model.
+
+The engine's incremental window maintenance (staging, slides, eviction by
+rowid deques) must agree with the obvious reference computation on every
+input sequence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import SStoreEngine, StreamProcedure
+from repro.core.workflow import WorkflowSpec
+
+
+def build_engine(size: int, slide: int, kind: str = "ROWS") -> SStoreEngine:
+    eng = SStoreEngine()
+    eng.execute_ddl("CREATE STREAM s (ts TIMESTAMP, v INTEGER)")
+    eng.execute_ddl(
+        f"CREATE WINDOW w ON s {kind} {size} SLIDE {slide} OWNED BY sink"
+    )
+
+    class Sink(StreamProcedure):
+        name = "sink"
+        statements = {}
+
+        def run(self, ctx):
+            pass
+
+    eng.register_procedure(Sink)
+    wf = WorkflowSpec("wf")
+    wf.add_node("sink", input_stream="s", batch_size=1)
+    eng.deploy_workflow(wf)
+    return eng
+
+
+def tuple_window_reference(values: list[int], size: int, slide: int) -> list[int]:
+    """Contents after n arrivals: last ``size`` of the first ``k*slide``."""
+    boundary = (len(values) // slide) * slide
+    return values[max(0, boundary - size) : boundary]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=0, max_size=60),
+    size=st.integers(1, 10),
+    slide_fraction=st.integers(1, 10),
+)
+def test_tuple_window_matches_reference(values, size, slide_fraction):
+    slide = max(1, min(size, slide_fraction))
+    eng = build_engine(size, slide)
+    for i, value in enumerate(values):
+        eng.ingest("s", [(i, value)])
+    window = [row[1] for row in eng.partitions[0].ee.table("w").rows()]
+    assert window == tuple_window_reference(values, size, slide)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=0, max_size=60),
+    size=st.integers(1, 10),
+    batch=st.integers(1, 7),
+)
+def test_tuple_window_insensitive_to_ingest_chunking(values, size, batch):
+    """Chunking of ingest calls must not change window contents."""
+    one_by_one = build_engine(size, 1)
+    for i, value in enumerate(values):
+        one_by_one.ingest("s", [(i, value)])
+
+    chunked = build_engine(size, 1)
+    rows = [(i, value) for i, value in enumerate(values)]
+    for start in range(0, len(rows), batch):
+        chunked.ingest("s", rows[start : start + batch])
+
+    assert (
+        one_by_one.partitions[0].ee.table("w").rows()
+        == chunked.partitions[0].ee.table("w").rows()
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(-10, 10)),  # (gap, value)
+        min_size=0,
+        max_size=40,
+    ),
+    size=st.integers(1, 20),
+    slide=st.integers(1, 8),
+)
+def test_time_window_matches_reference(events, size, slide):
+    """Time window contents = tuples in (boundary - size, boundary]."""
+    eng = build_engine(size, slide, kind="RANGE")
+    timeline = []
+    now = 0
+    for gap, value in events:
+        now += gap
+        eng.advance_time(gap)
+        eng.ingest("s", [(now, value)])
+        timeline.append((now, value))
+
+    boundary = (now // slide) * slide
+    low = boundary - size
+    expected = [v for ts, v in timeline if low < ts <= boundary]
+    window = [row[1] for row in eng.partitions[0].ee.table("w").rows()]
+    assert sorted(window) == sorted(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 50), min_size=1, max_size=50),
+    size=st.integers(1, 8),
+)
+def test_window_never_exceeds_size(values, size):
+    eng = build_engine(size, 1)
+    for i, value in enumerate(values):
+        eng.ingest("s", [(i, value)])
+        assert eng.partitions[0].ee.table("w").row_count() <= size
