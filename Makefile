@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+# five fixed seeds for the deterministic fault-schedule sweep
+FAULT_SEEDS ?= 0 1 7 42 1337
+
+.PHONY: test faults bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+faults:
+	@for seed in $(FAULT_SEEDS); do \
+		echo "== fault sweep: REPRO_FAULT_SEED=$$seed =="; \
+		REPRO_FAULT_SEED=$$seed $(PYTHON) -m pytest -m faults -q || exit 1; \
+	done
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

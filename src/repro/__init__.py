@@ -52,6 +52,11 @@ from repro.core import (
     validate_schedule,
 )
 from repro.errors import ReproError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    RecoveryEquivalenceChecker,
+)
 from repro.hstore import (
     ClientSession,
     EngineStats,
@@ -78,6 +83,9 @@ __all__ = [
     "state_fingerprint",
     "validate_schedule",
     "ReproError",
+    "FaultInjector",
+    "FaultPlan",
+    "RecoveryEquivalenceChecker",
     "ClientSession",
     "EngineStats",
     "HStoreEngine",

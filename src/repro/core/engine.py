@@ -199,6 +199,7 @@ class SStoreEngine(HStoreEngine):
         clock: LogicalClock | None = None,
         stats: EngineStats | None = None,
         eager: bool = True,
+        command_logging: bool = True,
     ) -> None:
         super().__init__(
             partitions,
@@ -206,6 +207,7 @@ class SStoreEngine(HStoreEngine):
             snapshot_interval=snapshot_interval,
             clock=clock,
             stats=stats,
+            command_logging=command_logging,
         )
         self.streams = StreamRegistry()
         self.windows: dict[str, WindowState] = {}

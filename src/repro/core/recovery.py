@@ -36,7 +36,12 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import SStoreEngine
 
-__all__ = ["StreamingRecoveryReport", "crash_and_recover_streaming", "state_fingerprint"]
+__all__ = [
+    "StreamingRecoveryReport",
+    "crash_and_recover_streaming",
+    "state_fingerprint",
+    "window_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,26 @@ def state_fingerprint(engine: "SStoreEngine") -> dict[str, Any]:
         for name, table in partition.ee.tables().items():
             key = f"p{partition.partition_id}:{name}"
             fingerprint[key] = sorted(table.rows())
+    return fingerprint
+
+
+def window_fingerprint(engine: "SStoreEngine") -> dict[str, Any]:
+    """Per-window digest beyond the live rows (those are table state).
+
+    Captures each window's staged-but-not-yet-admitted tuples, arrival
+    counter and slide boundary — the bookkeeping that must survive recovery
+    for the next slide to behave identically.  Engines without a streaming
+    layer (plain H-Store) fingerprint as empty.
+    """
+    fingerprint: dict[str, Any] = {}
+    for name, state in getattr(engine, "windows", {}).items():
+        dump = state.dump_state()
+        fingerprint[name] = {
+            "arrivals": dump.get("arrivals", 0),
+            "staged": [tuple(row) for row in dump.get("staging", [])],
+            "last_boundary": dump.get("last_boundary", -1),
+            "live_rowids": [int(r) for r in dump.get("live_rowids", [])],
+        }
     return fingerprint
 
 

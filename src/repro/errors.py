@@ -133,6 +133,34 @@ class RecoveryError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection (repro.faults)
+# ---------------------------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """Base class for faults raised by the deterministic fault injector.
+
+    From the engine's point of view an injected fault is a process death:
+    in-memory state is gone and the next step is recovery from the durable
+    directory.  Harnesses (``RecoveryEquivalenceChecker``, the fault tests)
+    catch this base class to drive the crash/recover cycle.
+    """
+
+
+class InjectedCrash(InjectedFault):
+    """The fault plan killed the simulated process at an injection point."""
+
+
+class InjectedIOError(InjectedFault, OSError):
+    """A simulated I/O failure (disk-full, EIO) at an injection point.
+
+    Also an :class:`OSError`, so code (and tests) exercising "what if the
+    disk write fails" observe the realistic exception type, ``errno``
+    included.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Streaming (S-Store core) errors
 # ---------------------------------------------------------------------------
 

@@ -16,10 +16,13 @@ A3 sweeps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import RecoveryError
 from repro.hstore.stats import EngineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["LogRecord", "CommandLog"]
 
@@ -51,6 +54,11 @@ class CommandLog:
         self._stats = stats if stats is not None else EngineStats()
         #: called with the flushed records at every flush (file persistence)
         self.on_flush: Callable[[list[LogRecord]], None] | None = None
+        #: False = the engine runs without durability: appends are dropped,
+        #: so a crash is unrecoverable (and the engine refuses to simulate one)
+        self.enabled = True
+        #: fault-injection seam for the group-commit flush path
+        self.fault_injector: "FaultInjector | None" = None
 
     # -- appending -----------------------------------------------------------
 
@@ -62,7 +70,9 @@ class CommandLog:
         partition: int,
         logical_time: int,
         meta: dict[str, Any] | None = None,
-    ) -> LogRecord:
+    ) -> LogRecord | None:
+        if not self.enabled:
+            return None
         record = LogRecord(
             lsn=self._next_lsn,
             txn_id=txn_id,
@@ -80,15 +90,25 @@ class CommandLog:
         return record
 
     def flush(self) -> int:
-        """Force pending records to the durable log; returns count flushed."""
+        """Force pending records to the durable log; returns count flushed.
+
+        Fault seam ``log.flush``: a ``crash`` fires before anything reaches
+        the durable log (group-commit-pending transactions are the only
+        loss); a ``drop_ack`` fires after the write is durable but before
+        the flush is acknowledged.
+        """
         if not self._pending:
             return 0
+        if self.fault_injector is not None:
+            self.fault_injector.fire("log.flush", stage="pre")
         flushed_records = list(self._pending)
         self._records.extend(self._pending)
         self._pending.clear()
         self._stats.log_flushes += 1
         if self.on_flush is not None:
             self.on_flush(flushed_records)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("log.flush", stage="post")
         return len(flushed_records)
 
     def load_records(self, records: list[LogRecord]) -> None:

@@ -7,7 +7,8 @@ just a simulated crash but a full process restart:
 
 * ``<dir>/command.log`` — one JSON object per durable log record,
   append-only, written at group-commit flush time;
-* ``<dir>/snapshots/<id>.json`` — one file per checkpoint.
+* ``<dir>/snapshots/<id>.json`` — one file per checkpoint, wrapped in a
+  checksummed envelope so bit rot and torn writes are detected on load.
 
 Usage::
 
@@ -20,17 +21,33 @@ Usage::
 JSON is the wire format, so tuples round-trip as lists; every load path in
 the engine re-normalizes (rowids via ``int()``, batch rows via ``tuple()``),
 which the durability tests verify end to end.
+
+Crash hardening (exercised by :mod:`repro.faults` and ``tests/faults``):
+
+* a *torn* final log record — the file truncated at an arbitrary byte
+  offset within the last record, as a mid-append crash leaves it — is
+  detected, dropped, and physically truncated away by :meth:`scan_log`,
+  with the drop count surfaced through ``RecoveryReport.torn_records``;
+* an unreadable or checksum-mismatched snapshot file is skipped and
+  recovery falls back to the previous snapshot (paying a longer replay)
+  via :meth:`scan_snapshots`;
+* corruption anywhere *before* the final log record is not survivable
+  tearing but real damage, and still raises :class:`RecoveryError` loudly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import RecoveryError
 from repro.hstore.cmdlog import LogRecord
 from repro.hstore.snapshot import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["DurabilityDirectory"]
 
@@ -49,6 +66,11 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def _snapshot_body(payload: dict[str, Any]) -> str:
+    """Canonical serialization the snapshot checksum is computed over."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
 class DurabilityDirectory:
     """One engine's durable storage location."""
 
@@ -56,6 +78,8 @@ class DurabilityDirectory:
         self.path = pathlib.Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         (self.path / _SNAPSHOT_DIR).mkdir(exist_ok=True)
+        #: fault-injection seam for every durable write made through here
+        self.fault_injector: "FaultInjector | None" = None
 
     # ------------------------------------------------------------------
     # command log
@@ -66,12 +90,18 @@ class DurabilityDirectory:
         return self.path / _LOG_FILE
 
     def append_log_records(self, records: list[LogRecord]) -> None:
-        """Persist freshly flushed records (called at group-commit time)."""
+        """Persist freshly flushed records (called at group-commit time).
+
+        Fault seam ``log.append`` fires once per record, before its bytes
+        are written: a ``crash`` loses the record (and the rest of the
+        batch), a ``torn_write`` leaves a partial record on disk, an
+        ``io_error`` simulates the append syscall failing.
+        """
         if not records:
             return
         with self.log_path.open("a", encoding="utf-8") as handle:
             for record in records:
-                handle.write(
+                payload = (
                     json.dumps(
                         {
                             "lsn": record.lsn,
@@ -84,40 +114,88 @@ class DurabilityDirectory:
                         },
                         separators=(",", ":"),
                     )
+                    + "\n"
                 )
-                handle.write("\n")
+                if self.fault_injector is not None:
+                    self.fault_injector.fire(
+                        "log.append",
+                        handle=handle,
+                        payload=payload,
+                        path=self.log_path,
+                    )
+                handle.write(payload)
+
+    def scan_log(self, *, repair: bool = True) -> tuple[list[LogRecord], int]:
+        """Read the durable log, tolerating a torn trailing record.
+
+        Returns ``(records, torn_records)``.  A final line with no trailing
+        newline that fails to parse is exactly what a crash mid-append
+        leaves behind; it is dropped (and, with ``repair``, physically
+        truncated off the file so later appends start clean).  An
+        unparseable line anywhere else — or a *newline-terminated* garbage
+        final line, which no torn write can produce — is real corruption
+        and raises :class:`RecoveryError`.
+        """
+        if not self.log_path.exists():
+            return [], 0
+        raw = self.log_path.read_bytes()
+        segments = raw.split(b"\n")
+        terminated_tail = segments and segments[-1] == b""
+        if terminated_tail:
+            segments.pop()
+
+        records: list[LogRecord] = []
+        torn = 0
+        good_end = 0  # byte offset just past the last intact record
+        needs_newline = False
+        for index, segment in enumerate(segments):
+            is_last = index == len(segments) - 1
+            has_newline = terminated_tail or not is_last
+            line = segment.decode("utf-8", errors="replace").strip()
+            if not line:
+                good_end += len(segment) + (1 if has_newline else 0)
+                continue
+            try:
+                payload = json.loads(line)
+                record = LogRecord(
+                    lsn=int(payload["lsn"]),
+                    txn_id=int(payload["txn_id"]),
+                    procedure=payload["procedure"],
+                    params=tuple(payload["params"]),
+                    partition=int(payload["partition"]),
+                    logical_time=int(payload["logical_time"]),
+                    meta=tuple(
+                        (key, value) for key, value in payload.get("meta", [])
+                    ),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if is_last and not has_newline:
+                    torn += 1
+                    break
+                raise RecoveryError(
+                    f"corrupt log record at {self.log_path}:{index + 1}: {exc}"
+                ) from exc
+            records.append(record)
+            good_end += len(segment) + (1 if has_newline else 0)
+            needs_newline = not has_newline
+
+        if repair:
+            if torn:
+                with self.log_path.open("r+b") as handle:
+                    handle.truncate(good_end)
+            elif needs_newline:
+                # the final record is complete but lost its newline to a
+                # crash between the payload and the terminator; restore it
+                # so the next append does not concatenate onto it
+                with self.log_path.open("a", encoding="utf-8") as handle:
+                    handle.write("\n")
+
+        records.sort(key=lambda record: record.lsn)
+        return records, torn
 
     def load_log_records(self) -> list[LogRecord]:
-        """Read back every durable record, in LSN order."""
-        if not self.log_path.exists():
-            return []
-        records: list[LogRecord] = []
-        with self.log_path.open(encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise RecoveryError(
-                        f"corrupt log record at {self.log_path}:{line_number + 1}: "
-                        f"{exc}"
-                    ) from exc
-                records.append(
-                    LogRecord(
-                        lsn=int(payload["lsn"]),
-                        txn_id=int(payload["txn_id"]),
-                        procedure=payload["procedure"],
-                        params=tuple(payload["params"]),
-                        partition=int(payload["partition"]),
-                        logical_time=int(payload["logical_time"]),
-                        meta=tuple(
-                            (key, value) for key, value in payload.get("meta", [])
-                        ),
-                    )
-                )
-        records.sort(key=lambda record: record.lsn)
+        """Read back every durable record, in LSN order (torn tail dropped)."""
+        records, _torn = self.scan_log(repair=True)
         return records
 
     def truncate_log_through(self, lsn: int) -> None:
@@ -131,6 +209,13 @@ class DurabilityDirectory:
     # ------------------------------------------------------------------
 
     def write_snapshot(self, snapshot: Snapshot) -> pathlib.Path:
+        """Persist one checkpoint, checksummed against later corruption.
+
+        Fault seams: ``snapshot.write`` fires after the bytes land (a
+        ``crash`` there tears the file, a ``corrupt`` silently damages it,
+        an ``io_error`` deletes the never-landed file and raises);
+        ``snapshot.fsync`` fires once the file is fully durable.
+        """
         target = self.path / _SNAPSHOT_DIR / f"{snapshot.snapshot_id:08d}.json"
         payload = {
             "snapshot_id": snapshot.snapshot_id,
@@ -139,26 +224,82 @@ class DurabilityDirectory:
             "partition_state": _jsonable(snapshot.partition_state),
             "extra": _jsonable(snapshot.extra),
         }
-        target.write_text(json.dumps(payload, separators=(",", ":")))
+        body = _snapshot_body(payload)
+        envelope = json.dumps(
+            {
+                "checksum": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+                "payload": payload,
+            },
+            separators=(",", ":"),
+        )
+        target.write_text(envelope)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("snapshot.write", path=target, data=envelope)
+            self.fault_injector.fire("snapshot.fsync", path=target)
         return target
 
-    def load_latest_snapshot(self) -> Snapshot | None:
+    def load_snapshot_file(self, path: pathlib.Path) -> Snapshot:
+        """Load and validate one snapshot file.
+
+        Raises :class:`RecoveryError` with a clear message when the file is
+        torn, unparseable, incomplete, or fails its checksum — the caller
+        (:meth:`scan_snapshots`) falls back to an older checkpoint.
+        """
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RecoveryError(f"unreadable snapshot {path.name}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise RecoveryError(f"malformed snapshot {path.name}: not an object")
+        if "payload" in data:
+            payload = data["payload"]
+            body = _snapshot_body(payload)
+            digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+            if digest != data.get("checksum"):
+                raise RecoveryError(
+                    f"corrupt snapshot {path.name}: checksum mismatch "
+                    f"(stored {str(data.get('checksum'))[:12]}…, "
+                    f"computed {digest[:12]}…)"
+                )
+        else:
+            # legacy pre-checksum format: the payload is the whole file
+            payload = data
+        try:
+            partition_state = {
+                int(partition_id): state
+                for partition_id, state in payload["partition_state"].items()
+            }
+            return Snapshot(
+                snapshot_id=int(payload["snapshot_id"]),
+                through_lsn=int(payload["through_lsn"]),
+                logical_time=int(payload["logical_time"]),
+                partition_state=partition_state,
+                extra=payload.get("extra", {}),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise RecoveryError(
+                f"malformed snapshot {path.name}: {exc}"
+            ) from exc
+
+    def scan_snapshots(self) -> tuple[Snapshot | None, list[pathlib.Path]]:
+        """Newest *valid* snapshot, plus the invalid files skipped over.
+
+        Walks checkpoints newest-first so a corrupt or torn latest snapshot
+        degrades to the previous one (a longer log replay) instead of a
+        failed recovery.
+        """
         snapshot_dir = self.path / _SNAPSHOT_DIR
-        candidates = sorted(snapshot_dir.glob("*.json"))
-        if not candidates:
-            return None
-        payload = json.loads(candidates[-1].read_text())
-        partition_state = {
-            int(partition_id): state
-            for partition_id, state in payload["partition_state"].items()
-        }
-        return Snapshot(
-            snapshot_id=int(payload["snapshot_id"]),
-            through_lsn=int(payload["through_lsn"]),
-            logical_time=int(payload["logical_time"]),
-            partition_state=partition_state,
-            extra=payload.get("extra", {}),
-        )
+        skipped: list[pathlib.Path] = []
+        for candidate in sorted(snapshot_dir.glob("*.json"), reverse=True):
+            try:
+                return self.load_snapshot_file(candidate), skipped
+            except RecoveryError:
+                skipped.append(candidate)
+        return None, skipped
+
+    def load_latest_snapshot(self) -> Snapshot | None:
+        snapshot, _skipped = self.scan_snapshots()
+        return snapshot
 
     # ------------------------------------------------------------------
 

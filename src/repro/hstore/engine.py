@@ -23,13 +23,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.hstore.durability import DurabilityDirectory
+    from repro.hstore.recovery import RecoveryReport
 
 from repro.errors import (
     CatalogError,
     ConstraintViolationError,
     PartitionError,
     ProcedureError,
+    RecoveryError,
     ReproError,
     TransactionAborted,
     UnknownObjectError,
@@ -72,6 +75,7 @@ class HStoreEngine:
         snapshot_interval: int | None = None,
         clock: LogicalClock | None = None,
         stats: EngineStats | None = None,
+        command_logging: bool = True,
     ) -> None:
         if partitions < 1:
             raise PartitionError("engine requires at least one partition")
@@ -84,6 +88,9 @@ class HStoreEngine:
         ]
         self.procedures: dict[str, StoredProcedure] = {}
         self.command_log = CommandLog(log_group_size, self.stats)
+        #: False = run without durability (the A3 no-logging baseline);
+        #: such an engine cannot crash-and-recover and says so loudly
+        self.command_log.enabled = command_logging
         self.snapshots = SnapshotStore()
         #: take a snapshot automatically every N committed txns (None = manual)
         self.snapshot_interval = snapshot_interval
@@ -92,6 +99,10 @@ class HStoreEngine:
         self._replaying = False
         self._crashed = False
         self._durability: "DurabilityDirectory | None" = None
+        #: deterministic fault injection (repro.faults); None = no faults
+        self.fault_injector: "FaultInjector | None" = None
+        #: what the most recent restore_from_disk() did (torn records etc.)
+        self.last_recovery_report: "RecoveryReport | None" = None
 
     # ------------------------------------------------------------------
     # DDL
@@ -439,6 +450,28 @@ class HStoreEngine:
         return snapshot
 
     # ------------------------------------------------------------------
+    # Deterministic fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def install_fault_injector(
+        self, injector: "FaultInjector | None"
+    ) -> "FaultInjector | None":
+        """Thread a fault injector through every durability seam.
+
+        Covers the group-commit flush path (``log.flush``), per-record disk
+        appends (``log.append``), snapshot persistence (``snapshot.write``,
+        ``snapshot.fsync``) and log replay (``recovery.replay``).  Pass
+        ``None`` to remove injection.  Install *before*
+        :meth:`enable_durability` / :meth:`restore_from_disk` so the
+        directory they create inherits the seam.
+        """
+        self.fault_injector = injector
+        self.command_log.fault_injector = injector
+        if self._durability is not None:
+            self._durability.fault_injector = injector
+        return injector
+
+    # ------------------------------------------------------------------
     # File-backed durability (survives process restarts, not just crash())
     # ------------------------------------------------------------------
 
@@ -452,12 +485,18 @@ class HStoreEngine:
         """
         from repro.hstore.durability import DurabilityDirectory
 
+        if not self.command_log.enabled:
+            raise ReproError(
+                "cannot enable durability: this engine was built with "
+                "command_logging=False, so there is no history to persist"
+            )
         directory = DurabilityDirectory(path)
         if directory.load_log_records():
             raise ReproError(
                 f"durability directory {directory.path} already holds a log; "
                 f"use restore_from_disk() to resume from it"
             )
+        directory.fault_injector = self.fault_injector
         self.command_log.flush()
         directory.append_log_records(self.command_log.all_records())
         self._durability = directory
@@ -474,22 +513,40 @@ class HStoreEngine:
         the database, and recovery replays it from scratch — deterministic
         setup writes are at the head of that history anyway.  Returns the
         number of replayed transactions.
+
+        Hardened against crash debris: a torn trailing log record is
+        dropped (and truncated off the file), and a damaged newest snapshot
+        falls back to the previous valid one — both surfaced through
+        :attr:`last_recovery_report`.
         """
         from repro.hstore.cmdlog import CommandLog
         from repro.hstore.durability import DurabilityDirectory
+        from repro.hstore.recovery import RecoveryReport
         from repro.hstore.snapshot import SnapshotStore
 
         directory = DurabilityDirectory(path)
-        self.command_log = CommandLog(self.command_log.group_size, self.stats)
-        self.command_log.load_records(directory.load_log_records())
+        directory.fault_injector = self.fault_injector
+        new_log = CommandLog(self.command_log.group_size, self.stats)
+        new_log.enabled = self.command_log.enabled
+        new_log.fault_injector = self.fault_injector
+        records, torn = directory.scan_log(repair=True)
+        new_log.load_records(records)
+        self.command_log = new_log
         self.snapshots = SnapshotStore()
-        snapshot = directory.load_latest_snapshot()
+        snapshot, skipped = directory.scan_snapshots()
         if snapshot is not None:
             self.snapshots.adopt(snapshot)
         replayed = self.recover()
         # resume persisting from here on
         self._durability = directory
         self.command_log.on_flush = directory.append_log_records
+        self.last_recovery_report = RecoveryReport(
+            lost_log_records=0,
+            replayed_transactions=replayed,
+            had_snapshot=snapshot is not None,
+            torn_records=torn,
+            snapshots_skipped=len(skipped),
+        )
         return replayed
 
     # ------------------------------------------------------------------
@@ -504,6 +561,12 @@ class HStoreEngine:
         engine refuses further work until :meth:`recover` runs.  Returns the
         number of lost log records.
         """
+        if not self.command_log.enabled:
+            raise RecoveryError(
+                "cannot crash-and-recover: this engine was built with "
+                "command_logging=False, so a crash would silently lose "
+                "every transaction — enable command logging for durability"
+            )
         lost = self.command_log.lose_pending()
         self._crashed = True
         return lost
@@ -535,6 +598,8 @@ class HStoreEngine:
         replayed = 0
         try:
             for record in self.command_log.records_from(replay_from):
+                if self.fault_injector is not None:
+                    self.fault_injector.fire("recovery.replay", record=record)
                 self.clock.advance_to(record.logical_time)
                 self._replay_invocation(record)
                 replayed += 1

@@ -23,6 +23,12 @@ class RecoveryReport:
     lost_log_records: int
     replayed_transactions: int
     had_snapshot: bool
+    #: torn trailing log records detected, dropped, and truncated away
+    #: during a disk restore (a mid-append crash leaves at most one)
+    torn_records: int = 0
+    #: damaged snapshot files skipped over before a valid (older) one —
+    #: each one skipped means a longer replay suffix
+    snapshots_skipped: int = 0
 
 
 def crash_and_recover(engine: "HStoreEngine") -> RecoveryReport:

@@ -78,6 +78,18 @@ class SnapshotStore:
             raise RecoveryError("no snapshot available")
         return snapshot
 
+    def discard_latest(self) -> Snapshot:
+        """Drop the newest checkpoint (it was found damaged) and return it.
+
+        Recovery then falls back to the previous snapshot — or to a full
+        log replay if none remain — mirroring what the file-backed
+        :meth:`~repro.hstore.durability.DurabilityDirectory.scan_snapshots`
+        does when a snapshot file fails its checksum.
+        """
+        if not self._snapshots:
+            raise RecoveryError("no snapshot to discard")
+        return self._snapshots.pop()
+
     def prune(self, keep: int = 1) -> int:
         """Drop all but the newest ``keep`` snapshots; returns count dropped."""
         if keep < 1:

@@ -1,0 +1,100 @@
+"""FaultPlan / FaultSpec semantics: validation, determinism, one-shot firing."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import INJECTION_POINTS, VALID_ACTIONS, FaultAction
+
+pytestmark = pytest.mark.faults
+
+
+class TestPlanValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ReproError, match="unknown injection point"):
+            FaultPlan().add("log.munge", FaultAction.CRASH)
+
+    def test_invalid_action_for_point_rejected(self):
+        with pytest.raises(ReproError, match="not valid"):
+            FaultPlan().add("recovery.replay", FaultAction.TORN_WRITE)
+        with pytest.raises(ReproError, match="not valid"):
+            FaultPlan().add("log.append", FaultAction.CORRUPT)
+
+    def test_occurrence_is_one_based(self):
+        with pytest.raises(ReproError, match="1-based"):
+            FaultPlan().add("log.flush", FaultAction.CRASH, at=0)
+
+    def test_every_point_has_valid_actions(self):
+        assert set(VALID_ACTIONS) == set(INJECTION_POINTS)
+        for actions in VALID_ACTIONS.values():
+            assert actions
+
+
+class TestInjectorFiring:
+    def test_fires_on_exact_occurrence_only(self):
+        plan = FaultPlan()
+        plan.add("log.flush", FaultAction.CRASH, at=3)
+        injector = FaultInjector(plan)
+        injector.fire("log.flush")
+        injector.fire("log.flush")
+        assert injector.fired_log == []
+        with pytest.raises(ReproError):
+            injector.fire("log.flush")
+        assert injector.fired_log == ["log.flush#3:crash"]
+
+    def test_specs_are_one_shot(self):
+        plan = FaultPlan()
+        plan.add("recovery.replay", FaultAction.CRASH, at=1)
+        injector = FaultInjector(plan)
+        with pytest.raises(ReproError):
+            injector.fire("recovery.replay")
+        # the counter keeps advancing but the spec never re-fires
+        for _ in range(5):
+            injector.fire("recovery.replay")
+        assert len(injector.fired_log) == 1
+        assert plan.all_fired
+
+    def test_points_count_independently(self):
+        plan = FaultPlan()
+        plan.add("log.append", FaultAction.CRASH, at=2)
+        injector = FaultInjector(plan)
+        injector.fire("log.flush")
+        injector.fire("snapshot.write", path="/nonexistent")
+        injector.fire("log.append")  # occurrence 1: no fire
+        assert injector.occurrences("log.append") == 1
+        assert injector.fired_log == []
+
+
+class TestSingleFault:
+    def test_seeded_plans_are_reproducible(self, fault_seed):
+        first = FaultPlan.single_fault(fault_seed)
+        second = FaultPlan.single_fault(fault_seed)
+        assert first.describe() == second.describe()
+        assert [s.errno_code for s in first.specs] == [
+            s.errno_code for s in second.specs
+        ]
+
+    def test_seeds_cover_every_point(self):
+        points = {FaultPlan.single_fault(seed).specs[0].point for seed in range(200)}
+        assert points == set(INJECTION_POINTS)
+
+    def test_replay_fault_gets_a_trigger_crash(self):
+        for seed in range(200):
+            plan = FaultPlan.single_fault(seed)
+            if plan.specs[0].point == "recovery.replay":
+                companions = [s for s in plan.specs[1:]]
+                assert companions and companions[0].action == FaultAction.CRASH
+                return
+        pytest.fail("no seed in range produced a recovery.replay fault")
+
+    def test_io_error_uses_realistic_errno(self):
+        codes = {
+            spec.errno_code
+            for seed in range(100)
+            for spec in FaultPlan.single_fault(seed).specs
+        }
+        assert codes <= {errno.ENOSPC, errno.EIO}
