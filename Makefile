@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults bench
+.PHONY: test faults parallel bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,9 @@ faults:
 		echo "== fault sweep: REPRO_FAULT_SEED=$$seed =="; \
 		REPRO_FAULT_SEED=$$seed $(PYTHON) -m pytest -m faults -q || exit 1; \
 	done
+
+parallel:
+	$(PYTHON) -m pytest -m parallel -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

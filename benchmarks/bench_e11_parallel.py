@@ -1,0 +1,221 @@
+"""E11 — True multi-process partition parallelism (``repro.parallel``).
+
+Paper claim (§1, §4): H-Store's shared-nothing design assigns each
+partition a single-threaded engine so single-partition transactions run
+concurrently across partitions with no locking — throughput scales with
+the partition count as long as transactions stay single-sited.
+
+Measured: the Voter ``validate_vote`` procedure, routed by phone number,
+driven as single-partition transactions through (a) the in-process
+``HStoreEngine`` (the GIL-bound simulation every other experiment uses)
+and (b) ``ParallelHStoreEngine`` clusters of 1, 2 and 4 worker OS
+processes.
+
+**Metric.** This container exposes one CPU core, so *wall-clock* speedup
+from multiprocessing is physically impossible here; workers time-slice a
+single core.  What the shared-nothing design actually changes is the
+*makespan*: each worker burns only its shard's CPU time, and with W
+fair-sharing workers the cluster finishes when the busiest worker does.
+We therefore report throughput against the **CPU-time makespan**
+(coordinator CPU + max per-worker CPU, measured with
+``time.process_time`` inside each process) — which equals wall-clock on a
+machine with ≥ W free cores — alongside the honest single-core wall time
+and the net-simulator's ``ClusterCost`` figure (same makespan idea, in
+simulated microseconds with explicit IPC charging).  The assertion is on
+the makespan metric, matching the repo's established simulated-TPS
+methodology (E3/E4).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.voter import schema
+from repro.apps.voter.procedures import ValidateVote
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table
+from repro.bench.harness import percentiles, write_bench_json
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.netsim import LatencyModel, cluster_cost
+from repro.parallel import ParallelHStoreEngine
+
+CONTESTANTS = 12
+VOTES = 2400
+GROUP_SIZE = 8
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_FLOOR = 2.0  # acceptance: ≥2× at 4 workers vs in-process
+
+
+class RoutedValidateVote(ValidateVote):
+    """SP1 routed by phone number — a single-partition transaction.
+
+    Routing on the phone keeps each phone's history on one shard, so the
+    one-vote-per-phone check stays local and correct; ``contestants`` is
+    replicated to every worker by the broadcast seeding DML.
+    """
+
+    partition_param = 0
+
+
+def _requests():
+    workload = VoterWorkload(seed=4242, num_contestants=CONTESTANTS)
+    return [request.as_row() for request in workload.generate(VOTES)]
+
+
+def _setup(engine):
+    schema.install_tables(engine)
+    engine.register_procedure(RoutedValidateVote)
+    schema.seed_contestants(engine, CONTESTANTS)
+    return engine
+
+
+def _run_inprocess(rows):
+    engine = _setup(HStoreEngine(partitions=1, log_group_size=GROUP_SIZE))
+    before = engine.stats.snapshot()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    committed = 0
+    for row in rows:
+        result = engine.call_procedure("validate_vote", *row)
+        if result.success:
+            committed += 1
+    cpu_s = time.process_time() - cpu_start
+    wall_s = time.perf_counter() - wall_start
+    after = engine.stats.snapshot()
+    accepted = len(engine.table_rows("votes"))
+    return {
+        "label": "in-process",
+        "workers": 0,
+        "committed": committed,
+        "accepted": accepted,
+        "wall_s": wall_s,
+        "makespan_s": cpu_s,  # one process does all the work
+        "worker_cpu_s": [],
+        "delta": {k: after.get(k, 0) - before.get(k, 0) for k in after},
+        "latencies_us": [],
+    }
+
+
+def _run_cluster(rows, workers):
+    engine = _setup(
+        ParallelHStoreEngine(workers, log_group_size=GROUP_SIZE)
+    )
+    try:
+        coord_before = engine.stats_local.snapshot()
+        workers_before = [stats.snapshot() for stats in engine.worker_stats()]
+        cpu_start = time.process_time()
+        batch = engine.call_many("validate_vote", rows, latencies=True)
+        coordinator_cpu_s = time.process_time() - cpu_start
+        coord_after = engine.stats_local.snapshot()
+        workers_after = [stats.snapshot() for stats in engine.worker_stats()]
+        accepted = len(engine.table_rows("votes"))
+    finally:
+        engine.shutdown()
+    coord_delta = {
+        key: coord_after.get(key, 0) - coord_before.get(key, 0)
+        for key in coord_after
+    }
+    worker_deltas = [
+        {key: after.get(key, 0) - before.get(key, 0) for key in after}
+        for before, after in zip(workers_before, workers_after)
+    ]
+    cost = cluster_cost(coord_delta, worker_deltas, model=LatencyModel())
+    return {
+        "label": f"parallel-{workers}w",
+        "workers": workers,
+        "committed": batch.committed,
+        "accepted": accepted,
+        "wall_s": batch.wall_s,
+        "makespan_s": coordinator_cpu_s + batch.max_worker_cpu_s,
+        "worker_cpu_s": [round(cpu, 4) for cpu in batch.worker_cpu_s],
+        "delta": coord_delta,
+        "sim_makespan_us": cost.makespan_us,
+        "sim_speedup": cost.parallel_speedup,
+        "sim_tps": cost.throughput(batch.committed),
+        "latencies_us": batch.latencies_us,
+    }
+
+
+def test_e11_parallel_scaling(benchmark, save_report):
+    rows = _requests()
+
+    runs = [_run_inprocess(rows)]
+    for workers in WORKER_COUNTS:
+        runs.append(_run_cluster(rows, workers))
+
+    baseline = runs[0]
+    # correctness first: sharding must not change the election outcome
+    for run in runs[1:]:
+        assert run["committed"] == baseline["committed"], run["label"]
+        assert run["accepted"] == baseline["accepted"], run["label"]
+
+    for run in runs:
+        run["makespan_tps"] = run["committed"] / max(run["makespan_s"], 1e-9)
+        run["wall_tps"] = run["committed"] / max(run["wall_s"], 1e-9)
+        run["speedup"] = run["makespan_tps"] / max(
+            baseline["committed"] / max(baseline["makespan_s"], 1e-9), 1e-9
+        )
+
+    table_rows = [
+        [
+            run["label"],
+            run["committed"],
+            f"{run['wall_s']:.3f}",
+            f"{run['makespan_s']:.3f}",
+            f"{run['makespan_tps']:,.0f}",
+            f"{run['speedup']:.2f}x",
+            f"{run.get('sim_tps', 0.0):,.0f}" if run["workers"] else "-",
+        ]
+        for run in runs
+    ]
+    table = format_table(
+        ["config", "committed", "wall_s", "makespan_s", "makespan_tps",
+         "speedup", "sim_tps"],
+        table_rows,
+    )
+
+    four = next(run for run in runs if run["workers"] == 4)
+    latency = percentiles(four["latencies_us"])
+
+    # timing: one representative 2-worker batch under the harness
+    benchmark.pedantic(lambda: _run_cluster(rows, 2), rounds=1, iterations=1)
+    benchmark.extra_info["speedup_4w"] = round(four["speedup"], 2)
+
+    save_report(
+        "e11_parallel",
+        f"{table}\n\n"
+        f"single-partition txns, {VOTES} votes, routed by phone; "
+        f"makespan = coordinator CPU + busiest worker CPU "
+        f"(= wall-clock with >= W cores; this container has 1).\n"
+        f"4-worker latency us: "
+        + ", ".join(f"{k}={v:.0f}" for k, v in latency.items()),
+    )
+    write_bench_json(
+        "e11_parallel",
+        {
+            "votes": VOTES,
+            "contestants": CONTESTANTS,
+            "log_group_size": GROUP_SIZE,
+            "runs": [
+                {
+                    "config": run["label"],
+                    "workers": run["workers"],
+                    "committed": run["committed"],
+                    "wall_s": round(run["wall_s"], 4),
+                    "wall_tps": round(run["wall_tps"], 1),
+                    "makespan_s": round(run["makespan_s"], 4),
+                    "makespan_tps": round(run["makespan_tps"], 1),
+                    "speedup_vs_inprocess": round(run["speedup"], 3),
+                    "worker_cpu_s": run["worker_cpu_s"],
+                    "sim_tps": round(run.get("sim_tps", 0.0), 1),
+                    "latency_us": percentiles(run["latencies_us"]),
+                }
+                for run in runs
+            ],
+        },
+    )
+
+    assert four["speedup"] >= SPEEDUP_FLOOR, (
+        f"4-worker makespan speedup {four['speedup']:.2f}x "
+        f"below the {SPEEDUP_FLOOR}x floor:\n{table}"
+    )

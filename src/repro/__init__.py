@@ -70,6 +70,7 @@ from repro.hstore import (
     StoredProcedure,
     crash_and_recover,
 )
+from repro.parallel import ParallelHStoreEngine
 
 __version__ = "1.0.0"
 
@@ -91,6 +92,7 @@ __all__ = [
     "HStoreEngine",
     "LatencyModel",
     "LogicalClock",
+    "ParallelHStoreEngine",
     "ProcedureContext",
     "ProcedureResult",
     "ResultSet",

@@ -4,10 +4,18 @@ Every experiment in ``benchmarks/`` drives the two systems through these
 helpers so that the configuration (workload seed, contestant count, batch
 sizes) is identical on both sides and the measured quantities (wall time,
 layer round trips, simulated TPS, anomaly counts) are extracted uniformly.
+
+Besides the human-readable text reports (``benchmarks/_results/*.txt``),
+experiments can emit machine-readable JSON via :func:`write_bench_json` —
+one ``BENCH_<name>.json`` per experiment with throughput, latency
+percentiles and configuration, for plotting and regression tracking
+without re-parsing prose.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -26,6 +34,8 @@ __all__ = [
     "run_voter_hstore_interleaved",
     "compare_summaries",
     "format_table",
+    "percentiles",
+    "write_bench_json",
 ]
 
 
@@ -164,6 +174,44 @@ def compare_summaries(
             reference.winner is not None and observed.winner != reference.winner
         ),
     )
+
+
+def percentiles(
+    samples: list[float], points: tuple[float, ...] = (50.0, 90.0, 99.0)
+) -> dict[str, float]:
+    """Nearest-rank percentiles keyed ``"p50"``/``"p90"``/... (empty-safe)."""
+    if not samples:
+        return {f"p{point:g}": 0.0 for point in points}
+    ordered = sorted(samples)
+    out: dict[str, float] = {}
+    for point in points:
+        rank = max(0, min(len(ordered) - 1, round(point / 100.0 * len(ordered)) - 1))
+        out[f"p{point:g}"] = ordered[rank]
+    return out
+
+
+def write_bench_json(
+    name: str,
+    payload: dict[str, Any],
+    *,
+    results_dir: str | pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` next to the text reports.
+
+    ``payload`` is augmented with the experiment name; everything must be
+    JSON-serializable (floats, ints, strings, lists, dicts).  The default
+    directory is ``benchmarks/_results/`` relative to the repo root, the
+    same place ``benchmarks/conftest.py`` drops text reports.
+    """
+    if results_dir is None:
+        results_dir = pathlib.Path(__file__).resolve().parents[3] / (
+            "benchmarks/_results"
+        )
+    directory = pathlib.Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"experiment": name, **payload}, indent=2) + "\n")
+    return path
 
 
 def format_table(headers: list[str], rows: list[list[Any]]) -> str:

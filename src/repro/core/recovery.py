@@ -64,7 +64,16 @@ def state_fingerprint(engine: "SStoreEngine") -> dict[str, Any]:
 
     Covers every regular table's rows (sorted), every window's contents, and
     stream live contents — the state a user can observe.
+
+    Multi-process clusters (:class:`repro.parallel.ParallelHStoreEngine`)
+    hold their partitions in worker processes rather than in
+    ``engine.partitions``; they expose the same digest shape via
+    ``cluster_state_fingerprint()``, which this helper dispatches to so the
+    recovery-equivalence machinery treats both deployments identically.
     """
+    cluster = getattr(engine, "cluster_state_fingerprint", None)
+    if cluster is not None:
+        return cluster()
     fingerprint: dict[str, Any] = {}
     for partition in engine.partitions:
         for name, table in partition.ee.tables().items():

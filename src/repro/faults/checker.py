@@ -10,9 +10,10 @@ engines produced by the same factory:
    directory (recovery itself may be re-killed by ``recovery.replay``
    faults and is simply retried), and the client resumes.
 
-Resumption is *exactly-once*: each client operation (``ingest`` / ``tick``)
-appends exactly one command-log record, so the number of such records in
-the recovered durable log says precisely which operations survived.  An
+Resumption is *exactly-once*: each client operation (``ingest`` / ``tick`` /
+``call``) appends exactly one command-log record, so the number of such
+records in the recovered durable log says precisely which operations
+survived.  An
 operation whose record never became durable is retried; one whose record
 was durable but whose acknowledgement was dropped is **not** — the paper's
 command-logging contract, made testable.
@@ -20,6 +21,15 @@ command-logging contract, made testable.
 At the end, table-by-table and window-by-window state must be equal.  The
 checker assumes the durable log is not GC-truncated mid-run (snapshots here
 keep the full log, which ``DurabilityDirectory`` does by default).
+
+The engine factory may build an in-process engine *or* a
+:class:`repro.parallel.ParallelHStoreEngine` process cluster — the checker
+drives both through the same API.  Parallel factories must use
+``log_group_size=1`` (so every completed op's record is durable the moment
+it commits, keeping durable-record counts a prefix of the op sequence even
+when ops scatter across worker logs) and restrict ``call`` ops to
+single-partition procedures (run-everywhere commits log one record *per
+worker*, which would break the one-record-per-op count).
 """
 
 from __future__ import annotations
@@ -38,7 +48,8 @@ from repro.hstore.engine import HStoreEngine
 
 __all__ = ["Op", "EquivalenceReport", "RecoveryEquivalenceChecker", "full_fingerprint"]
 
-#: one client operation: ("ingest", stream, rows) | ("tick", ticks) | ("snapshot",)
+#: one client operation: ("ingest", stream, rows) | ("tick", ticks)
+#: | ("snapshot",) | ("call", procedure_name, params)
 Op = tuple
 
 #: command-log pseudo-procedures produced by exactly one client op each
@@ -46,7 +57,17 @@ _RECORD_PER_OP = ("<ingest>", "<tick>")
 
 
 def full_fingerprint(engine: HStoreEngine) -> dict[str, Any]:
-    """Tables, windows, and the logical clock — everything equivalence means."""
+    """Tables, windows, and the logical clock — everything equivalence means.
+
+    Multi-process clusters (:class:`repro.parallel.ParallelHStoreEngine`)
+    provide their own same-shaped digest via ``cluster_fingerprint()``
+    (per-worker table shards plus the tuple of worker clocks), so the
+    checker compares process clusters and in-process engines through one
+    code path.
+    """
+    cluster = getattr(engine, "cluster_fingerprint", None)
+    if cluster is not None:
+        return cluster()
     fingerprint: dict[str, Any] = {
         f"table:{key}": rows for key, rows in state_fingerprint(engine).items()
     }
@@ -98,6 +119,12 @@ class RecoveryEquivalenceChecker:
         self.injector = FaultInjector(plan)
         self._workdir = pathlib.Path(workdir) if workdir is not None else None
         self.max_recoveries = max_recoveries
+        #: log procedure names produced by exactly one client op each —
+        #: the pseudo-procedures plus every procedure named by a "call" op
+        #: (which must therefore be a committing single-partition writer)
+        self._logged_procedures = set(_RECORD_PER_OP) | {
+            op[1] for op in self.ops if op[0] == "call"
+        }
 
     # ------------------------------------------------------------------
 
@@ -119,11 +146,14 @@ class RecoveryEquivalenceChecker:
 
     def _run_reference(self, directory: pathlib.Path) -> dict[str, Any]:
         engine = self.build_engine()
-        engine.enable_durability(directory)
-        for op in self.ops:
-            self._apply(engine, op)
-        self._quiesce(engine)
-        return full_fingerprint(engine)
+        try:
+            engine.enable_durability(directory)
+            for op in self.ops:
+                self._apply(engine, op)
+            self._quiesce(engine)
+            return full_fingerprint(engine)
+        finally:
+            self._dispose(engine)
 
     def _run_faulted(
         self, directory: pathlib.Path, reference: dict[str, Any]
@@ -140,8 +170,9 @@ class RecoveryEquivalenceChecker:
 
         totals = {"replayed": 0, "torn": 0, "snapshots_skipped": 0}
 
-        def recover() -> HStoreEngine:
+        def recover(dead: HStoreEngine) -> HStoreEngine:
             nonlocal recoveries, crashes
+            self._dispose(dead)
             fresh, report = self._recover(directory)
             recoveries += 1
             crashes += report.pop("crashes")
@@ -163,7 +194,7 @@ class RecoveryEquivalenceChecker:
                             f"fault plan {self.plan.describe()} did not "
                             f"converge after {crashes} crashes"
                         )
-                    engine = recover()
+                    engine = recover(engine)
                     index = self._resume_index(engine)
             self._quiesce(engine)
             if verified or not self._needs_verification_restart(crashes):
@@ -176,13 +207,14 @@ class RecoveryEquivalenceChecker:
                 engine.command_log.flush()
             except InjectedFault:
                 crashes += 1
-            engine = recover()
+            engine = recover(engine)
             index = self._resume_index(engine)
 
         replayed = totals["replayed"]
         torn = totals["torn"]
         snapshots_skipped = totals["snapshots_skipped"]
         faulted = full_fingerprint(engine)
+        self._dispose(engine)
         mismatched = sorted(
             key
             for key in set(reference) | set(faulted)
@@ -220,6 +252,7 @@ class RecoveryEquivalenceChecker:
             try:
                 engine.restore_from_disk(directory)
             except InjectedFault:
+                self._dispose(engine)
                 crashes += 1
                 if crashes > self.max_recoveries:
                     raise RecoveryError(
@@ -240,13 +273,13 @@ class RecoveryEquivalenceChecker:
         durable = sum(
             1
             for record in engine.command_log.all_records()
-            if record.procedure in _RECORD_PER_OP
+            if record.procedure in self._logged_procedures
         )
         index = 0
         for op in self.ops:
             if durable == 0:
                 break
-            if op[0] in ("ingest", "tick"):
+            if op[0] in ("ingest", "tick", "call"):
                 durable -= 1
             index += 1
         return index
@@ -261,12 +294,29 @@ class RecoveryEquivalenceChecker:
             engine.advance_time(op[1])
         elif kind == "snapshot":
             engine.take_snapshot()
+        elif kind == "call":
+            result = engine.call_procedure(op[1], *op[2])
+            if not result.success:
+                # a deterministic abort logs no record, which would break the
+                # exactly-once record-counting resumption — fail loudly
+                raise ReproError(
+                    f"checker 'call' op {op[1]!r} aborted ({result.error}); "
+                    f"call ops must be committing single-partition writers "
+                    f"so each logs exactly one record"
+                )
         else:
             raise ReproError(
                 f"unsupported checker op {kind!r}; supported: ingest, tick, "
-                f"snapshot (each ingest/tick must log exactly one record "
-                f"for exactly-once resumption)"
+                f"snapshot, call (each ingest/tick/call must log exactly one "
+                f"record for exactly-once resumption)"
             )
+
+    @staticmethod
+    def _dispose(engine: HStoreEngine) -> None:
+        """Release a discarded engine's resources (worker processes)."""
+        stop = getattr(engine, "shutdown", None)
+        if stop is not None:
+            stop()
 
     @staticmethod
     def _quiesce(engine: HStoreEngine) -> None:

@@ -20,6 +20,7 @@ Extension points used by the streaming subclass:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -58,10 +59,22 @@ from repro.hstore.snapshot import Snapshot, SnapshotStore
 from repro.hstore.stats import EngineStats
 from repro.hstore.txn import TransactionContext
 
-__all__ = ["HStoreEngine", "ADHOC_RECORD"]
+__all__ = ["HStoreEngine", "PreparedInvocation", "ADHOC_RECORD"]
 
 #: pseudo-procedure name for command-logged ad-hoc DML statements
 ADHOC_RECORD = "<adhoc>"
+
+
+@dataclass
+class PreparedInvocation:
+    """A ran-but-undecided transaction holding its partition fenced."""
+
+    procedure: StoredProcedure
+    params: tuple[Any, ...]
+    txn: TransactionContext
+    ctx: ProcedureContext
+    partition_id: int
+    result: ProcedureResult
 
 
 class HStoreEngine:
@@ -335,6 +348,105 @@ class HStoreEngine:
         return result
 
     # ------------------------------------------------------------------
+    # Prepared (fenced) invocations — the multi-process 2PC building block
+    # ------------------------------------------------------------------
+    #
+    # A multi-partition transaction spanning OS processes cannot use
+    # `_invoke_everywhere` directly: each worker must run the procedure,
+    # report its outcome to the coordinator, and *hold the partition fenced*
+    # until every sibling has prepared, so the commit/abort decision is
+    # atomic across the cluster.  `prepare_invoke` runs the procedure and
+    # leaves the transaction open with the partition still acquired;
+    # `commit_prepared` / `abort_prepared` resolve it.
+
+    def prepare_invoke(
+        self, name: str, params: tuple[Any, ...]
+    ) -> tuple[ProcedureResult, "PreparedInvocation | None"]:
+        """Run a procedure but defer the commit/abort decision.
+
+        Returns ``(result, prepared)``.  On success ``prepared`` holds the
+        open transaction (and the acquired partition — the fence); the
+        caller must resolve it with :meth:`commit_prepared` or
+        :meth:`abort_prepared`.  On a procedure abort the transaction is
+        already rolled back and ``prepared`` is ``None``.
+        """
+        self._require_alive()
+        procedure = self.procedure(name)
+        partition_id = self._route(procedure, params)
+        partition = self.partitions[partition_id]
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        txn = TransactionContext(txn_id, partition.ee, procedure.name)
+        ctx = self._make_context(procedure, txn, partition_id)
+        partition.acquire()
+        try:
+            data = procedure.run(ctx, *params)
+        except (TransactionAborted, ConstraintViolationError) as exc:
+            txn.abort()
+            partition.release()
+            self.stats.txns_aborted += 1
+            return (
+                ProcedureResult(
+                    success=False, error=str(exc), txn_id=txn_id, partition=partition_id
+                ),
+                None,
+            )
+        except ReproError:
+            txn.abort()
+            partition.release()
+            self.stats.txns_aborted += 1
+            raise
+        result = ProcedureResult(
+            success=True, data=data, txn_id=txn_id, partition=partition_id
+        )
+        return result, PreparedInvocation(
+            procedure=procedure,
+            params=params,
+            txn=txn,
+            ctx=ctx,
+            partition_id=partition_id,
+            result=result,
+        )
+
+    def commit_prepared(self, prepared: "PreparedInvocation") -> ProcedureResult:
+        """Commit a held invocation: release the fence, log, fire hooks."""
+        prepared.txn.commit()
+        self.partitions[prepared.partition_id].release()
+        self.stats.txns_committed += 1
+        self._after_commit(
+            prepared.procedure,
+            prepared.ctx,
+            prepared.txn,
+            prepared.params,
+            prepared.result,
+        )
+        if not (prepared.procedure.read_only or self._replaying):
+            # partition=-1 marks a fenced/everywhere transaction, matching
+            # what _invoke_everywhere logs in the single-process engine
+            self.command_log.append(
+                txn_id=prepared.txn.txn_id,
+                procedure=prepared.procedure.name,
+                params=prepared.params,
+                partition=-1,
+                logical_time=self.clock.now,
+            )
+            self._note_logged_command()
+        return prepared.result
+
+    def abort_prepared(self, prepared: "PreparedInvocation") -> None:
+        """Roll back a held invocation and release the fence."""
+        prepared.txn.abort()
+        self.partitions[prepared.partition_id].release()
+        self.stats.txns_aborted += 1
+
+    def shutdown(self) -> None:
+        """Release external resources; a no-op for the in-process engine.
+
+        Exists so harnesses can dispose any engine uniformly — the
+        multi-process facade overrides this to stop its worker processes.
+        """
+
+    # ------------------------------------------------------------------
     # Ad-hoc SQL (testing / examples / interactive use)
     # ------------------------------------------------------------------
 
@@ -347,6 +459,16 @@ class HStoreEngine:
         """
         self._require_alive()
         self.stats.client_pe_roundtrips += 1
+        return self._execute_sql(sql, params)
+
+    def _execute_sql(self, sql: str, params: tuple[Any, ...]) -> ResultSet | int:
+        """The ad-hoc execution body, without the client round-trip charge.
+
+        The multi-process deployment calls this inside a worker: the client
+        round trip was already charged once at the coordinator, and charging
+        it again per worker would inflate the E4 counters.
+        """
+        self._require_alive()
         plan = self.planner.plan(parse(sql))
         self._check_adhoc_plan(plan)
 

@@ -17,6 +17,14 @@ H-Store paper [6]: a client↔PE round trip is a network RPC (~hundreds of
 microseconds); a PE↔EE round trip is an in-process boundary crossing between
 the Java PE and C++ EE (~single-digit microseconds); EE-internal work per
 statement is ~a microsecond.
+
+The multi-process deployment (:mod:`repro.parallel`) adds a third real
+crossing: coordinator↔worker messages over OS pipes.  Those hops are counted
+in ``EngineStats.ipc_roundtrips`` and charged at ``ipc_us`` each.  Because
+shared-nothing workers run concurrently, a cluster's simulated elapsed time
+is *not* the sum of all partition work: :func:`cluster_cost` computes the
+makespan — coordinator-serial costs plus the busiest worker — which is what
+a deployment with one core per partition would observe.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from dataclasses import dataclass
 
 from repro.hstore.stats import EngineStats
 
-__all__ = ["LatencyModel", "SimulatedCost"]
+__all__ = ["LatencyModel", "SimulatedCost", "ClusterCost", "cluster_cost", "simulated_tps"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +44,8 @@ class LatencyModel:
     pe_ee_us: float = 5.0
     ee_statement_us: float = 1.0
     log_flush_us: float = 40.0
+    #: one coordinator↔worker message exchange over a local pipe/socket
+    ipc_us: float = 20.0
 
     def cost_of(self, counters: dict[str, int]) -> "SimulatedCost":
         """Total simulated cost of a counter delta (see ``EngineStats.delta``)."""
@@ -43,11 +53,13 @@ class LatencyModel:
         pe_ee = counters.get("pe_ee_roundtrips", 0) * self.pe_ee_us
         ee = counters.get("ee_statements", 0) * self.ee_statement_us
         log = counters.get("log_flushes", 0) * self.log_flush_us
+        ipc = counters.get("ipc_roundtrips", 0) * self.ipc_us
         return SimulatedCost(
             client_pe_us=client,
             pe_ee_us=pe_ee,
             ee_us=ee,
             log_us=log,
+            ipc_us=ipc,
         )
 
 
@@ -59,16 +71,69 @@ class SimulatedCost:
     pe_ee_us: float
     ee_us: float
     log_us: float
+    ipc_us: float = 0.0
 
     @property
     def total_us(self) -> float:
-        return self.client_pe_us + self.pe_ee_us + self.ee_us + self.log_us
+        return (
+            self.client_pe_us + self.pe_ee_us + self.ee_us + self.log_us + self.ipc_us
+        )
 
     def throughput(self, transactions: int) -> float:
         """Simulated transactions per second for ``transactions`` completed txns."""
         if self.total_us <= 0:
             return float("inf")
         return transactions / (self.total_us / 1_000_000.0)
+
+
+@dataclass(frozen=True)
+class ClusterCost:
+    """Simulated cost of a shared-nothing run: coordinator + parallel workers.
+
+    The coordinator's client round trips and IPC hops are serial; each
+    worker's PE/EE/log work proceeds concurrently with its peers.  The
+    makespan is therefore the coordinator's serial time plus the slowest
+    worker — the elapsed time of a deployment with one core per partition.
+    """
+
+    coordinator: SimulatedCost
+    workers: tuple[SimulatedCost, ...]
+
+    @property
+    def makespan_us(self) -> float:
+        slowest = max((w.total_us for w in self.workers), default=0.0)
+        return self.coordinator.total_us + slowest
+
+    @property
+    def serialized_us(self) -> float:
+        """What the same work would cost with zero parallelism (one core)."""
+        return self.coordinator.total_us + sum(w.total_us for w in self.workers)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """serialized / makespan — bounded by the worker count."""
+        if self.makespan_us <= 0:
+            return 1.0
+        return self.serialized_us / self.makespan_us
+
+    def throughput(self, transactions: int) -> float:
+        if self.makespan_us <= 0:
+            return float("inf")
+        return transactions / (self.makespan_us / 1_000_000.0)
+
+
+def cluster_cost(
+    coordinator_delta: dict[str, int],
+    worker_deltas: list[dict[str, int]],
+    *,
+    model: LatencyModel | None = None,
+) -> ClusterCost:
+    """Simulated cluster cost from coordinator and per-worker counter deltas."""
+    model = model or LatencyModel()
+    return ClusterCost(
+        coordinator=model.cost_of(coordinator_delta),
+        workers=tuple(model.cost_of(delta) for delta in worker_deltas),
+    )
 
 
 def simulated_tps(

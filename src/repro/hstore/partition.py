@@ -9,6 +9,7 @@ execution, plus the deterministic value-routing hash.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from typing import Any
 
@@ -26,6 +27,13 @@ def stable_hash(value: Any) -> int:
     Python's built-in ``hash`` is salted per process for strings, which would
     make routing non-reproducible across runs (and break command-log replay
     after a "reboot"), so integers route by value and strings by CRC-32.
+
+    Floats route by their IEEE-754 bit pattern, except that integral floats
+    route as the equal integer (``2.0 == 2`` in Python, so they must land on
+    the same partition).  The former ``int(value)`` scheme collapsed every
+    float onto its floor — 2.7 and 2 shared a partition, so two distinct
+    routing keys were silently co-located and a partition-count change could
+    split rows that replay expected together.
     """
     if value is None:
         return 0
@@ -34,7 +42,9 @@ def stable_hash(value: Any) -> int:
     if isinstance(value, int):
         return value
     if isinstance(value, float):
-        return int(value)
+        if value.is_integer():
+            return int(value)
+        return int.from_bytes(struct.pack("<d", value), "little")
     if isinstance(value, str):
         return zlib.crc32(value.encode("utf-8"))
     raise PartitionError(f"cannot route on value of type {type(value).__name__}")

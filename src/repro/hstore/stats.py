@@ -21,11 +21,21 @@ Counter semantics:
 ``ee_statements``
     Every statement the EE executes, regardless of who asked (superset of
     ``pe_ee_roundtrips``).
+
+``ipc_roundtrips``
+    One per coordinator↔worker message exchange over a real OS pipe in the
+    multi-process deployment (:mod:`repro.parallel`).  Zero on in-process
+    engines — the shared-nothing tax, measured rather than assumed.
+
+A shared-nothing cluster runs one :class:`EngineStats` per worker process;
+:meth:`merge` / ``+`` fold the per-worker views into one coordinator view
+(instances are plain picklable dataclasses, so they travel over the worker
+mailboxes unchanged).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["EngineStats"]
 
@@ -50,7 +60,13 @@ class EngineStats:
     log_records: int = 0
     log_flushes: int = 0
     snapshots_taken: int = 0
+    ipc_roundtrips: int = 0
     extra: dict[str, int] = field(default_factory=dict)
+
+    #: the integer counter field names, in declaration order
+    @classmethod
+    def counter_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in fields(cls) if f.name != "extra")
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment an ad-hoc named counter (kept in :attr:`extra`)."""
@@ -58,27 +74,7 @@ class EngineStats:
 
     def snapshot(self) -> dict[str, int]:
         """A flat copy of all counters (for benchmark deltas)."""
-        result = {
-            name: getattr(self, name)
-            for name in (
-                "client_pe_roundtrips",
-                "pe_ee_roundtrips",
-                "ee_statements",
-                "ee_trigger_firings",
-                "pe_trigger_firings",
-                "txns_committed",
-                "txns_aborted",
-                "rows_inserted",
-                "rows_updated",
-                "rows_deleted",
-                "stream_tuples_ingested",
-                "stream_tuples_gced",
-                "window_slides",
-                "log_records",
-                "log_flushes",
-                "snapshots_taken",
-            )
-        }
+        result = {name: getattr(self, name) for name in self.counter_names()}
         result.update(self.extra)
         return result
 
@@ -88,6 +84,33 @@ class EngineStats:
             if isinstance(value, int):
                 setattr(self, name, 0)
         self.extra.clear()
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, *others: "EngineStats") -> "EngineStats":
+        """Fold other stats into this one, in place; returns ``self``.
+
+        The coordinator of a multi-process cluster calls this to aggregate
+        per-worker counters into one engine-wide view.
+        """
+        for other in others:
+            for name in self.counter_names():
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            for key, value in other.extra.items():
+                self.extra[key] = self.extra.get(key, 0) + value
+        return self
+
+    def __add__(self, other: "EngineStats") -> "EngineStats":
+        if not isinstance(other, EngineStats):
+            return NotImplemented
+        return self.copy().merge(other)
+
+    def copy(self) -> "EngineStats":
+        clone = EngineStats(
+            **{name: getattr(self, name) for name in self.counter_names()}
+        )
+        clone.extra = dict(self.extra)
+        return clone
 
     @staticmethod
     def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:

@@ -1,0 +1,119 @@
+"""The coordinator↔worker mailbox protocol.
+
+Every exchange is a request/reply pair over a worker's mailbox pipes:
+
+* request: ``(seq, op, payload)`` — ``seq`` is a per-worker monotonically
+  increasing integer the reply must echo (a cheap protocol-desync tripwire);
+  ``op`` is one of the ``OP_*`` constants; the payload shape is per-op.
+* reply: ``(seq, status, payload, fired)`` — ``status`` is ``"ok"``,
+  ``"error"`` (an engine exception, serialized by name + message) or
+  ``"fault"`` (the deterministic fault injector fired inside the worker);
+  ``fired`` lists fault-plan specs that newly fired while handling the
+  request, as ``(spec_index, label)`` pairs, so the coordinator can keep its
+  authoritative plan copy in sync (one-shot specs must not re-fire on a
+  sibling worker).
+
+Everything crossing a mailbox is a plain picklable value: SQL text,
+parameter tuples, procedure *classes* (pickled by reference, which is why
+registered procedures must be module-level classes), dataclasses
+(``ProcedureResult``, ``EngineStats``, ``LogRecord``) and primitive
+containers.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any
+
+from repro import errors as _errors
+from repro.errors import ReproError
+
+__all__ = [
+    "OP_DDL",
+    "OP_REGISTER",
+    "OP_SQL",
+    "OP_INVOKE",
+    "OP_INVOKE_BATCH",
+    "OP_PREPARE",
+    "OP_DECIDE",
+    "OP_CRASH",
+    "OP_RECOVER",
+    "OP_SNAPSHOT",
+    "OP_FLUSH_LOG",
+    "OP_LOG_RECORDS",
+    "OP_STATS",
+    "OP_FINGERPRINT",
+    "OP_TABLE_ROWS",
+    "OP_DESCRIBE",
+    "OP_ENABLE_DURABILITY",
+    "OP_RESTORE",
+    "OP_INSTALL_FAULTS",
+    "OP_PING",
+    "OP_SHUTDOWN",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_FAULT",
+    "dump_exception",
+    "load_exception",
+]
+
+# -- deployment / setup ops --------------------------------------------------
+OP_DDL = "ddl"                            # payload: sql str
+OP_REGISTER = "register"                  # payload: StoredProcedure subclass
+OP_ENABLE_DURABILITY = "enable_durability"  # payload: directory path str
+OP_INSTALL_FAULTS = "install_faults"      # payload: FaultPlan | None
+
+# -- transaction ops ---------------------------------------------------------
+OP_SQL = "sql"                            # payload: (sql, params)
+OP_INVOKE = "invoke"                      # payload: (procedure, params)
+OP_INVOKE_BATCH = "invoke_batch"          # payload: (procedure, rows, latencies?)
+OP_PREPARE = "prepare"                    # payload: (procedure, params)
+OP_DECIDE = "decide"                      # payload: commit bool
+
+# -- durability / recovery ops ----------------------------------------------
+OP_CRASH = "crash"                        # payload: None
+OP_RECOVER = "recover"                    # payload: None
+OP_SNAPSHOT = "snapshot"                  # payload: None
+OP_FLUSH_LOG = "flush_log"                # payload: None
+OP_RESTORE = "restore"                    # payload: directory path str
+
+# -- observation ops ---------------------------------------------------------
+OP_LOG_RECORDS = "log_records"            # payload: None
+OP_STATS = "stats"                        # payload: None
+OP_FINGERPRINT = "fingerprint"            # payload: None
+OP_TABLE_ROWS = "table_rows"              # payload: table name str
+OP_DESCRIBE = "describe"                  # payload: None
+
+# -- lifecycle ---------------------------------------------------------------
+OP_PING = "ping"                          # payload: None
+OP_SHUTDOWN = "shutdown"                  # payload: None
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_FAULT = "fault"
+
+#: exception classes that may cross a mailbox, resolvable by name
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    name: obj
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, Exception)
+}
+
+
+def dump_exception(exc: BaseException) -> tuple[str, str]:
+    """Serialize an exception for an ``"error"`` reply.
+
+    Engine exceptions travel as (class name, message).  Anything else is a
+    worker-side bug; its traceback is folded into the message so the
+    coordinator surfaces it instead of hiding it in a child process.
+    """
+    if isinstance(exc, ReproError):
+        return type(exc).__name__, str(exc)
+    detail = "".join(traceback.format_exception(exc)).strip()
+    return "ReproError", f"worker-side {type(exc).__name__}: {detail}"
+
+
+def load_exception(class_name: str, message: str) -> Exception:
+    """Rebuild the coordinator-side exception for an ``"error"`` reply."""
+    cls = _ERROR_TYPES.get(class_name, ReproError)
+    return cls(message)

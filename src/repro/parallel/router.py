@@ -1,0 +1,59 @@
+"""Deterministic transaction routing for the process cluster.
+
+The coordinator owns no data; it only decides *which worker* runs each
+single-partition transaction.  Routing reuses the exact
+``stable_hash``/``route_value`` the in-process engine uses for its
+partitions, so the same invocation stream lands on the same shards across
+runs, processes and restarts — the property command-log replay and the
+recovery-equivalence checker depend on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PartitionError
+from repro.hstore.partition import route_value
+from repro.hstore.procedure import StoredProcedure
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Maps (procedure, params) → worker id, exactly as the PE routes."""
+
+    def __init__(self, worker_count: int) -> None:
+        if worker_count < 1:
+            raise PartitionError("cluster requires at least one worker")
+        self.worker_count = worker_count
+
+    def route(self, procedure: StoredProcedure, params: tuple[Any, ...]) -> int:
+        """Worker id for one invocation (run-everywhere procedures have none)."""
+        if procedure.run_everywhere:
+            raise PartitionError(
+                f"procedure {procedure.name!r} runs everywhere; it has no "
+                f"single routing target"
+            )
+        if procedure.partition_param is None:
+            return 0
+        if procedure.partition_param >= len(params):
+            raise PartitionError(
+                f"procedure {procedure.name!r} routes on parameter "
+                f"#{procedure.partition_param}, got only {len(params)} params"
+            )
+        return route_value(params[procedure.partition_param], self.worker_count)
+
+    def shard(
+        self, procedure: StoredProcedure, rows: list[tuple[Any, ...]]
+    ) -> list[list[tuple[Any, ...]]]:
+        """Split an invocation batch into per-worker sub-batches.
+
+        Per-worker arrival order is preserved — each worker executes its
+        sub-batch serially, which is what makes the sharded run equivalent
+        to the serial run for single-partition transactions.
+        """
+        buckets: list[list[tuple[Any, ...]]] = [[] for _ in range(self.worker_count)]
+        for row in rows:
+            params = tuple(row)
+            buckets[self.route(procedure, params)].append(params)
+        return buckets

@@ -1,0 +1,379 @@
+"""One partition's OS process: a serial ``HStoreEngine`` behind a mailbox.
+
+Each :class:`PartitionWorker` owns a child process running
+:func:`_worker_main`: a single-partition :class:`HStoreEngine` (its slice of
+the shared-nothing database) plus a request loop over an inbox/outbox pipe
+pair.  The loop is strictly serial — one message handled at a time — which
+*is* the paper's per-partition serial execution: no locks, no latches, the
+mailbox is the transaction queue.
+
+Durability is worker-local: each worker keeps its own command log and
+snapshots (under ``<root>/worker-<id>`` when file durability is enabled), so
+a crash/recover cycle replays every shard independently and deterministically.
+
+Fault injection: the coordinator ships the (picklable) ``FaultPlan`` into
+each worker, which arms a local ``FaultInjector`` on its engine.  Occurrence
+counting is therefore *per worker* — ``log.flush#3`` fires on whichever
+worker reaches its third flush — and any spec that fires is reported back in
+the reply so the coordinator can mark its authoritative plan copy (one-shot
+specs must not re-fire on a sibling).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import InjectedCrash, InjectedFault, ReproError
+from repro.faults.injector import FaultInjector
+from repro.hstore.engine import HStoreEngine, PreparedInvocation
+from repro.hstore.parser import parse
+from repro.hstore.planner import SelectPlan
+from repro.parallel import messages as msg
+
+__all__ = ["WorkerConfig", "PartitionWorker"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to build its engine shard."""
+
+    worker_id: int
+    worker_count: int
+    log_group_size: int = 1
+    snapshot_interval: int | None = None
+    command_logging: bool = True
+
+
+class PartitionWorker:
+    """Transport handle for one partition process: spawn, send, recv, stop."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.worker_id = config.worker_id
+        # the mailbox pair: inbox carries requests down, outbox replies up
+        inbox_recv, inbox_send = multiprocessing.Pipe(duplex=False)
+        outbox_recv, outbox_send = multiprocessing.Pipe(duplex=False)
+        self._inbox = inbox_send
+        self._outbox = outbox_recv
+        self._seq = 0
+        self.process = multiprocessing.Process(
+            target=_worker_main,
+            args=(config, inbox_recv, outbox_send),
+            name=f"repro-partition-{config.worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        # the child inherited its ends across fork/spawn; drop ours
+        inbox_recv.close()
+        outbox_send.close()
+
+    # ------------------------------------------------------------------
+
+    def send(self, op: str, payload: Any = None) -> int:
+        """Post one request to the worker's inbox; returns its seq."""
+        seq = self._seq
+        self._seq += 1
+        try:
+            self._inbox.send((seq, op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise ReproError(
+                f"partition worker {self.worker_id} is gone "
+                f"(cannot send {op!r}): {exc}"
+            ) from exc
+        return seq
+
+    def recv(self, expect_seq: int) -> tuple[str, Any, tuple]:
+        """Take one reply from the outbox; returns (status, payload, fired)."""
+        try:
+            seq, status, payload, fired = self._outbox.recv()
+        except (EOFError, OSError) as exc:
+            raise ReproError(
+                f"partition worker {self.worker_id} died mid-request "
+                f"(mailbox closed): {exc}"
+            ) from exc
+        if seq != expect_seq:
+            raise ReproError(
+                f"partition worker {self.worker_id} protocol desync: "
+                f"expected reply #{expect_seq}, got #{seq}"
+            )
+        return status, payload, fired
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Best-effort orderly shutdown; escalates to terminate."""
+        if self.process.is_alive():
+            try:
+                self._inbox.send((self._seq, msg.OP_SHUTDOWN, None))
+                self._seq += 1
+            except (BrokenPipeError, OSError):
+                pass
+            self.process.join(timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout)
+        self._inbox.close()
+        self._outbox.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else "stopped"
+        return f"PartitionWorker({self.worker_id}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# child-process side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
+    """The partition process: build the engine shard, serve the mailbox."""
+    engine = HStoreEngine(
+        partitions=1,
+        log_group_size=config.log_group_size,
+        snapshot_interval=config.snapshot_interval,
+        command_logging=config.command_logging,
+    )
+    state = _WorkerState(config, engine)
+    while True:
+        try:
+            seq, op, payload = inbox.recv()
+        except (EOFError, OSError):
+            break  # coordinator is gone; nothing left to serve
+        plan = state.fault_plan()
+        fired_before = [spec.fired for spec in plan.specs] if plan else []
+        try:
+            result = state.handle(op, payload)
+            status, reply = msg.STATUS_OK, result
+        except InjectedFault as exc:
+            status, reply = msg.STATUS_FAULT, _fault_payload(exc)
+        except Exception as exc:  # noqa: BLE001 - serialized, not swallowed
+            status, reply = msg.STATUS_ERROR, msg.dump_exception(exc)
+        fired = state.newly_fired(fired_before)
+        try:
+            outbox.send((seq, status, reply, fired))
+        except (BrokenPipeError, OSError):
+            break
+        if op == msg.OP_SHUTDOWN:
+            break
+
+
+def _fault_payload(exc: InjectedFault) -> dict[str, Any]:
+    kind = "crash" if isinstance(exc, InjectedCrash) else "io"
+    # OSError.__str__ prepends "[Errno N]"; ship the bare strerror so the
+    # coordinator-side rebuild does not double the prefix
+    message = getattr(exc, "strerror", None) or str(exc)
+    return {
+        "kind": kind,
+        "message": message,
+        "errno": getattr(exc, "errno", None),
+    }
+
+
+class _WorkerState:
+    """The child-side dispatcher around one engine shard."""
+
+    def __init__(self, config: WorkerConfig, engine: HStoreEngine) -> None:
+        self.config = config
+        self.engine = engine
+        #: the fenced transaction of an in-flight multi-partition commit
+        self.held: PreparedInvocation | None = None
+        self.injector: FaultInjector | None = None
+
+    def fault_plan(self):
+        return self.injector.plan if self.injector is not None else None
+
+    def newly_fired(self, fired_before: list[bool]) -> tuple:
+        plan = self.fault_plan()
+        if plan is None:
+            return ()
+        return tuple(
+            (index, spec.label)
+            for index, spec in enumerate(plan.specs)
+            if spec.fired and (index >= len(fired_before) or not fired_before[index])
+        )
+
+    # ------------------------------------------------------------------
+
+    def handle(self, op: str, payload: Any) -> Any:
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            raise ReproError(f"worker {self.config.worker_id}: unknown op {op!r}")
+        return handler(self, payload)
+
+    # -- deployment ----------------------------------------------------
+
+    def _op_ddl(self, sql: str) -> None:
+        self.engine.execute_ddl(sql)
+
+    def _op_register(self, procedure_class: type) -> None:
+        self.engine.register_procedure(procedure_class)
+
+    def _op_enable_durability(self, path: str) -> None:
+        self.engine.enable_durability(path)
+
+    def _op_install_faults(self, plan: Any) -> None:
+        if plan is None:
+            self.injector = None
+            self.engine.install_fault_injector(None)
+            return
+        if self.injector is None:
+            self.injector = FaultInjector(plan)
+            self.engine.install_fault_injector(self.injector)
+        else:
+            # keep the occurrence counts: a plan refresh (the coordinator
+            # syncing fired flags) is not a process restart
+            self.injector.plan = plan
+
+    # -- transactions --------------------------------------------------
+
+    def _op_sql(self, payload: tuple[str, tuple[Any, ...]]) -> dict[str, Any]:
+        sql, params = payload
+        plan = self.engine.planner.plan(parse(sql))
+        select_flags = None
+        if isinstance(plan, SelectPlan):
+            select_flags = {
+                "grouped": bool(plan.grouped),
+                "ordered": bool(plan.order_by),
+                "limited": plan.limit is not None,
+            }
+        result = self.engine._execute_sql(sql, tuple(params))
+        return {"result": result, "select": select_flags}
+
+    def _op_invoke(self, payload: tuple[str, tuple[Any, ...]]) -> Any:
+        name, params = payload
+        self.engine._require_alive()
+        return self.engine.invoke(name, tuple(params))
+
+    def _op_invoke_batch(self, payload: tuple[str, list, bool]) -> dict[str, Any]:
+        name, rows, want_latencies = payload
+        self.engine._require_alive()
+        committed = 0
+        aborted = 0
+        errors: list[tuple[int, str]] = []
+        latencies_us: list[float] | None = [] if want_latencies else None
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        for index, params in enumerate(rows):
+            call_start = time.perf_counter() if want_latencies else 0.0
+            result = self.engine.invoke(name, tuple(params))
+            if want_latencies:
+                latencies_us.append((time.perf_counter() - call_start) * 1e6)
+            if result.success:
+                committed += 1
+            else:
+                aborted += 1
+                if len(errors) < 5:
+                    errors.append((index, result.error or ""))
+        return {
+            "committed": committed,
+            "aborted": aborted,
+            "errors": errors,
+            "wall_s": time.perf_counter() - wall_start,
+            "cpu_s": time.process_time() - cpu_start,
+            "latencies_us": latencies_us,
+        }
+
+    def _op_prepare(self, payload: tuple[str, tuple[Any, ...]]) -> Any:
+        if self.held is not None:
+            raise ReproError(
+                f"worker {self.config.worker_id}: prepare while a fenced "
+                f"transaction is already held (fence protocol violated)"
+            )
+        name, params = payload
+        result, prepared = self.engine.prepare_invoke(name, tuple(params))
+        self.held = prepared
+        return result
+
+    def _op_decide(self, commit: bool) -> Any:
+        if self.held is None:
+            raise ReproError(
+                f"worker {self.config.worker_id}: decide with no fenced "
+                f"transaction held (fence protocol violated)"
+            )
+        prepared, self.held = self.held, None
+        if commit:
+            return self.engine.commit_prepared(prepared)
+        self.engine.abort_prepared(prepared)
+        return None
+
+    # -- durability / recovery -----------------------------------------
+
+    def _op_crash(self, _payload: None) -> int:
+        return self.engine.crash()
+
+    def _op_recover(self, _payload: None) -> int:
+        return self.engine.recover()
+
+    def _op_snapshot(self, _payload: None) -> int:
+        return self.engine.take_snapshot().snapshot_id
+
+    def _op_flush_log(self, _payload: None) -> int:
+        return self.engine.command_log.flush()
+
+    def _op_restore(self, path: str) -> dict[str, int | bool]:
+        replayed = self.engine.restore_from_disk(path)
+        report = self.engine.last_recovery_report
+        return {
+            "replayed": replayed,
+            "torn": report.torn_records if report else 0,
+            "snapshots_skipped": report.snapshots_skipped if report else 0,
+            "had_snapshot": bool(report.had_snapshot) if report else False,
+        }
+
+    # -- observation ---------------------------------------------------
+
+    def _op_log_records(self, _payload: None) -> list:
+        return self.engine.command_log.all_records()
+
+    def _op_stats(self, _payload: None):
+        return self.engine.stats
+
+    def _op_fingerprint(self, _payload: None) -> dict[str, Any]:
+        tables = {
+            name: sorted(table.rows())
+            for name, table in self.engine.partitions[0].ee.tables().items()
+        }
+        return {"tables": tables, "clock": self.engine.clock.now}
+
+    def _op_table_rows(self, table_name: str) -> list:
+        return self.engine.table_rows(table_name)
+
+    def _op_describe(self, _payload: None) -> str:
+        return self.engine.describe()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _op_ping(self, _payload: None) -> int:
+        return self.config.worker_id
+
+    def _op_shutdown(self, _payload: None) -> None:
+        return None
+
+    _HANDLERS = {
+        msg.OP_DDL: _op_ddl,
+        msg.OP_REGISTER: _op_register,
+        msg.OP_ENABLE_DURABILITY: _op_enable_durability,
+        msg.OP_INSTALL_FAULTS: _op_install_faults,
+        msg.OP_SQL: _op_sql,
+        msg.OP_INVOKE: _op_invoke,
+        msg.OP_INVOKE_BATCH: _op_invoke_batch,
+        msg.OP_PREPARE: _op_prepare,
+        msg.OP_DECIDE: _op_decide,
+        msg.OP_CRASH: _op_crash,
+        msg.OP_RECOVER: _op_recover,
+        msg.OP_SNAPSHOT: _op_snapshot,
+        msg.OP_FLUSH_LOG: _op_flush_log,
+        msg.OP_RESTORE: _op_restore,
+        msg.OP_LOG_RECORDS: _op_log_records,
+        msg.OP_STATS: _op_stats,
+        msg.OP_FINGERPRINT: _op_fingerprint,
+        msg.OP_TABLE_ROWS: _op_table_rows,
+        msg.OP_DESCRIBE: _op_describe,
+        msg.OP_PING: _op_ping,
+        msg.OP_SHUTDOWN: _op_shutdown,
+    }

@@ -1,0 +1,84 @@
+"""EngineStats aggregation: merge/+ across worker processes."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.hstore.stats import EngineStats
+
+
+def make(**overrides) -> EngineStats:
+    stats = EngineStats()
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return stats
+
+
+def test_merge_sums_every_counter():
+    a = make(txns_committed=3, log_records=5, ipc_roundtrips=2)
+    b = make(txns_committed=4, log_flushes=1, ipc_roundtrips=7)
+    merged = a.merge(b)
+    assert merged is a  # in-place, returns self for chaining
+    assert a.txns_committed == 7
+    assert a.log_records == 5
+    assert a.log_flushes == 1
+    assert a.ipc_roundtrips == 9
+
+
+def test_merge_covers_all_declared_counters():
+    """No counter silently left out of aggregation as fields are added."""
+    names = EngineStats.counter_names()
+    a = EngineStats()
+    b = EngineStats()
+    for offset, name in enumerate(names):
+        setattr(a, name, offset + 1)
+        setattr(b, name, 100)
+    a.merge(b)
+    for offset, name in enumerate(names):
+        assert getattr(a, name) == offset + 1 + 100, name
+
+
+def test_merge_variadic_and_extra_dict():
+    a = make(txns_committed=1)
+    a.extra["spills"] = 2
+    b = make(txns_committed=2)
+    b.extra["spills"] = 3
+    c = make(txns_committed=3)
+    c.extra["evictions"] = 1
+    a.merge(b, c)
+    assert a.txns_committed == 6
+    assert a.extra == {"spills": 5, "evictions": 1}
+
+
+def test_add_is_non_destructive():
+    a = make(txns_committed=2, rows_inserted=4)
+    b = make(txns_committed=5)
+    total = a + b
+    assert total.txns_committed == 7
+    assert total.rows_inserted == 4
+    assert a.txns_committed == 2  # operands untouched
+    assert b.txns_committed == 5
+
+
+def test_copy_is_independent():
+    a = make(txns_committed=2)
+    a.extra["x"] = 1
+    clone = a.copy()
+    clone.txns_committed += 10
+    clone.extra["x"] = 99
+    assert a.txns_committed == 2
+    assert a.extra == {"x": 1}
+
+
+def test_stats_pickle_roundtrip():
+    """Workers ship their stats over a pipe — they must pickle faithfully."""
+    a = make(txns_committed=3, ipc_roundtrips=4)
+    a.extra["spills"] = 7
+    clone = pickle.loads(pickle.dumps(a))
+    assert clone.snapshot() == a.snapshot()
+    assert clone.extra == a.extra
+
+
+def test_snapshot_includes_ipc_counter():
+    assert "ipc_roundtrips" in EngineStats().snapshot()
+    assert "ipc_roundtrips" in EngineStats.counter_names()

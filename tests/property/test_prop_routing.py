@@ -1,0 +1,102 @@
+"""Property tests: value routing is total, stable and type-faithful.
+
+``stable_hash``/``route_value`` decide which partition — and, in
+``repro.parallel``, which OS process — owns each row.  Three properties
+matter:
+
+1. **totality/range** — any routable value maps into ``[0, n)``;
+2. **equality-consistency** — values that compare equal must co-route
+   (``2.0 == 2`` in Python, so a client sending ``2.0`` must reach the rows
+   written under ``2``), while *distinct* floats must be allowed to
+   diverge (the old ``int(value)`` truncation collapsed ``2.7`` onto ``2``,
+   silently mis-routing every non-integral float);
+3. **cross-process stability** — the same value routes identically in a
+   different interpreter, which is what lets a rebuilt worker cluster
+   replay a command log written by its predecessor.  (Python's built-in
+   ``hash`` for strings fails exactly this — ``PYTHONHASHSEED`` — which is
+   why ``stable_hash`` exists.)
+"""
+
+from __future__ import annotations
+
+import struct
+import subprocess
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hstore.partition import route_value, stable_hash
+
+routable = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+    st.none(),
+    st.booleans(),
+)
+
+
+@given(routable, st.integers(min_value=1, max_value=16))
+def test_route_total_and_in_range(value, n):
+    assert 0 <= route_value(value, n) < n
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_equal_values_co_route(value):
+    """Float/int equality must survive routing (2.0 and 2 share rows)."""
+    if value.is_integer():
+        assert stable_hash(value) == stable_hash(int(value))
+        for n in (2, 3, 8):
+            assert route_value(value, n) == route_value(int(value), n)
+
+
+@given(
+    st.floats(allow_nan=False, allow_infinity=False).filter(
+        lambda f: not f.is_integer()
+    )
+)
+def test_nonintegral_floats_use_full_ieee754_bits(value):
+    """The truncation bug: int(2.7) == int(2.2) == 2 collapsed distinct keys."""
+    expected = int.from_bytes(struct.pack("<d", value), "little")
+    assert stable_hash(value) == expected
+    assert stable_hash(value) != stable_hash(int(value))
+
+
+def test_regression_2_7_and_2_no_longer_collapse():
+    assert stable_hash(2.7) != stable_hash(2)
+    assert stable_hash(2.2) != stable_hash(2)
+    assert stable_hash(2.7) != stable_hash(2.2)
+    assert stable_hash(2.0) == stable_hash(2)
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    st.lists(
+        st.one_of(
+            st.integers(min_value=-(2**31), max_value=2**31 - 1),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.text(
+                alphabet=st.characters(codec="ascii", exclude_characters="'\\\n\r"),
+                max_size=12,
+            ),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_routing_is_stable_across_interpreters(values):
+    """A fresh Python process (fresh PYTHONHASHSEED) routes identically."""
+    local = [stable_hash(value) for value in values]
+    script = (
+        "from repro.hstore.partition import stable_hash\n"
+        f"values = {values!r}\n"
+        "print([stable_hash(v) for v in values])\n"
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+    ).stdout.strip()
+    assert output == repr(local)
