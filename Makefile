@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel bench
+.PHONY: test faults parallel obs bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,16 @@ faults:
 
 parallel:
 	$(PYTHON) -m pytest -m parallel -q
+
+# observability suite + a 2-second dashboard smoke that doubles as the
+# artifact generator (sample trace + metrics land in benchmarks/_results/)
+obs:
+	$(PYTHON) -m pytest tests/obs -q
+	$(PYTHON) -m repro.obs.dashboard --app voter --engine sstore \
+		--seconds 2 --refresh 0.5 --plain \
+		--export-trace benchmarks/_results/trace.jsonl \
+		--export-chrome benchmarks/_results/trace_chrome.json \
+		--export-metrics benchmarks/_results/metrics.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -41,8 +41,7 @@ class TestGroupCommit:
             app = VoterSStoreApp(engine=engine, num_contestants=CONTESTANTS)
             before = engine.stats.snapshot()
             app.submit(_requests(), ingest_chunk=5)
-            after = engine.stats.snapshot()
-            return {k: after[k] - before.get(k, 0) for k in after}
+            return engine.stats.delta(before)
 
         counters = benchmark.pedantic(run, rounds=2, iterations=1)
         sweep[group_size] = counters

@@ -81,7 +81,6 @@ def _run_inprocess(rows):
             committed += 1
     cpu_s = time.process_time() - cpu_start
     wall_s = time.perf_counter() - wall_start
-    after = engine.stats.snapshot()
     accepted = len(engine.table_rows("votes"))
     return {
         "label": "in-process",
@@ -91,7 +90,7 @@ def _run_inprocess(rows):
         "wall_s": wall_s,
         "makespan_s": cpu_s,  # one process does all the work
         "worker_cpu_s": [],
-        "delta": {k: after.get(k, 0) - before.get(k, 0) for k in after},
+        "delta": engine.stats.delta(before),
         "latencies_us": [],
     }
 
@@ -106,19 +105,14 @@ def _run_cluster(rows, workers):
         cpu_start = time.process_time()
         batch = engine.call_many("validate_vote", rows, latencies=True)
         coordinator_cpu_s = time.process_time() - cpu_start
-        coord_after = engine.stats_local.snapshot()
-        workers_after = [stats.snapshot() for stats in engine.worker_stats()]
+        coord_delta = engine.stats_local.delta(coord_before)
+        worker_deltas = [
+            after.delta(before)
+            for before, after in zip(workers_before, engine.worker_stats())
+        ]
         accepted = len(engine.table_rows("votes"))
     finally:
         engine.shutdown()
-    coord_delta = {
-        key: coord_after.get(key, 0) - coord_before.get(key, 0)
-        for key in coord_after
-    }
-    worker_deltas = [
-        {key: after.get(key, 0) - before.get(key, 0) for key in after}
-        for before, after in zip(workers_before, workers_after)
-    ]
     cost = cluster_cost(coord_delta, worker_deltas, model=LatencyModel())
     return {
         "label": f"parallel-{workers}w",

@@ -1,0 +1,124 @@
+"""E12 — Observability overhead: tracing must not distort what it measures.
+
+An instrument the engine cannot afford to leave on is an instrument nobody
+turns on.  This experiment prices the :mod:`repro.obs` layer on the E3
+S-Store throughput workload (the vote stream through ingest → triggers →
+leaderboards), across four configurations:
+
+* ``off`` — no ``ObsConfig``: every instrumentation site degenerates to one
+  attribute load and one branch on the shared no-op tracer.  This is the
+  baseline, and its absolute time is recorded so regressions against the
+  uninstrumented engine show up across benchmark runs.
+* ``metrics`` — latency histograms and counters only (no spans).
+* ``tracing`` — the default ``ObsConfig()``: spans for txns, triggers,
+  windows, workflows, log flushes, plus metrics.  The headline number:
+  must stay under ``MAX_OVERHEAD`` (5%).
+* ``tracing+sql`` — ``sql_spans=True``, one span per EE statement.  The
+  microscope setting; reported for scale (~15%) but intentionally *not*
+  held to the 5% bar — that cost is why it is off by default.
+
+Methodology: min-of-N interleaved rounds over *CPU* time.  Each round runs
+every configuration once in sequence, so slow machine phases (GC, thermal,
+CI noise) hit all configurations rather than biasing one; the minimum over
+rounds is the least-noise estimate of each configuration's true cost.  The
+workload is pure CPU (an in-process engine, no I/O waits), so
+``time.process_time`` is the right clock — wall time on a shared CI box
+charges another tenant's scheduling burst to whichever config was running.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.apps.voter.sstore_app import VoterSStoreApp
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table, write_bench_json
+from repro.core.engine import SStoreEngine
+from repro.obs import ObsConfig
+
+CONTESTANTS = 10
+VOTES = 600
+ROUNDS = 8
+#: the acceptance bar for default-on tracing
+MAX_OVERHEAD = 0.05
+
+CONFIGS: dict[str, ObsConfig | None] = {
+    "off": None,
+    "metrics": ObsConfig(tracing=False),
+    "tracing": ObsConfig(),
+    "tracing+sql": ObsConfig(sql_spans=True),
+}
+
+
+def _requests():
+    return VoterWorkload(seed=303, num_contestants=CONTESTANTS).generate(VOTES)
+
+
+def _run_once(obs: ObsConfig | None) -> tuple[float, SStoreEngine]:
+    engine = SStoreEngine(obs=obs)
+    app = VoterSStoreApp(engine, num_contestants=CONTESTANTS)
+    requests = _requests()
+    # a collection inherited from the *previous* config's garbage must not
+    # land inside this config's timed region
+    gc.collect()
+    started = time.process_time()
+    app.submit(requests, ingest_chunk=5)
+    return time.process_time() - started, engine
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    best: dict[str, float] = {name: float("inf") for name in CONFIGS}
+    spans: dict[str, int] = {}
+    for _ in range(ROUNDS):
+        for name, obs in CONFIGS.items():
+            elapsed, engine = _run_once(obs)
+            best[name] = min(best[name], elapsed)
+            if engine.tracer.enabled:
+                spans[name] = len(engine.tracer.collector)
+    return best, spans
+
+
+def test_e12_obs_overhead(benchmark, sweep, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    best, spans = sweep
+    base = best["off"]
+    overhead = {name: elapsed / base - 1.0 for name, elapsed in best.items()}
+
+    rows = [
+        [
+            name,
+            f"{best[name] * 1000:.1f}ms",
+            f"{overhead[name] * 100:+.2f}%",
+            spans.get(name, 0),
+        ]
+        for name in CONFIGS
+    ]
+    save_report(
+        "e12_obs_overhead",
+        format_table(["config", "best cpu", "overhead", "spans"], rows)
+        + f"\nbar: default tracing < {MAX_OVERHEAD:.0%} "
+        + f"(min of {ROUNDS} interleaved rounds, {VOTES} votes)",
+    )
+    write_bench_json(
+        "e12_obs",
+        {
+            "workload": {"votes": VOTES, "contestants": CONTESTANTS},
+            "rounds": ROUNDS,
+            "cpu_seconds": best,
+            "overhead_vs_off": overhead,
+            "spans_recorded": spans,
+            "max_overhead_bar": MAX_OVERHEAD,
+        },
+    )
+
+    # the tracer actually traced — a zero-overhead result that recorded
+    # nothing would prove the wrong thing
+    assert spans["tracing"] > 1000
+    assert spans["tracing+sql"] > spans["tracing"]
+    # headline claims: metrics and default tracing are affordable
+    assert overhead["metrics"] < MAX_OVERHEAD, overhead
+    assert overhead["tracing"] < MAX_OVERHEAD, overhead

@@ -48,8 +48,7 @@ def run_sstore_windowing() -> dict[str, int]:
     before = eng.stats.snapshot()
     for i in range(TUPLES):
         eng.ingest("feed", [(i, i % 7)])
-    after = eng.stats.snapshot()
-    return {k: after[k] - before.get(k, 0) for k in after}
+    return eng.stats.delta(before)
 
 
 def run_hstore_windowing() -> dict[str, int]:
@@ -79,8 +78,7 @@ def run_hstore_windowing() -> dict[str, int]:
     before = eng.stats.snapshot()
     for i in range(TUPLES):
         eng.call_procedure("observe", i, i % 7)
-    after = eng.stats.snapshot()
-    return {k: after[k] - before.get(k, 0) for k in after}
+    return eng.stats.delta(before)
 
 
 @pytest.fixture(scope="module")

@@ -8,6 +8,7 @@ from repro.bench.harness import (
     run_voter_hstore_interleaved,
     run_voter_hstore_sequential,
     run_voter_sstore,
+    write_bench_json,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "run_voter_hstore_interleaved",
     "run_voter_hstore_sequential",
     "run_voter_sstore",
+    "write_bench_json",
 ]

@@ -67,8 +67,7 @@ def _finish(
     model: LatencyModel,
 ) -> VoterRunResult:
     wall = time.perf_counter() - started
-    after = app.engine.stats.snapshot()
-    delta = {key: after.get(key, 0) - before.get(key, 0) for key in after}
+    delta = app.engine.stats.delta(before)
     cost = model.cost_of(delta)
     tps = cost.throughput(delta.get("txns_committed", 0))
     return VoterRunResult(

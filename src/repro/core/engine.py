@@ -30,7 +30,11 @@ throughput result (experiments E3/E4).
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.config import ObsConfig
 
 from repro.core.batch import Batch, BatchFactory
 from repro.core.gc import StreamGarbageCollector
@@ -200,6 +204,7 @@ class SStoreEngine(HStoreEngine):
         stats: EngineStats | None = None,
         eager: bool = True,
         command_logging: bool = True,
+        obs: "ObsConfig | None" = None,
     ) -> None:
         super().__init__(
             partitions,
@@ -208,6 +213,7 @@ class SStoreEngine(HStoreEngine):
             clock=clock,
             stats=stats,
             command_logging=command_logging,
+            obs=obs,
         )
         self.streams = StreamRegistry()
         self.windows: dict[str, WindowState] = {}
@@ -316,7 +322,11 @@ class SStoreEngine(HStoreEngine):
         def _maintain(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
             table = self.partitions[0].ee.table(table_name)
             rows = [table.get(rowid) for rowid in rowids]
-            state.on_stream_insert(txn, rows, self.clock.now)
+            if self.tracer.enabled:
+                with self.tracer.span("window", spec.name, tuples=len(rows)):
+                    state.on_stream_insert(txn, rows, self.clock.now)
+            else:
+                state.on_stream_insert(txn, rows, self.clock.now)
 
         self.partitions[0].ee.add_insert_hook(spec.stream, _maintain)
         if owner is not None:
@@ -364,7 +374,13 @@ class SStoreEngine(HStoreEngine):
         def _fire(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
             table = self.partitions[0].ee.table(table_name)
             rows = [table.get(rowid) for rowid in rowids]
-            trigger.fire(self.partitions[0].ee, self.stats, txn, rows)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "trigger", f"ee:{trigger.name}", tuples=len(rows)
+                ):
+                    trigger.fire(self.partitions[0].ee, self.stats, txn, rows)
+            else:
+                trigger.fire(self.partitions[0].ee, self.stats, txn, rows)
 
         self.partitions[0].ee.add_insert_hook(source_entry.name, _fire)
         return trigger
@@ -441,6 +457,18 @@ class SStoreEngine(HStoreEngine):
             return 0
         rows = [tuple(row) for row in rows]
 
+        if self.tracer.enabled:
+            # root span of the whole pipeline instance: in eager mode every
+            # downstream TE/trigger span nests under it via the span stack
+            with self.tracer.span(
+                "workflow", f"ingest:{stream_name}", tuples=len(rows)
+            ):
+                self._ingest_body(stream_name, rows)
+        else:
+            self._ingest_body(stream_name, rows)
+        return len(rows)
+
+    def _ingest_body(self, stream_name: str, rows: list[tuple[Any, ...]]) -> None:
         if not self._replaying:
             self.stats.client_pe_roundtrips += 1
             self.command_log.append(
@@ -460,7 +488,6 @@ class SStoreEngine(HStoreEngine):
         if not self._replaying:
             # counted after the work so an auto-snapshot covers this ingest
             self._note_logged_command()
-        return len(rows)
 
     def _buffer_and_cut(self, stream_name: str, rows: list[tuple[Any, ...]]) -> None:
         buffer = self._ingest_buffers.setdefault(stream_name, [])
@@ -469,6 +496,11 @@ class SStoreEngine(HStoreEngine):
         if consumer is None:
             return  # no workflow deployed yet; tuples wait in the buffer
         spec, node = consumer
+        # border TEs join the ingest's trace even when they run later
+        # (non-eager mode drains the scheduler outside the ingest span)
+        trace_ctx = (
+            self.tracer.current_context() if self.tracer.enabled else None
+        )
         while len(buffer) >= node.batch_size:
             batch_rows = buffer[: node.batch_size]
             del buffer[: node.batch_size]
@@ -480,6 +512,7 @@ class SStoreEngine(HStoreEngine):
                     batch=batch,
                     depth=node.depth,
                     workflow_name=spec.name,
+                    trace_ctx=trace_ctx,
                 )
             )
 
@@ -562,6 +595,34 @@ class SStoreEngine(HStoreEngine):
     # ------------------------------------------------------------------
 
     def _execute_stream_te(self, task: StreamTask) -> None:
+        tracer = self.tracer
+        metered = self.metrics is not None
+        if not (tracer.enabled or metered):
+            self._execute_stream_te_body(task)
+            return
+        started_ns = time.perf_counter_ns() if metered else 0
+        # a TE popped outside its ingest's span (non-eager drain, replay)
+        # re-joins the originating trace via the context the task carries
+        activated = tracer.enabled and tracer.depth == 0 and task.trace_ctx is not None
+        if activated:
+            tracer.activate(task.trace_ctx)
+        try:
+            with tracer.span(
+                "txn",
+                task.procedure_name,
+                batch_id=task.batch.batch_id,
+                depth=task.depth,
+                workflow=task.workflow_name,
+            ) as span:
+                outcome = self._execute_stream_te_body(task)
+                span.set(outcome=outcome)
+        finally:
+            if activated:
+                tracer.deactivate()
+        if metered:
+            self._observe_txn(task.procedure_name, started_ns, outcome == "committed")
+
+    def _execute_stream_te_body(self, task: StreamTask) -> str:
         procedure = self.procedure(task.procedure_name)
         partition = self.partitions[0]
         txn_id = self._next_txn_id
@@ -595,7 +656,7 @@ class SStoreEngine(HStoreEngine):
             # The batch is consumed even on abort (it will never be retried),
             # so the cursor still advances and GC can reclaim the tuples.
             self._advance_input_cursor(task, node, input_high)
-            return
+            return "aborted"
         except ReproError:
             txn.abort()
             self._restore_windows(window_backup)
@@ -619,6 +680,7 @@ class SStoreEngine(HStoreEngine):
         )
         self._commit_seq += 1
         self._dispatch_emissions(txn, origin=task.batch)
+        return "committed"
 
     def _advance_input_cursor(
         self, task: StreamTask, node: WorkflowNode, border_high: int
@@ -648,6 +710,7 @@ class SStoreEngine(HStoreEngine):
         self, txn: TransactionContext, origin: Batch | None
     ) -> None:
         emissions: dict[str, dict[str, Any]] = txn.notes.get("emissions", {})
+        tracer = self.tracer
         for stream_name, record in emissions.items():
             rows = record["rows"]
             if not rows:
@@ -661,14 +724,28 @@ class SStoreEngine(HStoreEngine):
                     batch = self.batch_factory.origin_batch(stream_name, rows)
                 self._batch_high_rowids[batch.batch_id] = record["high_rowid"]
                 self.stats.pe_trigger_firings += 1
+                trigger_span = None
+                if tracer.enabled:
+                    # the trigger span is the causal hinge: the downstream
+                    # TE parents under it, tying the pipeline into one trace
+                    trigger_span = tracer.start_span(
+                        "trigger",
+                        f"pe:{stream_name}->{node.procedure_name}",
+                        {"tuples": len(rows)},
+                    )
                 self.scheduler.enqueue(
                     StreamTask(
                         procedure_name=node.procedure_name,
                         batch=batch,
                         depth=node.depth,
                         workflow_name=spec.name,
+                        trace_ctx=tracer.current_context()
+                        if trigger_span is not None
+                        else None,
                     )
                 )
+                if trigger_span is not None:
+                    tracer.end_span(trigger_span)
 
     def _consumers_of(self, stream_name: str) -> list[tuple[WorkflowSpec, WorkflowNode]]:
         result: list[tuple[WorkflowSpec, WorkflowNode]] = []

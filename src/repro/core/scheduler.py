@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Any
+
 from repro.core.batch import Batch
 from repro.errors import SchedulingError
 
@@ -39,6 +41,9 @@ class StreamTask:
     batch: Batch
     depth: int
     workflow_name: str
+    #: tracing lineage: context of the span that created this task, so the
+    #: downstream TE joins the same trace as the ingest that caused it
+    trace_ctx: Any = None
 
 
 @dataclass(order=True)

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import RecoveryError
 from repro.hstore.stats import EngineStats
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -59,6 +60,8 @@ class CommandLog:
         self.enabled = True
         #: fault-injection seam for the group-commit flush path
         self.fault_injector: "FaultInjector | None" = None
+        #: tracing seam; the owning engine swaps in its real tracer
+        self.tracer = NULL_TRACER
 
     # -- appending -----------------------------------------------------------
 
@@ -99,6 +102,14 @@ class CommandLog:
         """
         if not self._pending:
             return 0
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "log.flush", "group_commit", records=len(self._pending)
+            ):
+                return self._flush_pending()
+        return self._flush_pending()
+
+    def _flush_pending(self) -> int:
         if self.fault_injector is not None:
             self.fault_injector.fire("log.flush", stage="pre")
         flushed_records = list(self._pending)

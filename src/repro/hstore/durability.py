@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import RecoveryError
 from repro.hstore.cmdlog import LogRecord
 from repro.hstore.snapshot import Snapshot
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -80,6 +81,8 @@ class DurabilityDirectory:
         (self.path / _SNAPSHOT_DIR).mkdir(exist_ok=True)
         #: fault-injection seam for every durable write made through here
         self.fault_injector: "FaultInjector | None" = None
+        #: tracing seam; the owning engine swaps in its real tracer
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # command log
@@ -99,6 +102,15 @@ class DurabilityDirectory:
         """
         if not records:
             return
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "log.flush", "disk_append", records=len(records)
+            ):
+                self._append_log_records(records)
+            return
+        self._append_log_records(records)
+
+    def _append_log_records(self, records: list[LogRecord]) -> None:
         with self.log_path.open("a", encoding="utf-8") as handle:
             for record in records:
                 payload = (
@@ -232,10 +244,15 @@ class DurabilityDirectory:
             },
             separators=(",", ":"),
         )
-        target.write_text(envelope)
-        if self.fault_injector is not None:
-            self.fault_injector.fire("snapshot.write", path=target, data=envelope)
-            self.fault_injector.fire("snapshot.fsync", path=target)
+        with self.tracer.span(
+            "snapshot", "write_file", snapshot_id=snapshot.snapshot_id
+        ):
+            target.write_text(envelope)
+            if self.fault_injector is not None:
+                self.fault_injector.fire(
+                    "snapshot.write", path=target, data=envelope
+                )
+                self.fault_injector.fire("snapshot.fsync", path=target)
         return target
 
     def load_snapshot_file(self, path: pathlib.Path) -> Snapshot:

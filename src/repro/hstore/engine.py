@@ -20,6 +20,7 @@ Extension points used by the streaming subclass:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
@@ -27,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.hstore.durability import DurabilityDirectory
     from repro.hstore.recovery import RecoveryReport
+    from repro.obs.config import ObsConfig
+    from repro.obs.metrics import Histogram, MetricsRegistry
 
 from repro.errors import (
     CatalogError,
@@ -58,6 +61,7 @@ from repro.hstore.procedure import ProcedureContext, ProcedureResult, StoredProc
 from repro.hstore.snapshot import Snapshot, SnapshotStore
 from repro.hstore.stats import EngineStats
 from repro.hstore.txn import TransactionContext
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["HStoreEngine", "PreparedInvocation", "ADHOC_RECORD"]
 
@@ -89,10 +93,30 @@ class HStoreEngine:
         clock: LogicalClock | None = None,
         stats: EngineStats | None = None,
         command_logging: bool = True,
+        obs: "ObsConfig | None" = None,
     ) -> None:
         if partitions < 1:
             raise PartitionError("engine requires at least one partition")
         self.stats = stats if stats is not None else EngineStats()
+        #: observability (repro.obs): no-op tracer + no registry by default,
+        #: so every instrumentation site costs one branch when disabled
+        self.obs = obs
+        self.tracer = NULL_TRACER
+        self.metrics: "MetricsRegistry | None" = None
+        if obs is not None:
+            if obs.tracing:
+                from repro.obs.trace import TraceCollector, Tracer
+
+                self.tracer = Tracer(
+                    process="engine",
+                    collector=TraceCollector(obs.trace_capacity),
+                    sql_spans=obs.sql_spans,
+                )
+            if obs.metrics:
+                from repro.obs.metrics import MetricsRegistry
+
+                self.metrics = MetricsRegistry()
+        self._txn_hists: dict[str, "Histogram"] = {}
         self.clock = clock if clock is not None else LogicalClock()
         self.catalog = Catalog()
         self.planner = Planner(self.catalog)
@@ -101,6 +125,7 @@ class HStoreEngine:
         ]
         self.procedures: dict[str, StoredProcedure] = {}
         self.command_log = CommandLog(log_group_size, self.stats)
+        self.command_log.tracer = self.tracer
         #: False = run without durability (the A3 no-logging baseline);
         #: such an engine cannot crash-and-recover and says so loudly
         self.command_log.enabled = command_logging
@@ -116,6 +141,28 @@ class HStoreEngine:
         self.fault_injector: "FaultInjector | None" = None
         #: what the most recent restore_from_disk() did (torn records etc.)
         self.last_recovery_report: "RecoveryReport | None" = None
+
+    def set_tracer_identity(self, process: str, origin: int) -> None:
+        """Re-label this engine's tracer for multi-process deployments.
+
+        A partition worker calls this right after building its engine shard
+        so its spans carry the worker's process label and an id ``origin``
+        that cannot collide with the coordinator's or a sibling's ids.
+        No-op when tracing is disabled.
+        """
+        if not self.tracer.enabled:
+            return
+        from repro.obs.trace import Tracer
+
+        self.tracer = Tracer(
+            process=process,
+            origin=origin,
+            collector=self.tracer.collector,
+            sql_spans=self.tracer.sql_spans,
+        )
+        self.command_log.tracer = self.tracer
+        if self._durability is not None:
+            self._durability.tracer = self.tracer
 
     # ------------------------------------------------------------------
     # DDL
@@ -233,6 +280,11 @@ class HStoreEngine:
         """Client entry point: one client↔PE round trip per call."""
         self._require_alive()
         self.stats.client_pe_roundtrips += 1
+        if self.tracer.enabled:
+            with self.tracer.span("call", name) as span:
+                result = self.invoke(name, params)
+                span.set(success=result.success)
+                return result
         return self.invoke(name, params)
 
     def invoke(self, name: str, params: tuple[Any, ...]) -> ProcedureResult:
@@ -261,6 +313,55 @@ class HStoreEngine:
         return route_value(params[procedure.partition_param], len(self.partitions))
 
     def _run_on_partition(
+        self,
+        procedure: StoredProcedure,
+        params: tuple[Any, ...],
+        partition_id: int,
+    ) -> ProcedureResult:
+        if self.tracer.enabled or self.metrics is not None:
+            return self._run_observed(procedure, params, partition_id)
+        return self._run_txn(procedure, params, partition_id)
+
+    def _run_observed(
+        self,
+        procedure: StoredProcedure,
+        params: tuple[Any, ...],
+        partition_id: int,
+    ) -> ProcedureResult:
+        """The traced/metered transaction path (obs enabled only)."""
+        started_ns = time.perf_counter_ns() if self.metrics is not None else 0
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "txn", procedure.name, partition=partition_id
+            ) as span:
+                result = self._run_txn(procedure, params, partition_id)
+                span.set(txn_id=result.txn_id, committed=result.success)
+        else:
+            result = self._run_txn(procedure, params, partition_id)
+        if self.metrics is not None:
+            self._observe_txn(procedure.name, started_ns, result.success)
+        return result
+
+    def _observe_txn(
+        self, procedure_name: str, started_ns: int, committed: bool
+    ) -> None:
+        histogram = self._txn_hists.get(procedure_name)
+        if histogram is None:
+            histogram = self.metrics.histogram(
+                "txn_latency_us",
+                "transaction latency in microseconds",
+                procedure=procedure_name,
+            )
+            self._txn_hists[procedure_name] = histogram
+        histogram.observe((time.perf_counter_ns() - started_ns) / 1000.0)
+        self.metrics.counter(
+            "txns_total",
+            "transactions by procedure and outcome",
+            procedure=procedure_name,
+            outcome="committed" if committed else "aborted",
+        ).inc()
+
+    def _run_txn(
         self,
         procedure: StoredProcedure,
         params: tuple[Any, ...],
@@ -307,6 +408,18 @@ class HStoreEngine:
         self, procedure: StoredProcedure, params: tuple[Any, ...]
     ) -> ProcedureResult:
         """Multi-partition transaction: run on every partition, all-or-nothing."""
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "txn", procedure.name, everywhere=True
+            ) as span:
+                result = self._invoke_everywhere_body(procedure, params)
+                span.set(txn_id=result.txn_id, committed=result.success)
+                return result
+        return self._invoke_everywhere_body(procedure, params)
+
+    def _invoke_everywhere_body(
+        self, procedure: StoredProcedure, params: tuple[Any, ...]
+    ) -> ProcedureResult:
         txn_id = self._next_txn_id
         self._next_txn_id += 1
         txns: list[TransactionContext] = []
@@ -378,6 +491,13 @@ class HStoreEngine:
         self._next_txn_id += 1
         txn = TransactionContext(txn_id, partition.ee, procedure.name)
         ctx = self._make_context(procedure, txn, partition_id)
+        span = (
+            self.tracer.start_span(
+                "txn", procedure.name, {"txn_id": txn_id, "phase": "prepare"}
+            )
+            if self.tracer.enabled
+            else None
+        )
         partition.acquire()
         try:
             data = procedure.run(ctx, *params)
@@ -385,6 +505,8 @@ class HStoreEngine:
             txn.abort()
             partition.release()
             self.stats.txns_aborted += 1
+            if span is not None:
+                self.tracer.end_span(span.set(outcome="aborted"))
             return (
                 ProcedureResult(
                     success=False, error=str(exc), txn_id=txn_id, partition=partition_id
@@ -395,7 +517,11 @@ class HStoreEngine:
             txn.abort()
             partition.release()
             self.stats.txns_aborted += 1
+            if span is not None:
+                self.tracer.end_span(span.set(outcome="error"))
             raise
+        if span is not None:
+            self.tracer.end_span(span.set(outcome="prepared"))
         result = ProcedureResult(
             success=True, data=data, txn_id=txn_id, partition=partition_id
         )
@@ -410,6 +536,17 @@ class HStoreEngine:
 
     def commit_prepared(self, prepared: "PreparedInvocation") -> ProcedureResult:
         """Commit a held invocation: release the fence, log, fire hooks."""
+        with self.tracer.span(
+            "txn",
+            prepared.procedure.name,
+            phase="commit",
+            txn_id=prepared.txn.txn_id,
+        ):
+            return self._commit_prepared_body(prepared)
+
+    def _commit_prepared_body(
+        self, prepared: "PreparedInvocation"
+    ) -> ProcedureResult:
         prepared.txn.commit()
         self.partitions[prepared.partition_id].release()
         self.stats.txns_committed += 1
@@ -459,6 +596,9 @@ class HStoreEngine:
         """
         self._require_alive()
         self.stats.client_pe_roundtrips += 1
+        if self.tracer.enabled:
+            with self.tracer.span("sql", "<adhoc>", sql=sql[:120]):
+                return self._execute_sql(sql, params)
         return self._execute_sql(sql, params)
 
     def _execute_sql(self, sql: str, params: tuple[Any, ...]) -> ResultSet | int:
@@ -555,21 +695,26 @@ class HStoreEngine:
 
     def take_snapshot(self) -> Snapshot:
         """Flush the log and capture a transaction-consistent checkpoint."""
-        self.command_log.flush()
-        snapshot = self.snapshots.take(
-            through_lsn=self.command_log.durable_lsn,
-            logical_time=self.clock.now,
-            partition_state={
-                partition.partition_id: partition.ee.dump_state()
-                for partition in self.partitions
-            },
-            extra=self._snapshot_extra(),
-        )
-        self.stats.snapshots_taken += 1
-        self._txns_since_snapshot = 0
-        if self._durability is not None:
-            self._durability.write_snapshot(snapshot)
-        return snapshot
+        with self.tracer.span("snapshot", "take") as span:
+            self.command_log.flush()
+            snapshot = self.snapshots.take(
+                through_lsn=self.command_log.durable_lsn,
+                logical_time=self.clock.now,
+                partition_state={
+                    partition.partition_id: partition.ee.dump_state()
+                    for partition in self.partitions
+                },
+                extra=self._snapshot_extra(),
+            )
+            self.stats.snapshots_taken += 1
+            self._txns_since_snapshot = 0
+            if self._durability is not None:
+                self._durability.write_snapshot(snapshot)
+            span.set(
+                snapshot_id=snapshot.snapshot_id,
+                through_lsn=snapshot.through_lsn,
+            )
+            return snapshot
 
     # ------------------------------------------------------------------
     # Deterministic fault injection (repro.faults)
@@ -619,6 +764,7 @@ class HStoreEngine:
                 f"use restore_from_disk() to resume from it"
             )
         directory.fault_injector = self.fault_injector
+        directory.tracer = self.tracer
         self.command_log.flush()
         directory.append_log_records(self.command_log.all_records())
         self._durability = directory
@@ -648,17 +794,21 @@ class HStoreEngine:
 
         directory = DurabilityDirectory(path)
         directory.fault_injector = self.fault_injector
+        directory.tracer = self.tracer
         new_log = CommandLog(self.command_log.group_size, self.stats)
         new_log.enabled = self.command_log.enabled
         new_log.fault_injector = self.fault_injector
-        records, torn = directory.scan_log(repair=True)
-        new_log.load_records(records)
-        self.command_log = new_log
-        self.snapshots = SnapshotStore()
-        snapshot, skipped = directory.scan_snapshots()
-        if snapshot is not None:
-            self.snapshots.adopt(snapshot)
-        replayed = self.recover()
+        new_log.tracer = self.tracer
+        with self.tracer.span("recovery", "restore_from_disk") as span:
+            records, torn = directory.scan_log(repair=True)
+            new_log.load_records(records)
+            self.command_log = new_log
+            self.snapshots = SnapshotStore()
+            snapshot, skipped = directory.scan_snapshots()
+            if snapshot is not None:
+                self.snapshots.adopt(snapshot)
+            replayed = self.recover()
+            span.set(replayed=replayed, torn=torn)
         # resume persisting from here on
         self._durability = directory
         self.command_log.on_flush = directory.append_log_records
@@ -699,6 +849,12 @@ class HStoreEngine:
         Returns the number of replayed transactions.  Works with or without a
         snapshot (without one, replay starts from an empty database at LSN 0).
         """
+        with self.tracer.span("recovery", "replay") as span:
+            replayed = self._recover_body()
+            span.set(replayed=replayed)
+            return replayed
+
+    def _recover_body(self) -> int:
         snapshot = self.snapshots.latest
         if snapshot is not None:
             for partition in self.partitions:

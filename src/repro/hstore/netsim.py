@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hstore.stats import EngineStats
+from repro.hstore.stats import snapshot_delta
 
 __all__ = ["LatencyModel", "SimulatedCost", "ClusterCost", "cluster_cost", "simulated_tps"]
 
@@ -144,6 +144,6 @@ def simulated_tps(
 ) -> float:
     """Convenience: simulated TPS between two ``EngineStats.snapshot()`` calls."""
     model = model or LatencyModel()
-    delta = EngineStats.delta(stats_before, stats_after)
+    delta = snapshot_delta(stats_before, stats_after)
     cost = model.cost_of(delta)
     return cost.throughput(delta.get("txns_committed", 0))

@@ -161,6 +161,10 @@ class ProcedureContext:
                 f"{statement_name!r}; declared: {sorted(self._procedure.plans)}"
             ) from None
         self._engine.stats.pe_ee_roundtrips += 1
+        tracer = self._engine.tracer
+        if tracer.enabled and tracer.sql_spans:
+            with tracer.span("sql", statement_name):
+                return self._txn.ee.execute(plan, params, self._txn)
         return self._txn.ee.execute(plan, params, self._txn)
 
     def insert_rows(

@@ -36,8 +36,17 @@ mailboxes unchanged).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from typing import Mapping, Union
 
-__all__ = ["EngineStats"]
+__all__ = ["EngineStats", "snapshot_delta"]
+
+
+def snapshot_delta(
+    before: Mapping[str, int], after: Mapping[str, int]
+) -> dict[str, int]:
+    """Per-counter difference between two :meth:`EngineStats.snapshot` dicts."""
+    keys = set(before) | set(after)
+    return {key: after.get(key, 0) - before.get(key, 0) for key in sorted(keys)}
 
 
 @dataclass
@@ -112,8 +121,18 @@ class EngineStats:
         clone.extra = dict(self.extra)
         return clone
 
-    @staticmethod
-    def delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
-        """Per-counter difference between two :meth:`snapshot` results."""
-        keys = set(before) | set(after)
-        return {key: after.get(key, 0) - before.get(key, 0) for key in sorted(keys)}
+    def delta(
+        self, before: Union["EngineStats", Mapping[str, int]]
+    ) -> dict[str, int]:
+        """Per-counter change on this instance since ``before``.
+
+        ``before`` is an earlier :meth:`copy` of these counters or an
+        earlier :meth:`snapshot`; the benchmark idiom is::
+
+            before = engine.stats.snapshot()
+            ...drive the workload...
+            counters = engine.stats.delta(before)
+        """
+        if isinstance(before, EngineStats):
+            before = before.snapshot()
+        return snapshot_delta(before, self.snapshot())

@@ -1,0 +1,61 @@
+"""``repro.obs`` — end-to-end tracing, metrics and the demo dashboard.
+
+The S-Store paper is a demo paper: its claims are shown on live dashboards
+and argued via layer-crossing counts.  This package is the measurement
+substrate that makes those arguments inspectable per event:
+
+* :mod:`repro.obs.trace` — nestable spans with trace ids that survive the
+  coordinator↔worker pipe hop, collected in a bounded ring buffer, exported
+  as JSONL or Chrome ``trace_event`` JSON (opens in Perfetto);
+* :mod:`repro.obs.metrics` — counters/gauges/latency histograms with
+  Prometheus text exposition and JSON snapshots, mirroring the existing
+  ``EngineStats`` round-trip counters;
+* :mod:`repro.obs.config` — the :class:`ObsConfig` engines take at
+  construction (default: off, one branch per hot-path site);
+* :mod:`repro.obs.dashboard` — ``python -m repro.obs.dashboard``, a
+  stdlib-only live TUI reproducing the paper's demo screens.
+
+Quick start::
+
+    from repro.core.engine import SStoreEngine
+    from repro.obs import ObsConfig
+
+    engine = SStoreEngine(obs=ObsConfig())
+    ...                                     # run a workload
+    engine.tracer.collector.export_chrome("trace.json")   # → Perfetto
+    print(engine.metrics.to_prometheus())
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceCollector,
+    TraceContext,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+)
+
+__all__ = [
+    "ObsConfig",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceCollector",
+    "TraceContext",
+    "Tracer",
+    "export_chrome_trace",
+    "export_jsonl",
+]

@@ -1,0 +1,506 @@
+"""Span-based tracing: where one transaction's time and round trips go.
+
+The paper argues its throughput story with *layer-crossing counts*; this
+module turns those aggregates into per-event evidence.  A :class:`Span` is
+one timed region of work — a transaction, a SQL statement, a trigger
+cascade, a log flush, an IPC exchange — carrying a trace id shared by every
+span in the same causal chain, so a Voter ingest, the TEs its PE triggers
+fire, and the worker-side work of a multi-process call all stitch into one
+tree.
+
+Design constraints, in priority order:
+
+1. **Disabled is free.**  Engines hold :data:`NULL_TRACER` by default and
+   every hot-path instrumentation site guards on ``tracer.enabled`` — one
+   attribute load and one branch when tracing is off.
+2. **Enabled is cheap.**  A span is a ``__slots__`` object, ids are plain
+   integer counters, timestamps come from ``perf_counter_ns`` (monotonic),
+   and finished spans land in a bounded ring buffer (old spans fall off;
+   tracing never grows without bound).
+3. **Cross-process spans stitch.**  A tracer is constructed with a
+   ``process`` label and an id ``origin`` so span/trace ids never collide
+   between the coordinator and its workers, and span timestamps are mapped
+   onto an epoch-anchored microsecond scale so per-process timelines line
+   up (approximately — pipes are not PTP) in one Chrome trace.
+
+Span kinds used by the engines (see ``docs/INTERNALS.md`` §9):
+``call``, ``txn``, ``sql``, ``trigger``, ``window``, ``workflow``, ``ipc``,
+``log.flush``, ``snapshot``, ``recovery``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections import deque
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "Span",
+    "TraceContext",
+    "TraceCollector",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "export_jsonl",
+    "export_chrome_trace",
+]
+
+#: spans per process-id namespace; keeps ids unique across a 2^40-span run
+_ORIGIN_STRIDE = 1 << 40
+
+#: offset mapping ``perf_counter_ns`` onto epoch microseconds, captured at
+#: import time in every process so sibling processes share a timebase
+_EPOCH_OFFSET_US = time.time_ns() // 1000 - time.perf_counter_ns() // 1000
+
+
+def _now_us() -> int:
+    """Monotonic microseconds, anchored to the epoch at process start."""
+    return _EPOCH_OFFSET_US + time.perf_counter_ns() // 1000
+
+
+class TraceContext(tuple):
+    """An immutable ``(trace_id, span_id)`` pair that crosses processes.
+
+    This is what a mailbox message carries: enough for the receiving
+    tracer to parent its spans under the sender's active span.  A plain
+    tuple subclass so it pickles small and compares by value.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, trace_id: int, span_id: int) -> "TraceContext":
+        return super().__new__(cls, (trace_id, span_id))
+
+    def __getnewargs__(self) -> tuple[int, int]:
+        # pickle rebuilds tuple subclasses through __new__; without this it
+        # would pass the whole tuple as a single argument
+        return (self[0], self[1])
+
+    @property
+    def trace_id(self) -> int:
+        return self[0]
+
+    @property
+    def span_id(self) -> int:
+        return self[1]
+
+
+class Span:
+    """One timed region of work inside a trace."""
+
+    __slots__ = (
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "kind",
+        "name",
+        "process",
+        "start_us",
+        "end_us",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        trace_id: int,
+        parent_id: int | None,
+        kind: str,
+        name: str,
+        process: str,
+        start_us: int,
+        attrs: dict[str, Any] | None,
+    ) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.kind = kind
+        self.name = name
+        self.process = process
+        self.start_us = start_us
+        self.end_us: int | None = None
+        self.attrs = attrs
+
+    @property
+    def duration_us(self) -> int | None:
+        if self.end_us is None:
+            return None
+        return self.end_us - self.start_us
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after the span started (e.g. the txn outcome)."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "process": self.process,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "attrs": self.attrs or {},
+        }
+
+    # pickle support: __slots__ classes need explicit state plumbing so
+    # worker span batches can ride the mailbox replies
+    def __getstate__(self) -> tuple:
+        return (
+            self.span_id,
+            self.trace_id,
+            self.parent_id,
+            self.kind,
+            self.name,
+            self.process,
+            self.start_us,
+            self.end_us,
+            self.attrs,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.span_id,
+            self.trace_id,
+            self.parent_id,
+            self.kind,
+            self.name,
+            self.process,
+            self.start_us,
+            self.end_us,
+            self.attrs,
+        ) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dur = f"{self.duration_us}us" if self.end_us is not None else "open"
+        return (
+            f"Span({self.kind}:{self.name}, trace={self.trace_id}, "
+            f"id={self.span_id}, parent={self.parent_id}, {dur})"
+        )
+
+
+class TraceCollector:
+    """Bounded ring buffer of finished spans.
+
+    ``capacity`` bounds memory: a long-running traced engine keeps the most
+    recent spans and quietly drops the oldest (``dropped`` counts them).
+    :meth:`drain` hands back and clears the buffer — the worker side of the
+    mailbox protocol uses it to ship span batches with each reply.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.recorded = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._spans)
+
+    def record(self, span: Span) -> None:
+        self._spans.append(span)
+        self.recorded += 1
+
+    def absorb(self, spans: Iterable[Span]) -> None:
+        """Adopt spans recorded elsewhere (another process's batch)."""
+        for span in spans:
+            self.record(span)
+
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        out = list(self._spans)
+        self._spans.clear()
+        return out
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(list(self._spans))
+
+    # -- queries (tests and tools) ----------------------------------------
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Finished spans grouped by trace id, in recording order."""
+        grouped: dict[int, list[Span]] = {}
+        for span in self._spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def find(self, kind: str | None = None, name: str | None = None) -> list[Span]:
+        return [
+            span
+            for span in self._spans
+            if (kind is None or span.kind == kind)
+            and (name is None or span.name == name)
+        ]
+
+    # -- export ------------------------------------------------------------
+
+    def export_jsonl(self, path: str | pathlib.Path) -> pathlib.Path:
+        return export_jsonl(self.spans(), path)
+
+    def export_chrome(self, path: str | pathlib.Path) -> pathlib.Path:
+        return export_chrome_trace(self.spans(), path)
+
+
+class _SpanHandle:
+    """Context manager that closes one span on exit (reused per ``with``)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def set(self, **attrs: Any) -> Span:
+        return self._span.set(**attrs)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self._span.set(error=str(exc) or exc_type.__name__)
+        self._tracer.end_span(self._span)
+
+
+class Tracer:
+    """Records nestable spans into a :class:`TraceCollector`.
+
+    The tracer keeps a stack of open spans; a new span parents under the
+    top of the stack (or under an explicitly activated remote context),
+    and a root span allocates a fresh trace id.  Strictly single-threaded,
+    matching the engines' serial execution model.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        process: str = "engine",
+        origin: int = 0,
+        collector: TraceCollector | None = None,
+        sql_spans: bool = True,
+    ) -> None:
+        self.process = process
+        #: record per-SQL-statement spans (the hottest level; see ObsConfig)
+        self.sql_spans = sql_spans
+        self.collector = collector if collector is not None else TraceCollector()
+        self._id_base = origin * _ORIGIN_STRIDE
+        self._next_id = 1
+        self._stack: list[Span] = []
+        #: adopted remote parent, used when the local stack is empty
+        self._remote: TraceContext | None = None
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start_span(
+        self, kind: str, name: str, attrs: dict[str, Any] | None = None
+    ) -> Span:
+        span_id = self._id_base + self._next_id
+        self._next_id += 1
+        if self._stack:
+            parent = self._stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self._remote is not None:
+            trace_id, parent_id = self._remote
+        else:
+            trace_id, parent_id = span_id, None
+        span = Span(
+            span_id, trace_id, parent_id, kind, name, self.process, _now_us(), attrs
+        )
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        span.end_us = _now_us()
+        if not any(open_span is span for open_span in self._stack):
+            # ended out of band (double end, or a span adopted from a peer):
+            # record it without disturbing the stack
+            self.collector.record(span)
+            return span
+        # close any children left open (an exception unwound past them);
+        # searching from the top keeps the common case O(1)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end_us = span.end_us
+            top.set(leaked=True)
+            self.collector.record(top)
+        self.collector.record(span)
+        return span
+
+    def span(self, kind: str, name: str, **attrs: Any) -> _SpanHandle:
+        """``with tracer.span("txn", "validate_vote", txn_id=7) as span:``"""
+        return _SpanHandle(self, self.start_span(kind, name, attrs or None))
+
+    # -- trace-context propagation ----------------------------------------
+
+    def current_context(self) -> TraceContext | None:
+        """The active ``(trace_id, span_id)``, for shipping to a peer."""
+        if self._stack:
+            top = self._stack[-1]
+            return TraceContext(top.trace_id, top.span_id)
+        return self._remote
+
+    def activate(self, context: TraceContext | tuple | None) -> None:
+        """Adopt a remote parent for subsequently started root-level spans."""
+        if context is None:
+            self._remote = None
+        else:
+            self._remote = TraceContext(context[0], context[1])
+
+    def deactivate(self) -> None:
+        self._remote = None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Engines default to the shared :data:`NULL_TRACER` instance; hot paths
+    guard with ``if tracer.enabled:`` so tracing-off costs one branch.
+    The API still works (returns inert spans) so cold paths may skip the
+    guard without crashing.
+    """
+
+    enabled = False
+    sql_spans = False
+
+    def __init__(self) -> None:
+        self.process = "null"
+        self.collector = TraceCollector(capacity=1)
+        self._noop_span = Span(0, 0, None, "noop", "noop", "null", 0, None)
+        self._handle = _NullHandle(self._noop_span)
+
+    def start_span(self, kind: str, name: str, attrs: Any = None) -> Span:
+        return self._noop_span
+
+    def end_span(self, span: Span) -> Span:
+        return span
+
+    def span(self, kind: str, name: str, **attrs: Any) -> "_NullHandle":
+        return self._handle
+
+    def current_context(self) -> None:
+        return None
+
+    def activate(self, context: Any) -> None:
+        pass
+
+    def deactivate(self) -> None:
+        pass
+
+    @property
+    def depth(self) -> int:
+        return 0
+
+
+class _NullHandle:
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def set(self, **attrs: Any) -> Span:
+        return self._span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+#: the shared disabled tracer every engine starts with
+NULL_TRACER = NullTracer()
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+
+def export_jsonl(spans: Iterable[Span], path: str | pathlib.Path) -> pathlib.Path:
+    """One span per line, as JSON — grep-able, diff-able, stream-able."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), separators=(",", ":")) + "\n")
+    return target
+
+
+def export_chrome_trace(
+    spans: Iterable[Span], path: str | pathlib.Path
+) -> pathlib.Path:
+    """Chrome ``trace_event`` JSON — opens directly in Perfetto.
+
+    Each tracer ``process`` becomes a Chrome process row (coordinator and
+    workers side by side); spans are complete ("ph": "X") events with the
+    trace id and attributes in ``args`` so Perfetto's search and selection
+    panes surface them.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    processes: dict[str, int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        pid = processes.setdefault(span.process, len(processes) + 1)
+        args: dict[str, Any] = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.attrs:
+            args.update(span.attrs)
+        events.append(
+            {
+                "name": f"{span.kind}:{span.name}",
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": (span.duration_us or 0),
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": process},
+        }
+        for process, pid in processes.items()
+    ]
+    target.write_text(
+        json.dumps({"traceEvents": metadata + events}, separators=(",", ":"))
+    )
+    return target

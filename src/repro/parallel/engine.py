@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import pathlib
 import pickle
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Any
@@ -50,6 +51,8 @@ from repro.hstore.executor import ResultSet
 from repro.hstore.procedure import ProcedureResult, StoredProcedure
 from repro.hstore.recovery import RecoveryReport
 from repro.hstore.stats import EngineStats
+from repro.obs.config import ObsConfig
+from repro.obs.trace import NULL_TRACER
 from repro.parallel import messages as msg
 from repro.parallel.router import Router
 from repro.parallel.worker import PartitionWorker, WorkerConfig
@@ -124,11 +127,32 @@ class ParallelHStoreEngine:
         log_group_size: int = 1,
         snapshot_interval: int | None = None,
         command_logging: bool = True,
+        obs: ObsConfig | None = None,
     ) -> None:
         if workers < 1:
             raise PartitionError("cluster requires at least one worker")
         self.router = Router(workers)
         self._command_logging = command_logging
+        #: observability: the coordinator traces client calls and IPC hops;
+        #: workers trace their own txn/sql work and ship spans back with
+        #: every reply, so the coordinator's collector holds the whole story
+        self.obs = obs
+        self.tracer = NULL_TRACER
+        self.metrics = None
+        if obs is not None:
+            if obs.tracing:
+                from repro.obs.trace import TraceCollector, Tracer
+
+                self.tracer = Tracer(
+                    process="coordinator",
+                    collector=TraceCollector(obs.trace_capacity),
+                    sql_spans=obs.sql_spans,
+                )
+            if obs.metrics:
+                from repro.obs.metrics import MetricsRegistry
+
+                self.metrics = MetricsRegistry()
+        self._call_hists: dict[str, Any] = {}
         #: local procedure instances, for routing metadata only — execution
         #: state lives in the workers
         self.procedures: dict[str, StoredProcedure] = {}
@@ -149,6 +173,7 @@ class ParallelHStoreEngine:
                     log_group_size=log_group_size,
                     snapshot_interval=snapshot_interval,
                     command_logging=command_logging,
+                    obs=obs,
                 )
             )
             for wid in range(workers)
@@ -166,12 +191,18 @@ class ParallelHStoreEngine:
 
     def _rpc(self, worker: PartitionWorker, op: str, payload: Any = None) -> Any:
         """One request/reply exchange; the unit ``ipc_roundtrips`` counts."""
+        if self.tracer.enabled:
+            with self.tracer.span("ipc", op, worker=worker.worker_id):
+                seq = worker.send(op, payload, self.tracer.current_context())
+                return self._collect(worker, seq, op)
         seq = worker.send(op, payload)
         return self._collect(worker, seq, op)
 
     def _collect(self, worker: PartitionWorker, seq: int, op: str) -> Any:
         self.stats_local.ipc_roundtrips += 1
-        status, payload, fired = worker.recv(seq)
+        status, payload, fired, spans = worker.recv(seq)
+        if spans and self.tracer.enabled:
+            self.tracer.collector.absorb(spans)
         if fired:
             self._note_fired(fired, reinstall=op != msg.OP_INSTALL_FAULTS)
         if status == msg.STATUS_OK:
@@ -196,10 +227,26 @@ class ParallelHStoreEngine:
         workers 1..N-1 are already executing.  Raises the first failure
         *after* draining every posted reply (no mailbox desync).
         """
+        if not requests:
+            return []
+        if self.tracer.enabled:
+            # one span covers the whole fan-out (spans nest LIFO, so a span
+            # per in-flight request would corrupt the tracer's stack); every
+            # worker's spans parent under it via the shipped context
+            with self.tracer.span(
+                "ipc", f"scatter:{requests[0][1]}", fanout=len(requests)
+            ):
+                return self._scatter_body(requests)
+        return self._scatter_body(requests)
+
+    def _scatter_body(self, requests: list[tuple[int, str, Any]]) -> list[Any]:
+        trace_ctx = (
+            self.tracer.current_context() if self.tracer.enabled else None
+        )
         posted: list[tuple[PartitionWorker, int, str]] = []
         for wid, op, payload in requests:
             worker = self.workers[wid]
-            posted.append((worker, worker.send(op, payload), op))
+            posted.append((worker, worker.send(op, payload, trace_ctx), op))
         results: list[Any] = []
         failure: Exception | None = None
         for worker, seq, op in posted:
@@ -323,7 +370,37 @@ class ParallelHStoreEngine:
         """Client entry point: one client↔PE round trip per call."""
         self._require_alive()
         self.stats_local.client_pe_roundtrips += 1
+        if self.tracer.enabled or self.metrics is not None:
+            return self._call_observed(name, params)
         return self.invoke(name, params)
+
+    def _call_observed(
+        self, name: str, params: tuple[Any, ...]
+    ) -> ProcedureResult:
+        started_ns = time.perf_counter_ns() if self.metrics is not None else 0
+        if self.tracer.enabled:
+            with self.tracer.span("call", name) as span:
+                result = self.invoke(name, params)
+                span.set(success=result.success)
+        else:
+            result = self.invoke(name, params)
+        if self.metrics is not None:
+            histogram = self._call_hists.get(name)
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    "call_latency_us",
+                    "client call round-trip latency in microseconds",
+                    procedure=name,
+                )
+                self._call_hists[name] = histogram
+            histogram.observe((time.perf_counter_ns() - started_ns) / 1000.0)
+            self.metrics.counter(
+                "calls_total",
+                "client calls by procedure and outcome",
+                procedure=name,
+                outcome="committed" if result.success else "aborted",
+            ).inc()
+        return result
 
     def invoke(self, name: str, params: tuple[Any, ...]) -> ProcedureResult:
         procedure = self._procedure(name)
@@ -386,8 +463,6 @@ class ParallelHStoreEngine:
         This is the benchmark path — per-call ``call_procedure`` round trips
         would measure pipe latency, not execution.
         """
-        import time
-
         self._require_alive()
         procedure = self._procedure(name)
         self.stats_local.client_pe_roundtrips += len(rows)

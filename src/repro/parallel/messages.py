@@ -2,16 +2,20 @@
 
 Every exchange is a request/reply pair over a worker's mailbox pipes:
 
-* request: ``(seq, op, payload)`` — ``seq`` is a per-worker monotonically
-  increasing integer the reply must echo (a cheap protocol-desync tripwire);
-  ``op`` is one of the ``OP_*`` constants; the payload shape is per-op.
-* reply: ``(seq, status, payload, fired)`` — ``status`` is ``"ok"``,
+* request: ``(seq, op, payload, trace_ctx)`` — ``seq`` is a per-worker
+  monotonically increasing integer the reply must echo (a cheap
+  protocol-desync tripwire); ``op`` is one of the ``OP_*`` constants; the
+  payload shape is per-op; ``trace_ctx`` is the coordinator's active
+  :class:`~repro.obs.trace.TraceContext` (or ``None``), which the worker
+  adopts so its spans join the same trace.
+* reply: ``(seq, status, payload, fired, spans)`` — ``status`` is ``"ok"``,
   ``"error"`` (an engine exception, serialized by name + message) or
   ``"fault"`` (the deterministic fault injector fired inside the worker);
   ``fired`` lists fault-plan specs that newly fired while handling the
   request, as ``(spec_index, label)`` pairs, so the coordinator can keep its
   authoritative plan copy in sync (one-shot specs must not re-fire on a
-  sibling worker).
+  sibling worker); ``spans`` is the batch of finished worker-side spans
+  (empty when tracing is off), absorbed into the coordinator's collector.
 
 Everything crossing a mailbox is a plain picklable value: SQL text,
 parameter tuples, procedure *classes* (pickled by reference, which is why
@@ -100,17 +104,33 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
 }
 
 
-def dump_exception(exc: BaseException) -> tuple[str, str]:
+def dump_exception(
+    exc: BaseException,
+    *,
+    worker_id: int | None = None,
+    txn: str | None = None,
+) -> tuple[str, str]:
     """Serialize an exception for an ``"error"`` reply.
 
     Engine exceptions travel as (class name, message).  Anything else is a
     worker-side bug; its traceback is folded into the message so the
     coordinator surfaces it instead of hiding it in a child process.
+
+    ``worker_id`` and ``txn`` (the procedure being invoked, when the op
+    carried one) are prefixed onto the message so a coordinator-side
+    traceback says *which* shard and transaction blew up — otherwise N
+    identical workers are indistinguishable in the error text.
     """
+    prefix = ""
+    if worker_id is not None:
+        where = f"worker {worker_id}"
+        if txn:
+            where += f", txn {txn!r}"
+        prefix = f"[{where}] "
     if isinstance(exc, ReproError):
-        return type(exc).__name__, str(exc)
+        return type(exc).__name__, prefix + str(exc)
     detail = "".join(traceback.format_exception(exc)).strip()
-    return "ReproError", f"worker-side {type(exc).__name__}: {detail}"
+    return "ReproError", f"{prefix}worker-side {type(exc).__name__}: {detail}"
 
 
 def load_exception(class_name: str, message: str) -> Exception:

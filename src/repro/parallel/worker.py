@@ -31,6 +31,7 @@ from repro.faults.injector import FaultInjector
 from repro.hstore.engine import HStoreEngine, PreparedInvocation
 from repro.hstore.parser import parse
 from repro.hstore.planner import SelectPlan
+from repro.obs.config import ObsConfig
 from repro.parallel import messages as msg
 
 __all__ = ["WorkerConfig", "PartitionWorker"]
@@ -45,6 +46,9 @@ class WorkerConfig:
     log_group_size: int = 1
     snapshot_interval: int | None = None
     command_logging: bool = True
+    #: observability config shared with the coordinator (None = off); the
+    #: worker builds its own tracer from it and ships span batches back
+    obs: ObsConfig | None = None
 
 
 class PartitionWorker:
@@ -72,12 +76,12 @@ class PartitionWorker:
 
     # ------------------------------------------------------------------
 
-    def send(self, op: str, payload: Any = None) -> int:
+    def send(self, op: str, payload: Any = None, trace_ctx: Any = None) -> int:
         """Post one request to the worker's inbox; returns its seq."""
         seq = self._seq
         self._seq += 1
         try:
-            self._inbox.send((seq, op, payload))
+            self._inbox.send((seq, op, payload, trace_ctx))
         except (BrokenPipeError, OSError) as exc:
             raise ReproError(
                 f"partition worker {self.worker_id} is gone "
@@ -85,10 +89,10 @@ class PartitionWorker:
             ) from exc
         return seq
 
-    def recv(self, expect_seq: int) -> tuple[str, Any, tuple]:
-        """Take one reply from the outbox; returns (status, payload, fired)."""
+    def recv(self, expect_seq: int) -> tuple[str, Any, tuple, tuple]:
+        """Take one reply; returns (status, payload, fired, spans)."""
         try:
-            seq, status, payload, fired = self._outbox.recv()
+            seq, status, payload, fired, spans = self._outbox.recv()
         except (EOFError, OSError) as exc:
             raise ReproError(
                 f"partition worker {self.worker_id} died mid-request "
@@ -99,7 +103,7 @@ class PartitionWorker:
                 f"partition worker {self.worker_id} protocol desync: "
                 f"expected reply #{expect_seq}, got #{seq}"
             )
-        return status, payload, fired
+        return status, payload, fired, spans
 
     @property
     def alive(self) -> bool:
@@ -109,7 +113,7 @@ class PartitionWorker:
         """Best-effort orderly shutdown; escalates to terminate."""
         if self.process.is_alive():
             try:
-                self._inbox.send((self._seq, msg.OP_SHUTDOWN, None))
+                self._inbox.send((self._seq, msg.OP_SHUTDOWN, None, None))
                 self._seq += 1
             except (BrokenPipeError, OSError):
                 pass
@@ -137,29 +141,57 @@ def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
         log_group_size=config.log_group_size,
         snapshot_interval=config.snapshot_interval,
         command_logging=config.command_logging,
+        obs=config.obs,
+    )
+    # origin worker_id+1 keeps span ids disjoint from the coordinator's
+    # (origin 0) and every sibling's across the whole cluster
+    engine.set_tracer_identity(
+        f"worker-{config.worker_id}", config.worker_id + 1
     )
     state = _WorkerState(config, engine)
     while True:
         try:
-            seq, op, payload = inbox.recv()
+            seq, op, payload, trace_ctx = inbox.recv()
         except (EOFError, OSError):
             break  # coordinator is gone; nothing left to serve
         plan = state.fault_plan()
         fired_before = [spec.fired for spec in plan.specs] if plan else []
+        tracer = engine.tracer
+        if tracer.enabled and trace_ctx is not None:
+            tracer.activate(trace_ctx)
         try:
             result = state.handle(op, payload)
             status, reply = msg.STATUS_OK, result
         except InjectedFault as exc:
             status, reply = msg.STATUS_FAULT, _fault_payload(exc)
         except Exception as exc:  # noqa: BLE001 - serialized, not swallowed
-            status, reply = msg.STATUS_ERROR, msg.dump_exception(exc)
+            status, reply = msg.STATUS_ERROR, msg.dump_exception(
+                exc, worker_id=config.worker_id, txn=_txn_label(op, payload)
+            )
+        finally:
+            if tracer.enabled:
+                tracer.deactivate()
         fired = state.newly_fired(fired_before)
+        # finished spans ride home with the reply; the worker-side collector
+        # is only a staging buffer, the coordinator's is the source of truth
+        spans = tuple(tracer.collector.drain()) if tracer.enabled else ()
         try:
-            outbox.send((seq, status, reply, fired))
+            outbox.send((seq, status, reply, fired, spans))
         except (BrokenPipeError, OSError):
             break
         if op == msg.OP_SHUTDOWN:
             break
+
+
+def _txn_label(op: str, payload: Any) -> str | None:
+    """The procedure name an op was executing, for error attribution."""
+    if op in (msg.OP_INVOKE, msg.OP_INVOKE_BATCH, msg.OP_PREPARE) and isinstance(
+        payload, tuple
+    ) and payload:
+        return payload[0]
+    if op == msg.OP_SQL:
+        return "<adhoc>"
+    return None
 
 
 def _fault_payload(exc: InjectedFault) -> dict[str, Any]:

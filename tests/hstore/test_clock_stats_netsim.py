@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ReproError
 from repro.hstore.clock import LogicalClock
 from repro.hstore.netsim import LatencyModel, simulated_tps
-from repro.hstore.stats import EngineStats
+from repro.hstore.stats import EngineStats, snapshot_delta
 
 
 class TestLogicalClock:
@@ -49,10 +49,28 @@ class TestEngineStats:
         stats.bump("custom")
         assert stats.snapshot()["custom"] == 3
 
-    def test_delta(self):
+    def test_snapshot_delta(self):
         before = {"a": 1, "b": 5}
         after = {"a": 4, "c": 2}
-        assert EngineStats.delta(before, after) == {"a": 3, "b": -5, "c": 2}
+        assert snapshot_delta(before, after) == {"a": 3, "b": -5, "c": 2}
+
+    def test_delta_since_snapshot(self):
+        stats = EngineStats()
+        stats.txns_committed = 2
+        before = stats.snapshot()
+        stats.txns_committed = 7
+        stats.bump("custom", 4)
+        delta = stats.delta(before)
+        assert delta["txns_committed"] == 5
+        assert delta["custom"] == 4
+        assert delta["pe_ee_roundtrips"] == 0
+
+    def test_delta_since_copy(self):
+        stats = EngineStats()
+        stats.rows_inserted = 1
+        earlier = stats.copy()
+        stats.rows_inserted = 6
+        assert stats.delta(earlier)["rows_inserted"] == 5
 
     def test_reset_zeroes_everything(self):
         stats = EngineStats()

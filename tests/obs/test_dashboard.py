@@ -1,0 +1,66 @@
+"""Smoke tests for the live dashboard (plain mode, sub-second runs)."""
+
+from __future__ import annotations
+
+import pytest
+import json
+
+from repro.obs.dashboard import main
+
+
+pytestmark = pytest.mark.obs
+
+def _run(*argv: str) -> int:
+    return main(list(argv))
+
+
+def test_voter_sstore_frame_contents(capsys, tmp_path):
+    code = _run(
+        "--app", "voter", "--engine", "sstore",
+        "--seconds", "0.3", "--refresh", "0.1", "--plain",
+        "--export-trace", str(tmp_path / "trace.jsonl"),
+        "--export-metrics", str(tmp_path / "metrics.json"),
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "voter @ sstore" in out
+    assert "throughput" in out
+    assert "latency (per procedure)" in out
+    assert "round trips" in out
+    assert "pending TEs" in out
+    assert "top contestants" in out
+    assert "spans recorded" in out
+    # the exports are real files with real content
+    trace_lines = (tmp_path / "trace.jsonl").read_text().strip().splitlines()
+    assert len(trace_lines) > 10
+    assert json.loads(trace_lines[0])["trace_id"]
+    metrics = json.loads((tmp_path / "metrics.json").read_text())
+    assert "txn_latency_us" in metrics
+
+
+def test_bikeshare_sstore_frame_contents(capsys):
+    code = _run(
+        "--app", "bikeshare", "--engine", "sstore",
+        "--seconds", "0.3", "--refresh", "0.1", "--plain",
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bikeshare @ sstore" in out
+    assert "stations (bikes docked / capacity)" in out
+
+
+def test_no_trace_flag_disables_span_panel(capsys):
+    code = _run(
+        "--app", "voter", "--engine", "sstore",
+        "--seconds", "0.2", "--refresh", "0.1", "--plain", "--no-trace",
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "spans recorded" not in out
+    assert "latency (per procedure)" in out  # metrics stay on
+
+
+def test_unsupported_combo_exits_nonzero(capsys):
+    code = _run("--app", "bikeshare", "--engine", "parallel", "--plain")
+    assert code == 2
+    assert "unsupported combination" in capsys.readouterr().err

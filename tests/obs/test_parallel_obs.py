@@ -1,0 +1,130 @@
+"""Cross-process observability: spans stitch and errors say where they blew up.
+
+The acceptance story for the tracing layer is the multi-process one: a
+client call enters the coordinator, hops a real OS pipe, executes on a
+worker, and every span along the way — coordinator ``call`` and ``ipc``,
+worker ``txn`` (and ``sql`` under the microscope flag) — must share one
+trace id, because that is what makes a Perfetto view of the cluster
+readable.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hstore.procedure import StoredProcedure
+from repro.obs import ObsConfig
+
+from tests.obs.test_instrumented_engines import assert_well_formed_forest
+from tests.parallel.conftest import build_cluster
+
+pytestmark = pytest.mark.parallel
+
+
+class BuggyDivide(StoredProcedure):
+    """Module-level on purpose: the class pickles by reference to workers."""
+
+    name = "BuggyDivide"
+    partition_param = 0
+    statements = {}
+
+    def run(self, ctx, key):
+        return key // 0
+
+
+@pytest.fixture
+def traced_cluster():
+    engine = build_cluster(workers=2, obs=ObsConfig(sql_spans=True))
+    yield engine
+    engine.shutdown()
+
+
+def test_call_stitches_across_processes(traced_cluster):
+    result = traced_cluster.call_procedure("PutKV", 5, "hello")
+    assert result.success
+    collector = traced_cluster.tracer.collector
+    calls = collector.find(kind="call", name="PutKV")
+    assert len(calls) == 1
+    trace = [s for s in collector if s.trace_id == calls[0].trace_id]
+    processes = {s.process for s in trace}
+    assert "coordinator" in processes
+    assert any(p.startswith("worker-") for p in processes)
+    kinds = {s.kind for s in trace}
+    assert {"call", "ipc", "txn", "sql"} <= kinds
+    # worker txn hangs off the coordinator's ipc span
+    ipc = next(s for s in trace if s.kind == "ipc")
+    txn = next(s for s in trace if s.kind == "txn")
+    assert txn.parent_id == ipc.span_id
+
+
+def test_worker_span_batches_absorbed_not_duplicated(traced_cluster):
+    for key in range(8):
+        traced_cluster.call_procedure("PutKV", key, f"v{key}")
+    collector = traced_cluster.tracer.collector
+    txns = collector.find(kind="txn", name="PutKV")
+    assert len(txns) == 8
+    assert_well_formed_forest(collector.spans())
+
+
+def test_multipartition_txn_joins_every_worker(traced_cluster):
+    result = traced_cluster.call_procedure("BumpAll", 1, "note")
+    assert result.success
+    collector = traced_cluster.tracer.collector
+    call = collector.find(kind="call", name="BumpAll")[0]
+    trace = [s for s in collector if s.trace_id == call.trace_id]
+    worker_processes = {
+        s.process for s in trace if s.process.startswith("worker-")
+    }
+    assert worker_processes == {"worker-0", "worker-1"}
+
+
+def test_chrome_export_shows_cluster_processes(traced_cluster, tmp_path):
+    traced_cluster.call_procedure("PutKV", 3, "x")
+    traced_cluster.call_procedure("BumpAll", 1, "y")
+    path = traced_cluster.tracer.collector.export_chrome(tmp_path / "t.json")
+    doc = json.loads(path.read_text())
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert {"coordinator", "worker-0", "worker-1"} <= names
+
+
+def test_untraced_cluster_ships_no_spans():
+    engine = build_cluster(workers=2)
+    try:
+        engine.call_procedure("PutKV", 1, "v")
+        assert engine.tracer.enabled is False
+        assert len(engine.tracer.collector) == 0
+    finally:
+        engine.shutdown()
+
+
+def test_worker_errors_name_worker_and_txn():
+    engine = build_cluster(workers=2)
+    try:
+        engine.register_procedure(BuggyDivide)
+        with pytest.raises(ReproError) as excinfo:
+            engine.call_procedure("BuggyDivide", 3)
+        message = str(excinfo.value)
+        assert "[worker" in message
+        assert "txn 'BuggyDivide'" in message
+        assert "ZeroDivisionError" in message
+    finally:
+        engine.shutdown()
+
+
+def test_adhoc_sql_errors_name_worker():
+    engine = build_cluster(workers=2)
+    try:
+        with pytest.raises(ReproError) as excinfo:
+            engine.execute_sql("SELECT * FROM no_such_table")
+        message = str(excinfo.value)
+        assert "[worker" in message
+        assert "txn '<adhoc>'" in message
+    finally:
+        engine.shutdown()

@@ -1,0 +1,219 @@
+"""Unit tests for the span tracer, collector and exporters."""
+
+from __future__ import annotations
+
+import pytest
+import json
+import pickle
+
+from repro.obs import (
+    NULL_TRACER,
+    Span,
+    TraceCollector,
+    TraceContext,
+    Tracer,
+)
+
+
+pytestmark = pytest.mark.obs
+
+class TestTraceContext:
+    def test_is_a_value_tuple(self):
+        ctx = TraceContext(7, 9)
+        assert ctx.trace_id == 7
+        assert ctx.span_id == 9
+        assert ctx == (7, 9)
+
+    def test_pickles_roundtrip(self):
+        ctx = pickle.loads(pickle.dumps(TraceContext(3, 4)))
+        assert isinstance(ctx, TraceContext)
+        assert (ctx.trace_id, ctx.span_id) == (3, 4)
+
+
+class TestSpan:
+    def test_set_merges_attributes(self):
+        span = Span(1, 1, None, "txn", "t", "p", 0, {"a": 1})
+        span.set(b=2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_set_on_attrless_span(self):
+        span = Span(1, 1, None, "txn", "t", "p", 0, None)
+        span.set(outcome="committed")
+        assert span.attrs == {"outcome": "committed"}
+
+    def test_duration_none_while_open(self):
+        span = Span(1, 1, None, "txn", "t", "p", 10, None)
+        assert span.duration_us is None
+        span.end_us = 25
+        assert span.duration_us == 15
+
+    def test_pickles_roundtrip(self):
+        span = Span(5, 6, 4, "sql", "insert", "worker-1", 100, {"rows": 2})
+        span.end_us = 150
+        clone = pickle.loads(pickle.dumps(span))
+        assert clone.to_dict() == span.to_dict()
+
+
+class TestTracer:
+    def test_root_span_opens_fresh_trace(self):
+        tracer = Tracer()
+        a = tracer.start_span("txn", "a")
+        tracer.end_span(a)
+        b = tracer.start_span("txn", "b")
+        tracer.end_span(b)
+        assert a.trace_id == a.span_id
+        assert b.trace_id == b.span_id
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_nesting_parents_under_stack_top(self):
+        tracer = Tracer()
+        with tracer.span("txn", "outer") as outer:
+            with tracer.span("sql", "inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert tracer.depth == 0
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("txn", "boom") as span:
+                raise ValueError("bad vote")
+        except ValueError:
+            pass
+        assert span.attrs["error"] == "bad vote"
+        assert span.end_us is not None
+        assert tracer.depth == 0
+
+    def test_ending_outer_closes_leaked_children(self):
+        tracer = Tracer()
+        outer = tracer.start_span("txn", "outer")
+        inner = tracer.start_span("sql", "inner")  # never ended explicitly
+        tracer.end_span(outer)
+        assert tracer.depth == 0
+        assert inner.attrs == {"leaked": True}
+        assert inner.end_us == outer.end_us
+        # both landed in the collector
+        assert {s.name for s in tracer.collector} == {"outer", "inner"}
+
+    def test_double_end_is_recorded_without_stack_damage(self):
+        tracer = Tracer()
+        outer = tracer.start_span("txn", "outer")
+        inner = tracer.start_span("sql", "inner")
+        tracer.end_span(inner)
+        tracer.end_span(inner)  # out of band: stack no longer holds it
+        assert tracer.depth == 1
+        tracer.end_span(outer)
+        assert tracer.depth == 0
+
+    def test_origin_offsets_namespace_ids(self):
+        coordinator = Tracer(origin=0)
+        worker = Tracer(origin=1)
+        a = coordinator.start_span("ipc", "x")
+        b = worker.start_span("txn", "y")
+        assert a.span_id != b.span_id
+        assert b.span_id > (1 << 40) - 1
+
+    def test_activate_adopts_remote_parent(self):
+        coordinator = Tracer(process="coordinator")
+        worker = Tracer(process="worker-0", origin=1)
+        with coordinator.span("call", "validate") as call:
+            ctx = coordinator.current_context()
+        worker.activate(ctx)
+        txn = worker.start_span("txn", "validate")
+        worker.end_span(txn)
+        worker.deactivate()
+        assert txn.trace_id == call.trace_id
+        assert txn.parent_id == call.span_id
+        # after deactivation, new spans open their own traces again
+        other = worker.start_span("txn", "later")
+        worker.end_span(other)
+        assert other.trace_id != call.trace_id
+
+    def test_current_context_none_at_rest(self):
+        assert Tracer().current_context() is None
+
+
+class TestTraceCollector:
+    def test_ring_buffer_drops_oldest(self):
+        collector = TraceCollector(capacity=2)
+        tracer = Tracer(collector=collector)
+        for name in ("a", "b", "c"):
+            tracer.end_span(tracer.start_span("txn", name))
+        assert [s.name for s in collector] == ["b", "c"]
+        assert collector.dropped == 1
+        assert collector.recorded == 3
+
+    def test_drain_clears_and_absorb_adopts(self):
+        source = TraceCollector()
+        tracer = Tracer(collector=source)
+        tracer.end_span(tracer.start_span("txn", "shipped"))
+        batch = source.drain()
+        assert len(source) == 0
+        sink = TraceCollector()
+        sink.absorb(batch)
+        assert [s.name for s in sink] == ["shipped"]
+
+    def test_traces_group_by_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("txn", "one"):
+            with tracer.span("sql", "s"):
+                pass
+        tracer.end_span(tracer.start_span("txn", "two"))
+        grouped = tracer.collector.traces()
+        assert len(grouped) == 2
+        sizes = sorted(len(spans) for spans in grouped.values())
+        assert sizes == [1, 2]
+
+    def test_find_filters_kind_and_name(self):
+        tracer = Tracer()
+        tracer.end_span(tracer.start_span("txn", "a"))
+        tracer.end_span(tracer.start_span("sql", "a"))
+        assert len(tracer.collector.find(kind="sql")) == 1
+        assert len(tracer.collector.find(name="a")) == 2
+        assert len(tracer.collector.find(kind="txn", name="a")) == 1
+
+
+class TestExports:
+    def _traced(self):
+        tracer = Tracer(process="engine")
+        with tracer.span("txn", "vote", txn_id=1):
+            with tracer.span("sql", "insert"):
+                pass
+        return tracer
+
+    def test_jsonl_is_one_parseable_span_per_line(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.collector.export_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["kind"] for r in records} == {"txn", "sql"}
+        assert all(r["end_us"] >= r["start_us"] for r in records)
+
+    def test_chrome_trace_shape(self, tmp_path):
+        tracer = self._traced()
+        path = tracer.collector.export_chrome(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert metadata[0]["args"]["name"] == "engine"
+        assert {e["name"] for e in complete} == {"txn:vote", "sql:insert"}
+        assert all(e["dur"] >= 0 for e in complete)
+        txn_event = next(e for e in complete if e["name"] == "txn:vote")
+        assert txn_event["args"]["txn_id"] == 1
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.sql_spans is False
+        with NULL_TRACER.span("txn", "anything", a=1) as span:
+            span.set(b=2)
+        NULL_TRACER.end_span(NULL_TRACER.start_span("sql", "x"))
+        NULL_TRACER.activate(TraceContext(1, 2))
+        assert NULL_TRACER.current_context() is None
+        assert NULL_TRACER.depth == 0
+        assert len(NULL_TRACER.collector) == 0
