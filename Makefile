@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel obs bench
+.PHONY: test faults parallel obs compile bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,13 @@ obs:
 		--export-trace benchmarks/_results/trace.jsonl \
 		--export-chrome benchmarks/_results/trace_chrome.json \
 		--export-metrics benchmarks/_results/metrics.json
+
+# closure-compiler suites: unit tests for compiled plans and the plan
+# cache, plus hypothesis differential fuzzing against the interpreter
+compile:
+	$(PYTHON) -m pytest tests/hstore/test_compile.py \
+		tests/hstore/test_plan_cache.py \
+		tests/property/test_prop_compile_diff.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -41,7 +41,11 @@ from repro.obs import ObsConfig
 
 CONTESTANTS = 10
 VOTES = 600
-ROUNDS = 8
+#: compiled execution (E13) made each round ~3x shorter, which shrank the
+#: measured region relative to a shared box's contention bursts — more
+#: rounds give every configuration more chances to sample a calm window,
+#: which is what the min-over-rounds estimator needs
+ROUNDS = 16
 #: the acceptance bar for default-on tracing
 MAX_OVERHEAD = 0.05
 

@@ -1,0 +1,224 @@
+"""E13 — Query compilation: closure-compiled plans vs. the interpreter.
+
+The per-tuple hot path of every statement used to walk the expression AST
+(one virtual dispatch per node per row) and allocate a fresh EvalContext
+per row.  :mod:`repro.hstore.compile` turns each planned statement into
+flat closures once at plan time, and the engine's PlanCache makes ad-hoc
+``execute_sql`` pay parse+plan once per distinct statement text.
+
+Measured here:
+
+* Voter streaming workload (the E3 configuration) end-to-end, compiled
+  vs. interpreted — the trigger-cascade throughput claim;
+* BikeShare mixed workload (the E8 city, shortened), compiled vs.
+  interpreted — compilation helps OLTP + streaming + hybrid alike;
+* ad-hoc statement repetition with the plan cache on vs. off — the
+  hot path must amortize parse+plan away entirely.
+
+Bars: compiled Voter ≥ 1.5× interpreted; plan-cache hot ≥ 5× cold.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import pytest
+
+from repro.apps.bikeshare import BikeShareApp, BikeShareSimulation
+from repro.apps.voter.sstore_app import VoterSStoreApp
+from repro.apps.voter.workload import VoterWorkload
+from repro.bench import format_table, write_bench_json
+from repro.core.engine import SStoreEngine
+from repro.hstore.engine import HStoreEngine
+
+CONTESTANTS = 10
+VOTES = 600
+VOTER_ROUNDS = 6
+BIKESHARE_TICKS = 120
+BIKESHARE_ROUNDS = 2
+ADHOC_REPEATS = 2000
+
+MIN_VOTER_SPEEDUP = 1.5
+MIN_CACHE_SPEEDUP = 5.0
+
+#: a representative ad-hoc statement: enough expression surface that
+#: parse+plan dominates its (point-lookup) execution
+ADHOC_SQL = (
+    "SELECT k, v, k * 2 + 1 FROM kv "
+    "WHERE k = ? AND (v LIKE '%a%' OR v IS NULL OR k BETWEEN ? AND ?)"
+)
+
+
+def _requests():
+    return VoterWorkload(seed=303, num_contestants=CONTESTANTS).generate(VOTES)
+
+
+def _run_voter(compile_flag: bool) -> tuple[float, SStoreEngine]:
+    engine = SStoreEngine(compile=compile_flag)
+    app = VoterSStoreApp(engine, num_contestants=CONTESTANTS)
+    requests = _requests()
+    gc.collect()
+    started = time.process_time()
+    app.submit(requests, ingest_chunk=5)
+    return time.process_time() - started, engine
+
+
+def _run_bikeshare(compile_flag: bool) -> tuple[float, SStoreEngine]:
+    engine = SStoreEngine(compile=compile_flag)
+    app = BikeShareApp(
+        engine, num_stations=9, capacity=8, bikes_per_station=4, num_riders=24
+    )
+    sim = BikeShareSimulation(
+        app,
+        seed=88,
+        trip_speed_mph=30.0,
+        drain_station=1,
+        drain_bias=0.7,
+        theft_at_tick=60,
+        trip_start_probability=0.5,
+    )
+    gc.collect()
+    started = time.process_time()
+    sim.run(BIKESHARE_TICKS)
+    return time.process_time() - started, engine
+
+
+def _make_kv(**kwargs) -> HStoreEngine:
+    eng = HStoreEngine(**kwargs)
+    eng.execute_ddl(
+        "CREATE TABLE kv (k INTEGER NOT NULL, v VARCHAR(16), PRIMARY KEY (k))"
+    )
+    for i in range(50):
+        eng.execute_sql("INSERT INTO kv VALUES (?, ?)", i, f"v{i}a")
+    return eng
+
+
+def _run_adhoc(cache: bool) -> float:
+    eng = _make_kv(plan_cache_size=128 if cache else 0)
+    eng.execute_sql(ADHOC_SQL, 0, 0, 1)  # warm: first miss planned either way
+    gc.collect()
+    started = time.process_time()
+    for i in range(ADHOC_REPEATS):
+        eng.execute_sql(ADHOC_SQL, i % 50, 10, 20)
+    return time.process_time() - started
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    voter = {True: float("inf"), False: float("inf")}
+    voter_counters: dict[str, int] = {}
+    for _ in range(VOTER_ROUNDS):
+        for flag in (True, False):
+            elapsed, engine = _run_voter(flag)
+            if elapsed < voter[flag]:
+                voter[flag] = elapsed
+                if flag:
+                    voter_counters = engine.stats.snapshot()
+
+    bikeshare = {True: float("inf"), False: float("inf")}
+    for _ in range(BIKESHARE_ROUNDS):
+        for flag in (True, False):
+            elapsed, _engine = _run_bikeshare(flag)
+            bikeshare[flag] = min(bikeshare[flag], elapsed)
+
+    adhoc = {"hot": float("inf"), "cold": float("inf")}
+    for _ in range(3):
+        adhoc["hot"] = min(adhoc["hot"], _run_adhoc(cache=True))
+        adhoc["cold"] = min(adhoc["cold"], _run_adhoc(cache=False))
+
+    return voter, voter_counters, bikeshare, adhoc
+
+
+def test_e13_cache_counters_track_the_workload(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    eng = _make_kv()
+    misses_after_seed = eng.stats.plan_cache_misses
+    for i in range(10):
+        eng.execute_sql("SELECT v FROM kv WHERE k = ?", i)
+    assert eng.stats.plan_cache_misses == misses_after_seed + 1
+    assert eng.stats.plan_cache_hits >= 9 + 49  # probe hits + seed INSERT hits
+
+
+def test_e13_compile_throughput(benchmark, sweep, save_report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    voter, voter_counters, bikeshare, adhoc = sweep
+
+    voter_speedup = voter[False] / voter[True]
+    bikeshare_speedup = bikeshare[False] / bikeshare[True]
+    cache_speedup = adhoc["cold"] / adhoc["hot"]
+
+    rows = [
+        [
+            "voter (E3 config)",
+            f"{voter[True] * 1000:.1f}ms",
+            f"{voter[False] * 1000:.1f}ms",
+            f"{voter_speedup:.2f}x",
+        ],
+        [
+            f"bikeshare ({BIKESHARE_TICKS} ticks)",
+            f"{bikeshare[True] * 1000:.1f}ms",
+            f"{bikeshare[False] * 1000:.1f}ms",
+            f"{bikeshare_speedup:.2f}x",
+        ],
+        [
+            f"ad-hoc x{ADHOC_REPEATS} (hot vs cold)",
+            f"{adhoc['hot'] * 1000:.1f}ms",
+            f"{adhoc['cold'] * 1000:.1f}ms",
+            f"{cache_speedup:.2f}x",
+        ],
+    ]
+    save_report(
+        "e13_compile",
+        format_table(["workload", "compiled/hot", "interpreted/cold", "speedup"], rows)
+        + f"\nbars: voter ≥ {MIN_VOTER_SPEEDUP}x, plan-cache hot ≥ "
+        + f"{MIN_CACHE_SPEEDUP}x (best of {VOTER_ROUNDS} interleaved rounds)"
+        + f"\npoint lookups served: {voter_counters.get('point_lookups', 0)}",
+    )
+    write_bench_json(
+        "e13_compile",
+        {
+            "workloads": {
+                "voter": {"votes": VOTES, "contestants": CONTESTANTS},
+                "bikeshare": {"ticks": BIKESHARE_TICKS},
+                "adhoc": {"repeats": ADHOC_REPEATS},
+            },
+            "cpu_seconds": {
+                "voter_compiled": voter[True],
+                "voter_interpreted": voter[False],
+                "bikeshare_compiled": bikeshare[True],
+                "bikeshare_interpreted": bikeshare[False],
+                "adhoc_hot": adhoc["hot"],
+                "adhoc_cold": adhoc["cold"],
+            },
+            "point_lookups": voter_counters.get("point_lookups", 0),
+            "bars": {
+                "min_voter_speedup": MIN_VOTER_SPEEDUP,
+                "min_cache_speedup": MIN_CACHE_SPEEDUP,
+            },
+            # regression-guarded metrics (benchmarks/check_regression.py):
+            # machine-independent ratios, not wall times
+            "guard": {
+                "voter_compiled_speedup": voter_speedup,
+                "bikeshare_compiled_speedup": bikeshare_speedup,
+                "plan_cache_hot_speedup": cache_speedup,
+            },
+        },
+    )
+
+    # compiled execution must be semantically invisible: same election
+    compiled_summary = _run_voter_summary(True)
+    interpreted_summary = _run_voter_summary(False)
+    assert compiled_summary == interpreted_summary
+
+    assert voter_speedup >= MIN_VOTER_SPEEDUP, (voter, voter_speedup)
+    assert bikeshare_speedup > 1.0, (bikeshare, bikeshare_speedup)
+    assert cache_speedup >= MIN_CACHE_SPEEDUP, (adhoc, cache_speedup)
+    assert voter_counters.get("point_lookups", 0) > 0
+
+
+def _run_voter_summary(compile_flag: bool):
+    engine = SStoreEngine(compile=compile_flag)
+    app = VoterSStoreApp(engine, num_contestants=CONTESTANTS)
+    app.submit(_requests(), ingest_chunk=5)
+    return app.summary()

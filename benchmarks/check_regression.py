@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark JSON against committed baselines.
+
+Each ``BENCH_<name>.json`` may carry a ``"guard"`` object: a flat map of
+metric name → number, by convention *higher-is-better ratios* (speedups),
+chosen to be machine-independent so CI runners and laptops can share one
+baseline.  This script compares every guarded metric in the fresh results
+directory (``benchmarks/_results/``) against the committed baseline
+(``benchmarks/baselines/``) and fails when a metric fell more than
+``--tolerance`` (default 20%) below its baseline.
+
+Files without a ``guard`` object are skipped with a note — wall-clock
+numbers are too machine-dependent to gate on.  A metric that *improved*
+beyond the tolerance prints a reminder to refresh the baseline but does
+not fail.
+
+Usage::
+
+    python benchmarks/check_regression.py
+    python benchmarks/check_regression.py --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+DEFAULT_RESULTS = HERE / "_results"
+DEFAULT_BASELINES = HERE / "baselines"
+
+
+def load_guard(path: pathlib.Path) -> dict[str, float] | None:
+    data = json.loads(path.read_text())
+    guard = data.get("guard")
+    if not isinstance(guard, dict):
+        return None
+    return {key: float(value) for key, value in guard.items()}
+
+
+def check(
+    results_dir: pathlib.Path, baselines_dir: pathlib.Path, tolerance: float
+) -> int:
+    failures: list[str] = []
+    checked = 0
+
+    baselines = sorted(baselines_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {baselines_dir} — nothing to check")
+        return 0
+
+    for baseline_path in baselines:
+        name = baseline_path.name
+        baseline_guard = load_guard(baseline_path)
+        if baseline_guard is None:
+            print(f"[skip] {name}: baseline has no guard object")
+            continue
+        fresh_path = results_dir / name
+        if not fresh_path.exists():
+            failures.append(
+                f"{name}: baseline is guarded but no fresh result exists "
+                f"under {results_dir} — did the benchmark run?"
+            )
+            continue
+        fresh_guard = load_guard(fresh_path)
+        if fresh_guard is None:
+            failures.append(f"{name}: fresh result lost its guard object")
+            continue
+
+        for metric, base_value in sorted(baseline_guard.items()):
+            if metric not in fresh_guard:
+                failures.append(f"{name}: guard metric {metric!r} disappeared")
+                continue
+            fresh_value = fresh_guard[metric]
+            floor = base_value * (1.0 - tolerance)
+            checked += 1
+            if fresh_value < floor:
+                failures.append(
+                    f"{name}: {metric} regressed: {fresh_value:.3f} < "
+                    f"{floor:.3f} (baseline {base_value:.3f} - {tolerance:.0%})"
+                )
+            elif fresh_value > base_value * (1.0 + tolerance):
+                print(
+                    f"[note] {name}: {metric} improved to {fresh_value:.3f} "
+                    f"(baseline {base_value:.3f}) — consider refreshing the "
+                    f"baseline"
+                )
+            else:
+                print(
+                    f"[ok]   {name}: {metric} = {fresh_value:.3f} "
+                    f"(baseline {base_value:.3f})"
+                )
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} guarded metric(s) within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=pathlib.Path, default=DEFAULT_RESULTS,
+        help="directory of fresh BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines", type=pathlib.Path, default=DEFAULT_BASELINES,
+        help="directory of committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional drop below baseline (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args()
+    return check(args.results, args.baselines, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

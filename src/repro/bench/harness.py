@@ -24,6 +24,7 @@ from repro.apps.voter.hstore_app import VoterHStoreApp
 from repro.apps.voter.observe import ElectionSummary
 from repro.apps.voter.sstore_app import VoterSStoreApp
 from repro.apps.voter.workload import VoteRequest
+from repro.core.engine import SStoreEngine
 from repro.hstore.netsim import LatencyModel
 
 __all__ = [
@@ -87,9 +88,13 @@ def run_voter_sstore(
     batch_size: int = 1,
     ingest_chunk: int = 1,
     model: LatencyModel | None = None,
+    compile: bool = True,
 ) -> VoterRunResult:
     model = model or LatencyModel()
-    app = VoterSStoreApp(num_contestants=num_contestants, batch_size=batch_size)
+    engine = SStoreEngine(compile=compile)
+    app = VoterSStoreApp(
+        engine, num_contestants=num_contestants, batch_size=batch_size
+    )
     before = app.engine.stats.snapshot()
     started = time.perf_counter()
     app.submit(requests, ingest_chunk=ingest_chunk)

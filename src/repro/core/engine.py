@@ -205,6 +205,8 @@ class SStoreEngine(HStoreEngine):
         eager: bool = True,
         command_logging: bool = True,
         obs: "ObsConfig | None" = None,
+        compile: bool = True,
+        plan_cache_size: int = 128,
     ) -> None:
         super().__init__(
             partitions,
@@ -214,6 +216,8 @@ class SStoreEngine(HStoreEngine):
             stats=stats,
             command_logging=command_logging,
             obs=obs,
+            compile=compile,
+            plan_cache_size=plan_cache_size,
         )
         self.streams = StreamRegistry()
         self.windows: dict[str, WindowState] = {}
@@ -322,7 +326,9 @@ class SStoreEngine(HStoreEngine):
         def _maintain(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
             table = self.partitions[0].ee.table(table_name)
             rows = [table.get(rowid) for rowid in rowids]
-            if self.tracer.enabled:
+            # window maintenance is per-EE-event granularity, like per-
+            # statement sql spans — both live behind the microscope flag
+            if self.tracer.sql_spans:
                 with self.tracer.span("window", spec.name, tuples=len(rows)):
                     state.on_stream_insert(txn, rows, self.clock.now)
             else:
@@ -374,7 +380,9 @@ class SStoreEngine(HStoreEngine):
         def _fire(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
             table = self.partitions[0].ee.table(table_name)
             rows = [table.get(rowid) for rowid in rowids]
-            if self.tracer.enabled:
+            # EE triggers fire inside the EE like individual statements, so
+            # their spans ride the same microscope flag as sql spans
+            if self.tracer.sql_spans:
                 with self.tracer.span(
                     "trigger", f"ee:{trigger.name}", tuples=len(rows)
                 ):
@@ -615,7 +623,9 @@ class SStoreEngine(HStoreEngine):
                 workflow=task.workflow_name,
             ) as span:
                 outcome = self._execute_stream_te_body(task)
-                span.set(outcome=outcome)
+                # direct attrs store — the span's dict already exists, and
+                # set(**kwargs) would build a second dict per transaction
+                span.attrs["outcome"] = outcome
         finally:
             if activated:
                 tracer.deactivate()

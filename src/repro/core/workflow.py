@@ -79,7 +79,12 @@ def plan_table_access(plan: Plan) -> tuple[set[str], set[str]]:
 
     Includes tables read by uncorrelated subqueries in WHERE/HAVING/SET
     clauses, so the workflow sharing analysis cannot be blinded by them.
+    The result is memoized on the plan — plans are immutable once built,
+    and the scoping check runs per statement *execution*, not per plan.
     """
+    cached = getattr(plan, "_table_access", None)
+    if cached is not None:
+        return cached
     reads: set[str] = set()
     writes: set[str] = set()
     if isinstance(plan, SelectPlan):
@@ -95,6 +100,7 @@ def plan_table_access(plan: Plan) -> tuple[set[str], set[str]]:
         writes.add(plan.table)
         reads.add(plan.table)
     reads |= _subquery_reads(plan)
+    plan._table_access = (reads, writes)
     return reads, writes
 
 

@@ -163,6 +163,15 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, TableEntry] = {}
         self._indexes: dict[str, IndexEntry] = {}
+        #: monotonically increasing schema version; every DDL mutation bumps
+        #: it, which is what invalidates cached ad-hoc plans (the engine's
+        #: PlanCache keys entries by the version they were planned under)
+        self.version = 0
+
+    def bump_version(self) -> int:
+        """Mark a schema change; cached plans from before are now stale."""
+        self.version += 1
+        return self.version
 
     # -- tables ------------------------------------------------------------
 
@@ -170,6 +179,7 @@ class Catalog:
         if entry.name in self._tables:
             raise DuplicateObjectError(f"table {entry.name!r} already exists")
         self._tables[entry.name] = entry
+        self.bump_version()
         return entry
 
     def drop_table(self, name: str) -> None:
@@ -177,6 +187,7 @@ class Catalog:
         for index_name in list(entry.index_names):
             self._indexes.pop(index_name, None)
         del self._tables[entry.name]
+        self.bump_version()
 
     def table(self, name: str) -> TableEntry:
         try:
@@ -206,6 +217,7 @@ class Catalog:
                 )
         self._indexes[entry.name] = entry
         table.index_names.append(entry.name)
+        self.bump_version()
         return entry
 
     def index(self, name: str) -> IndexEntry:
@@ -220,6 +232,7 @@ class Catalog:
         table = self._tables.get(entry.table_name)
         if table is not None and entry.name in table.index_names:
             table.index_names.remove(entry.name)
+        self.bump_version()
         return entry
 
     def indexes_on(self, table_name: str) -> list[IndexEntry]:

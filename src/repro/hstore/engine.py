@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hstore.durability import DurabilityDirectory
     from repro.hstore.recovery import RecoveryReport
     from repro.obs.config import ObsConfig
-    from repro.obs.metrics import Histogram, MetricsRegistry
+    from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
 from repro.errors import (
     CatalogError,
@@ -56,7 +56,8 @@ from repro.hstore.parser import (
     parse,
 )
 from repro.hstore.partition import Partition, route_value
-from repro.hstore.planner import Planner, SelectPlan
+from repro.hstore.plancache import PlanCache
+from repro.hstore.planner import DdlPlan, Planner, SelectPlan
 from repro.hstore.procedure import ProcedureContext, ProcedureResult, StoredProcedure
 from repro.hstore.snapshot import Snapshot, SnapshotStore
 from repro.hstore.stats import EngineStats
@@ -94,6 +95,8 @@ class HStoreEngine:
         stats: EngineStats | None = None,
         command_logging: bool = True,
         obs: "ObsConfig | None" = None,
+        compile: bool = True,
+        plan_cache_size: int = 128,
     ) -> None:
         if partitions < 1:
             raise PartitionError("engine requires at least one partition")
@@ -116,10 +119,26 @@ class HStoreEngine:
                 from repro.obs.metrics import MetricsRegistry
 
                 self.metrics = MetricsRegistry()
+                # pre-register the plan-cache counters (bound, not looked up
+                # per statement) so dashboards see both at zero instead of
+                # only whichever fired first
+                self._cache_hit_counter = self.metrics.counter(
+                    "plan_cache.hits", "ad-hoc statements served from the plan cache"
+                )
+                self._cache_miss_counter = self.metrics.counter(
+                    "plan_cache.misses", "ad-hoc statements that had to be planned"
+                )
+        #: per-procedure instrument caches — the registry's labeled lookup
+        #: (sort + string keys) is too slow to repeat on every transaction
         self._txn_hists: dict[str, "Histogram"] = {}
+        self._txn_counters: dict[tuple[str, bool], "Counter"] = {}
         self.clock = clock if clock is not None else LogicalClock()
         self.catalog = Catalog()
-        self.planner = Planner(self.catalog)
+        #: compile=False keeps the tree-walking interpreter as the execution
+        #: path — slower, but the oracle the differential tests fuzz against
+        self.planner = Planner(self.catalog, compile_plans=compile)
+        #: LRU of ad-hoc statement plans; 0 disables caching entirely
+        self.plan_cache = PlanCache(plan_cache_size) if plan_cache_size > 0 else None
         self.partitions = [
             Partition(pid, self.catalog, self.stats) for pid in range(partitions)
         ]
@@ -257,7 +276,9 @@ class HStoreEngine:
             raise ProcedureError(f"procedure {procedure.name!r} already registered")
         for statement_name, sql in procedure.statements.items():
             try:
-                procedure.plans[statement_name] = self.planner.plan(parse(sql))
+                procedure.plans[statement_name] = self._plan_statement(
+                    sql, f"{procedure.name}.{statement_name}"
+                )
             except ReproError as exc:
                 raise ProcedureError(
                     f"procedure {procedure.name!r} statement "
@@ -265,6 +286,27 @@ class HStoreEngine:
                 ) from exc
         self.procedures[procedure.name] = procedure
         return procedure
+
+    def _plan_statement(self, sql: str, label: str):
+        """Parse + plan + closure-compile one statement, observed.
+
+        Every planning site goes through here so ``repro.obs`` sees one
+        ``compile`` span and one ``plan_compile_us`` observation per
+        statement — the cost the PlanCache amortizes away for ad-hoc SQL
+        and registration pays exactly once for stored procedures.
+        """
+        started_ns = time.perf_counter_ns() if self.metrics is not None else 0
+        if self.tracer.enabled:
+            with self.tracer.span("compile", label, sql=sql[:120]):
+                plan = self.planner.plan(parse(sql))
+        else:
+            plan = self.planner.plan(parse(sql))
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "plan_compile_us",
+                "statement parse+plan+closure-compile time in microseconds",
+            ).observe((time.perf_counter_ns() - started_ns) / 1000.0)
+        return plan
 
     def procedure(self, name: str) -> StoredProcedure:
         try:
@@ -335,7 +377,11 @@ class HStoreEngine:
                 "txn", procedure.name, partition=partition_id
             ) as span:
                 result = self._run_txn(procedure, params, partition_id)
-                span.set(txn_id=result.txn_id, committed=result.success)
+                # direct attrs stores — the span's dict already exists, and
+                # set(**kwargs) would build a second dict per transaction
+                attrs = span.attrs
+                attrs["txn_id"] = result.txn_id
+                attrs["committed"] = result.success
         else:
             result = self._run_txn(procedure, params, partition_id)
         if self.metrics is not None:
@@ -354,12 +400,16 @@ class HStoreEngine:
             )
             self._txn_hists[procedure_name] = histogram
         histogram.observe((time.perf_counter_ns() - started_ns) / 1000.0)
-        self.metrics.counter(
-            "txns_total",
-            "transactions by procedure and outcome",
-            procedure=procedure_name,
-            outcome="committed" if committed else "aborted",
-        ).inc()
+        counter = self._txn_counters.get((procedure_name, committed))
+        if counter is None:
+            counter = self.metrics.counter(
+                "txns_total",
+                "transactions by procedure and outcome",
+                procedure=procedure_name,
+                outcome="committed" if committed else "aborted",
+            )
+            self._txn_counters[procedure_name, committed] = counter
+        counter.inc()
 
     def _run_txn(
         self,
@@ -609,7 +659,7 @@ class HStoreEngine:
         it again per worker would inflate the E4 counters.
         """
         self._require_alive()
-        plan = self.planner.plan(parse(sql))
+        plan = self._plan_adhoc(sql)
         self._check_adhoc_plan(plan)
 
         if isinstance(plan, SelectPlan):
@@ -660,6 +710,33 @@ class HStoreEngine:
             )
             self._note_logged_command()
         return result
+
+    def _plan_adhoc(self, sql: str):
+        """Plan one ad-hoc statement through the engine's PlanCache.
+
+        Each distinct (whitespace-normalized) statement text is parsed and
+        planned once per catalog version; repeat executions bind parameters
+        against the cached plan.  DDL never reaches this path
+        (:meth:`execute_ddl` has its own parse), and any DDL bumps
+        ``catalog.version``, which lazily invalidates stale entries.
+        """
+        cache = self.plan_cache
+        if cache is None:
+            return self._plan_statement(sql, ADHOC_RECORD)
+        version = self.catalog.version
+        plan = cache.get(sql, version)
+        if plan is not None:
+            self.stats.plan_cache_hits += 1
+            if self.metrics is not None:
+                self._cache_hit_counter.inc()
+            return plan
+        self.stats.plan_cache_misses += 1
+        if self.metrics is not None:
+            self._cache_miss_counter.inc()
+        plan = self._plan_statement(sql, ADHOC_RECORD)
+        if not isinstance(plan, DdlPlan):
+            cache.put(sql, version, plan)
+        return plan
 
     # ------------------------------------------------------------------
     # Durability

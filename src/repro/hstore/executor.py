@@ -43,6 +43,9 @@ InsertHook = Callable[[TransactionContext, str, list[int]], None]
 
 _MAX_HOOK_DEPTH = 64
 
+#: shared empty candidate list for missed index probes (never mutated)
+_NO_ROWS: list[Row] = []
+
 
 @dataclass
 class ResultSet:
@@ -188,6 +191,7 @@ class ExecutionEngine:
         params: tuple[Any, ...],
         outer_columns: dict[str, int] | None = None,
         outer_row: tuple[Any, ...] = (),
+        probe_ctx: EvalContext | None = None,
     ) -> Iterator[tuple[int, Row]]:
         table = self.table(access.table)
 
@@ -195,10 +199,11 @@ class ExecutionEngine:
             yield from table.scan()
             return
 
-        probe_ctx = EvalContext(
-            columns=outer_columns or {}, row=outer_row, params=params,
-            executor=self,
-        )
+        if probe_ctx is None:
+            probe_ctx = EvalContext(
+                columns=outer_columns or {}, row=outer_row, params=params,
+                executor=self,
+            )
 
         if isinstance(access, IndexEqScan):
             key = tuple(expr.eval(probe_ctx) for expr in access.key_exprs)
@@ -237,6 +242,9 @@ class ExecutionEngine:
     def _execute_select(
         self, plan: SelectPlan, params: tuple[Any, ...]
     ) -> ResultSet:
+        if plan.compiled is not None:
+            return self._execute_select_compiled(plan, plan.compiled, params)
+
         combined_rows = self._combined_rows(plan, params)
 
         if plan.grouped:
@@ -244,19 +252,22 @@ class ExecutionEngine:
         else:
             ext_rows = combined_rows
 
+        # one reusable context per statement: mutate .row instead of
+        # allocating a context per row (same trick as the compiled path)
         ctx = EvalContext(columns=plan.ext_columns, params=params, executor=self)
 
         if plan.post_having is not None:
-            ext_rows = [
-                row
-                for row in ext_rows
-                if plan.post_having.eval(ctx.with_row(row)) is True
-            ]
+            filtered: list[tuple[Any, ...]] = []
+            for row in ext_rows:
+                ctx.row = row
+                if plan.post_having.eval(ctx) is True:
+                    filtered.append(row)
+            ext_rows = filtered
 
         produced: list[tuple[tuple[Any, ...], tuple[Any, ...]]] = []
         for ext_row in ext_rows:
-            row_ctx = ctx.with_row(ext_row)
-            out = tuple(expr.eval(row_ctx) for expr in plan.post_exprs)
+            ctx.row = ext_row
+            out = tuple(expr.eval(ctx) for expr in plan.post_exprs)
             produced.append((ext_row, out))
 
         if plan.distinct:
@@ -288,17 +299,24 @@ class ExecutionEngine:
             row for _rowid, row in self._iter_access(plan.access, params)
         ]
 
+        # one reusable probe context per statement — index probes of inner
+        # join sides evaluate against the current outer row via .row
+        probe_ctx = EvalContext(
+            columns=plan.columns, params=params, executor=self
+        )
         for step in plan.joins:
             joined: list[tuple[Any, ...]] = []
             null_pad = (None,) * step.inner_width
             for outer in rows:
                 matched = False
+                probe_ctx.row = outer
                 for _rowid, inner in self._iter_access(
-                    step.access, params, plan.columns, outer
+                    step.access, params, probe_ctx=probe_ctx
                 ):
                     candidate = outer + inner
                     if step.on is not None:
-                        if step.on.eval(ctx.with_row(candidate)) is not True:
+                        ctx.row = candidate
+                        if step.on.eval(ctx) is not True:
                             continue
                     matched = True
                     joined.append(candidate)
@@ -307,9 +325,12 @@ class ExecutionEngine:
             rows = joined
 
         if plan.where is not None:
-            rows = [
-                row for row in rows if plan.where.eval(ctx.with_row(row)) is True
-            ]
+            filtered: list[tuple[Any, ...]] = []
+            for row in rows:
+                ctx.row = row
+                if plan.where.eval(ctx) is True:
+                    filtered.append(row)
+            rows = filtered
         return rows
 
     # -- aggregation ---------------------------------------------------------------
@@ -325,15 +346,15 @@ class ExecutionEngine:
         order: list[tuple[Any, ...]] = []
 
         for row in rows:
-            row_ctx = ctx.with_row(row)
-            key = tuple(expr.eval(row_ctx) for expr in plan.group_exprs)
+            ctx.row = row
+            key = tuple(expr.eval(ctx) for expr in plan.group_exprs)
             accumulators = groups.get(key)
             if accumulators is None:
                 accumulators = [_Accumulator(agg) for agg in plan.aggregates]
                 groups[key] = accumulators
                 order.append(key)
             for accumulator in accumulators:
-                accumulator.feed(row_ctx)
+                accumulator.feed(ctx)
 
         # Global aggregation over an empty input still yields one row.
         if not groups and not plan.group_exprs:
@@ -351,15 +372,20 @@ class ExecutionEngine:
     def _make_comparator(
         self, plan: SelectPlan, params: tuple[Any, ...]
     ) -> Callable[[Any, Any], int]:
-        ctx = EvalContext(columns=plan.ext_columns, params=params, executor=self)
+        left_ctx = EvalContext(
+            columns=plan.ext_columns, params=params, executor=self
+        )
+        right_ctx = EvalContext(
+            columns=plan.ext_columns, params=params, executor=self
+        )
         order = plan.post_order
 
         def compare(
             left: tuple[tuple[Any, ...], tuple[Any, ...]],
             right: tuple[tuple[Any, ...], tuple[Any, ...]],
         ) -> int:
-            left_ctx = ctx.with_row(left[0])
-            right_ctx = ctx.with_row(right[0])
+            left_ctx.row = left[0]
+            right_ctx.row = right[0]
             for expr, ascending in order:
                 a = expr.eval(left_ctx)
                 b = expr.eval(right_ctx)
@@ -377,15 +403,383 @@ class ExecutionEngine:
 
         return compare
 
+    # -- compiled execution (repro.hstore.compile) ---------------------------------
+    #
+    # Same semantics as the interpreted paths above, but every expression is
+    # a pre-compiled closure and the per-row EvalContext allocation is gone:
+    # one context per statement, its ``.row`` mutated per row.
+
+    def _access_rows_compiled(
+        self, access: AccessPath, caccess: Any, ctx: EvalContext
+    ) -> list[Row]:
+        """Candidate rows of one access path (probe evaluated from ``ctx``)."""
+        table = self.table(access.table)
+        kind = caccess.kind
+        if kind == "seq":
+            source = table.storage()
+            return [source[rowid] for rowid in sorted(source)]
+        if kind == "eq":
+            key = caccess.key_fn(ctx)
+            if None in key:
+                return []
+            rowids = table.index(access.index).entries().get(key)
+            if not rowids:
+                return []
+            get = table.storage().__getitem__
+            if len(rowids) == 1:
+                return [get(next(iter(rowids)))]
+            return [get(rowid) for rowid in sorted(rowids)]
+        return [row for _rowid, row in self._range_pairs(access, caccess, ctx)]
+
+    def _access_pairs_compiled(
+        self, access: AccessPath, caccess: Any, ctx: EvalContext
+    ) -> list[tuple[int, Row]]:
+        """(rowid, row) pairs of one access path, for UPDATE/DELETE."""
+        table = self.table(access.table)
+        kind = caccess.kind
+        if kind == "seq":
+            return list(table.scan())
+        if kind == "eq":
+            index = table.index(access.index)
+            rowids = index.lookup(caccess.key_fn(ctx))
+            get = table.storage().__getitem__
+            return [(rowid, get(rowid)) for rowid in sorted(rowids)]
+        return self._range_pairs(access, caccess, ctx)
+
+    def _range_pairs(
+        self, access: AccessPath, caccess: Any, ctx: EvalContext
+    ) -> list[tuple[int, Row]]:
+        table = self.table(access.table)
+        index = table.index(access.index)
+        low = (caccess.low_fn(ctx),) if caccess.low_fn is not None else None
+        high = (caccess.high_fn(ctx),) if caccess.high_fn is not None else None
+        # A NULL bound matches nothing (SQL comparison semantics).
+        if low == (None,) or high == (None,):
+            return []
+        pairs: list[tuple[int, Row]] = []
+        get = table.storage().__getitem__
+        for _key, rowids in index.range_scan(
+            low,
+            high,
+            low_inclusive=access.low_inclusive,
+            high_inclusive=access.high_inclusive,
+        ):
+            pairs.extend((rowid, get(rowid)) for rowid in sorted(rowids))
+        return pairs
+
+    def _execute_select_compiled(
+        self, plan: SelectPlan, c: Any, params: tuple[Any, ...]
+    ) -> ResultSet:
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+
+        if c.point_lookup:
+            # pure covered equality lookup: index probe + projection, no
+            # scan pipeline, no residual predicate, no aggregate machinery
+            self.stats.bump("point_lookups")
+            ext_rows = self._access_rows_compiled(plan.access, c.access, ctx)
+            return self._project_compiled(plan, c, params, ctx, ext_rows)
+
+        rows = self._combined_rows_compiled(plan, c, params, ctx)
+        if plan.grouped:
+            ext_rows = self._aggregate_compiled(plan, c, ctx, rows)
+        else:
+            ext_rows = rows
+        post_ctx = (
+            ctx
+            if plan.ext_columns is plan.columns
+            else EvalContext(
+                columns=plan.ext_columns, params=params, executor=self
+            )
+        )
+        return self._project_compiled(plan, c, params, post_ctx, ext_rows)
+
+    def _project_compiled(
+        self,
+        plan: SelectPlan,
+        c: Any,
+        params: tuple[Any, ...],
+        ctx: EvalContext,
+        ext_rows: list[tuple[Any, ...]],
+    ) -> ResultSet:
+        """HAVING → projection → DISTINCT → ORDER → LIMIT on extended rows."""
+        if c.post_having is not None:
+            having = c.post_having
+            filtered: list[tuple[Any, ...]] = []
+            for row in ext_rows:
+                ctx.row = row
+                if having(ctx) is True:
+                    filtered.append(row)
+            ext_rows = filtered
+
+        needs_ext = bool(c.order_keys) or plan.distinct
+        if c.row_project is not None and not needs_ext:
+            # pure-column projection with no reordering downstream: build
+            # output rows straight off the tuples, no context involved
+            row_project = c.row_project
+            rows = [row_project(row) for row in ext_rows]
+            if plan.offset:
+                rows = rows[plan.offset :]
+            if plan.limit is not None:
+                rows = rows[: plan.limit]
+            return ResultSet(columns=list(plan.output_names), rows=rows)
+
+        project = c.project
+        produced: list[tuple[tuple[Any, ...], tuple[Any, ...]]] = []
+        for ext_row in ext_rows:
+            ctx.row = ext_row
+            produced.append((ext_row, project(ctx)))
+
+        if plan.distinct:
+            seen: set[tuple[Any, ...]] = set()
+            unique: list[tuple[tuple[Any, ...], tuple[Any, ...]]] = []
+            for ext_row, out in produced:
+                if out not in seen:
+                    seen.add(out)
+                    unique.append((ext_row, out))
+            produced = unique
+
+        if c.order_keys is not None:
+            # evaluate each sort key once per row, then compare key tuples —
+            # the interpreted path re-evaluates per comparison
+            order_keys = c.order_keys
+            keyed = []
+            for ext_row, out in produced:
+                ctx.row = ext_row
+                keyed.append((order_keys(ctx), ext_row, out))
+            keyed.sort(key=functools.cmp_to_key(c.order_cmp))
+            rows = [out for _keys, _ext, out in keyed]
+        else:
+            rows = [out for _ext, out in produced]
+
+        if plan.offset:
+            rows = rows[plan.offset :]
+        if plan.limit is not None:
+            rows = rows[: plan.limit]
+        return ResultSet(columns=list(plan.output_names), rows=rows)
+
+    def _combined_rows_compiled(
+        self,
+        plan: SelectPlan,
+        c: Any,
+        params: tuple[Any, ...],
+        ctx: EvalContext,
+    ) -> list[tuple[Any, ...]]:
+        rows = self._access_rows_compiled(plan.access, c.access, ctx)
+
+        for step, cstep in zip(plan.joins, c.joins):
+            joined: list[tuple[Any, ...]] = []
+            null_pad = (None,) * step.inner_width
+            on_fn = cstep.on
+            caccess = cstep.access
+            # hoist loop-invariant probe state out of the outer loop: the
+            # inner table cannot change mid-statement, so a seq-scan inner
+            # is materialized exactly once, and an index probe binds its
+            # entries dict / storage getter once
+            key_fn = None
+            key_offsets = None
+            all_inner: list[Row] = []
+            if caccess.kind == "eq":
+                inner_table = self.table(step.access.table)
+                entries = inner_table.index(step.access.index).entries()
+                get = inner_table.storage().__getitem__
+                key_fn = caccess.key_fn
+                key_offsets = caccess.key_offsets
+                # single-column plain key: the overwhelmingly common probe
+                key_offset0 = (
+                    key_offsets[0]
+                    if key_offsets is not None and len(key_offsets) == 1
+                    else None
+                )
+            elif caccess.kind == "seq":
+                source = self.table(step.access.table).storage()
+                all_inner = [source[rowid] for rowid in sorted(source)]
+            for outer in rows:
+                ctx.row = outer
+                if key_fn is not None:
+                    if key_offset0 is not None:
+                        key = (outer[key_offset0],)
+                    elif key_offsets is not None:
+                        key = tuple(outer[o] for o in key_offsets)
+                    else:
+                        key = key_fn(ctx)
+                    rowids = None if None in key else entries.get(key)
+                    if not rowids:
+                        inner_rows = _NO_ROWS
+                    elif len(rowids) == 1:
+                        inner_rows = [get(next(iter(rowids)))]
+                    else:
+                        inner_rows = [get(rowid) for rowid in sorted(rowids)]
+                elif caccess.kind == "seq":
+                    inner_rows = all_inner
+                else:
+                    inner_rows = [
+                        row
+                        for _rowid, row in self._range_pairs(
+                            step.access, caccess, ctx
+                        )
+                    ]
+                matched = False
+                for inner in inner_rows:
+                    candidate = outer + inner
+                    if on_fn is not None:
+                        ctx.row = candidate
+                        if on_fn(ctx) is not True:
+                            continue
+                    matched = True
+                    joined.append(candidate)
+                if step.left_outer and not matched:
+                    joined.append(outer + null_pad)
+            rows = joined
+
+        if c.where is not None:
+            where = c.where
+            filtered: list[tuple[Any, ...]] = []
+            for row in rows:
+                ctx.row = row
+                if where(ctx) is True:
+                    filtered.append(row)
+            rows = filtered
+        return rows
+
+    def _aggregate_compiled(
+        self,
+        plan: SelectPlan,
+        c: Any,
+        ctx: EvalContext,
+        rows: list[tuple[Any, ...]],
+    ) -> list[tuple[Any, ...]]:
+        if c.count_star_only and c.group_offsets is not None:
+            # plain-column GROUP BY + COUNT(*) aggregates: dict of counters,
+            # no accumulator objects, no per-row closure calls
+            counts: dict[tuple[Any, ...], int] = {}
+            key_order: list[tuple[Any, ...]] = []
+            offsets = c.group_offsets
+            offset0 = offsets[0] if len(offsets) == 1 else None
+            n_aggs = len(c.agg_specs)
+            for row in rows:
+                key = (
+                    (row[offset0],)
+                    if offset0 is not None
+                    else tuple(row[o] for o in offsets)
+                )
+                if key in counts:
+                    counts[key] += 1
+                else:
+                    counts[key] = 1
+                    key_order.append(key)
+            if not counts and not plan.group_exprs:
+                counts[()] = 0
+                key_order.append(())
+            return [key + (counts[key],) * n_aggs for key in key_order]
+
+        groups: dict[tuple[Any, ...], list[_CompiledAccumulator]] = {}
+        order: list[tuple[Any, ...]] = []
+        group_key = c.group_key
+        agg_specs = c.agg_specs
+
+        for row in rows:
+            ctx.row = row
+            key = group_key(ctx)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    _CompiledAccumulator(name, arg_fn, distinct)
+                    for name, arg_fn, distinct in agg_specs
+                ]
+                groups[key] = accumulators
+                order.append(key)
+            for accumulator in accumulators:
+                accumulator.feed(ctx)
+
+        if not groups and not plan.group_exprs:
+            groups[()] = [
+                _CompiledAccumulator(name, arg_fn, distinct)
+                for name, arg_fn, distinct in agg_specs
+            ]
+            order.append(())
+
+        ext_rows: list[tuple[Any, ...]] = []
+        for key in order:
+            values = tuple(acc.result() for acc in groups[key])
+            ext_rows.append(key + values)
+        return ext_rows
+
+    def _execute_update_compiled(
+        self,
+        plan: UpdatePlan,
+        c: Any,
+        params: tuple[Any, ...],
+        txn: TransactionContext,
+    ) -> int:
+        table = self.table(plan.table)
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+        where = c.where
+
+        matches: list[int] = []
+        for rowid, row in self._access_pairs_compiled(plan.access, c.access, ctx):
+            if where is None:
+                matches.append(rowid)
+            else:
+                ctx.row = row
+                if where(ctx) is True:
+                    matches.append(rowid)
+
+        assignments = c.assignments
+        for rowid in matches:
+            old_row = table.get(rowid)
+            ctx.row = old_row
+            new_row = list(old_row)
+            for offset, fn in assignments:
+                new_row[offset] = fn(ctx)
+            before = table.update(rowid, new_row)
+            txn.record_update(plan.table, rowid, before)
+
+        self.stats.rows_updated += len(matches)
+        return len(matches)
+
+    def _execute_delete_compiled(
+        self,
+        plan: DeletePlan,
+        c: Any,
+        params: tuple[Any, ...],
+        txn: TransactionContext,
+    ) -> int:
+        table = self.table(plan.table)
+        ctx = EvalContext(columns=plan.columns, params=params, executor=self)
+        where = c.where
+
+        matches: list[int] = []
+        for rowid, row in self._access_pairs_compiled(plan.access, c.access, ctx):
+            if where is None:
+                matches.append(rowid)
+            else:
+                ctx.row = row
+                if where(ctx) is True:
+                    matches.append(rowid)
+
+        for rowid in matches:
+            before = table.delete(rowid)
+            txn.record_delete(plan.table, rowid, before)
+
+        self.stats.rows_deleted += len(matches)
+        return len(matches)
+
     # -- INSERT --------------------------------------------------------------------
 
     def _execute_insert(
         self, plan: InsertPlan, params: tuple[Any, ...], txn: TransactionContext
     ) -> int:
         table = self.table(plan.table)
+        compiled = plan.compiled
         value_rows: list[tuple[Any, ...]]
         if plan.select is not None:
             value_rows = list(self._execute_select(plan.select, params).rows)
+        elif compiled is not None:
+            if compiled.param_rows is not None:
+                value_rows = [get(params) for get in compiled.param_rows]
+            else:
+                ctx = EvalContext(columns={}, params=params, executor=self)
+                value_rows = [fn(ctx) for fn in compiled.row_fns]
         else:
             ctx = EvalContext(columns={}, params=params, executor=self)
             value_rows = [
@@ -393,14 +787,22 @@ class ExecutionEngine:
             ]
 
         new_rowids: list[int] = []
-        for values in value_rows:
-            full_row = [
-                values[slot] if slot is not None else column.default
-                for slot, column in zip(plan.slots, table.schema)
-            ]
-            rowid = table.insert(full_row)
-            txn.record_insert(plan.table, rowid)
-            new_rowids.append(rowid)
+        if compiled is not None and compiled.identity_slots:
+            # every target column is supplied in order: the values tuple IS
+            # the row, so skip the per-column slot/default resolution
+            for values in value_rows:
+                rowid = table.insert(values)
+                txn.record_insert(plan.table, rowid)
+                new_rowids.append(rowid)
+        else:
+            for values in value_rows:
+                full_row = [
+                    values[slot] if slot is not None else column.default
+                    for slot, column in zip(plan.slots, table.schema)
+                ]
+                rowid = table.insert(full_row)
+                txn.record_insert(plan.table, rowid)
+                new_rowids.append(rowid)
 
         self.stats.rows_inserted += len(new_rowids)
         self._fire_insert_hooks(txn, plan.table, new_rowids)
@@ -446,20 +848,28 @@ class ExecutionEngine:
     def _execute_update(
         self, plan: UpdatePlan, params: tuple[Any, ...], txn: TransactionContext
     ) -> int:
+        if plan.compiled is not None:
+            return self._execute_update_compiled(
+                plan, plan.compiled, params, txn
+            )
         table = self.table(plan.table)
         ctx = EvalContext(columns=plan.columns, params=params, executor=self)
 
         matches: list[int] = []
         for rowid, row in self._iter_access(plan.access, params):
-            if plan.where is None or plan.where.eval(ctx.with_row(row)) is True:
+            if plan.where is None:
                 matches.append(rowid)
+            else:
+                ctx.row = row
+                if plan.where.eval(ctx) is True:
+                    matches.append(rowid)
 
         for rowid in matches:
             old_row = table.get(rowid)
-            row_ctx = ctx.with_row(old_row)
+            ctx.row = old_row
             new_row = list(old_row)
             for offset, expr in plan.assignments:
-                new_row[offset] = expr.eval(row_ctx)
+                new_row[offset] = expr.eval(ctx)
             before = table.update(rowid, new_row)
             txn.record_update(plan.table, rowid, before)
 
@@ -471,13 +881,21 @@ class ExecutionEngine:
     def _execute_delete(
         self, plan: DeletePlan, params: tuple[Any, ...], txn: TransactionContext
     ) -> int:
+        if plan.compiled is not None:
+            return self._execute_delete_compiled(
+                plan, plan.compiled, params, txn
+            )
         table = self.table(plan.table)
         ctx = EvalContext(columns=plan.columns, params=params, executor=self)
 
         matches: list[int] = []
         for rowid, row in self._iter_access(plan.access, params):
-            if plan.where is None or plan.where.eval(ctx.with_row(row)) is True:
+            if plan.where is None:
                 matches.append(rowid)
+            else:
+                ctx.row = row
+                if plan.where.eval(ctx) is True:
+                    matches.append(rowid)
 
         for rowid in matches:
             before = table.delete(rowid)
@@ -533,6 +951,62 @@ class _Accumulator:
 
     def result(self) -> Any:
         name = self._agg.name
+        if name == "count":
+            return self._count
+        if name == "sum":
+            return self._sum
+        if name == "avg":
+            if self._count == 0:
+                return None
+            return self._sum / self._count
+        if name == "min":
+            return self._min
+        if name == "max":
+            return self._max
+        raise StorageError(f"unknown aggregate {name!r}")  # pragma: no cover
+
+
+class _CompiledAccumulator:
+    """Aggregate state fed by a compiled argument closure.
+
+    Mirrors :class:`_Accumulator` exactly (NULL-skip, DISTINCT via a set,
+    the same COUNT/SUM/AVG/MIN/MAX results) but evaluates the aggregate's
+    argument through one pre-compiled closure call instead of an AST walk.
+    """
+
+    __slots__ = ("_name", "_arg_fn", "_count", "_sum", "_min", "_max", "_distinct")
+
+    def __init__(
+        self, name: str, arg_fn: Callable[[EvalContext], Any] | None, distinct: bool
+    ) -> None:
+        self._name = name
+        self._arg_fn = arg_fn
+        self._count = 0
+        self._sum: Any = None
+        self._min: Any = None
+        self._max: Any = None
+        self._distinct: set[Any] | None = set() if distinct else None
+
+    def feed(self, ctx: EvalContext) -> None:
+        if self._arg_fn is None:  # COUNT(*)
+            self._count += 1
+            return
+        value = self._arg_fn(ctx)
+        if value is None:
+            return  # SQL aggregates ignore NULLs
+        if self._distinct is not None:
+            if value in self._distinct:
+                return
+            self._distinct.add(value)
+        self._count += 1
+        self._sum = value if self._sum is None else self._sum + value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def result(self) -> Any:
+        name = self._name
         if name == "count":
             return self._count
         if name == "sum":

@@ -80,6 +80,16 @@ class _BaseIndex:
             return frozenset()
         return frozenset(self._entries.get(key, ()))
 
+    def entries(self) -> dict[Key, set[int]]:
+        """The live ``key -> rowids`` mapping itself.
+
+        The compiled executor probes through this to skip the per-lookup
+        frozenset copy on hot join/point-lookup paths (callers must treat
+        it as read-only, and must handle NULL-containing keys themselves —
+        such keys are never stored).
+        """
+        return self._entries
+
     def would_violate(self, key: Key) -> bool:
         """Whether inserting ``key`` would break a unique constraint."""
         return self.unique and not _has_null(key) and key in self._entries

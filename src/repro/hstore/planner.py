@@ -166,6 +166,9 @@ class SelectPlan(Plan):
     post_having: Expression | None = None
     post_order: list[tuple[Expression, bool]] = dataclasses.field(default_factory=list)
     ext_columns: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: closure-compiled artifact (repro.hstore.compile.CompiledSelect);
+    #: None = interpreted execution (the correctness oracle)
+    compiled: Any = None
 
 
 @dataclass
@@ -178,6 +181,7 @@ class InsertPlan(Plan):
     rows: list[tuple[Expression, ...]]
     select: SelectPlan | None
     param_count: int = 0
+    compiled: Any = None
 
 
 @dataclass
@@ -190,6 +194,7 @@ class UpdatePlan(Plan):
     #: (column offset in the table row, value expression)
     assignments: list[tuple[int, Expression]]
     param_count: int = 0
+    compiled: Any = None
 
 
 @dataclass
@@ -200,6 +205,7 @@ class DeletePlan(Plan):
     where: Expression | None
     columns: dict[str, int]
     param_count: int = 0
+    compiled: Any = None
 
 
 @dataclass
@@ -215,26 +221,36 @@ class DdlPlan(Plan):
 
 
 class Planner:
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(self, catalog: Catalog, *, compile_plans: bool = True) -> None:
         self._catalog = catalog
+        #: closure-compile every plan (repro.hstore.compile); False keeps
+        #: the tree-walking interpreter as the execution path — the
+        #: correctness oracle the differential tests compare against
+        self.compile_plans = compile_plans
 
     # -- public entry points -------------------------------------------------
 
     def plan(self, statement: Statement) -> Plan:
         if isinstance(statement, SelectStmt):
-            return self.plan_select(statement)
-        if isinstance(statement, InsertStmt):
-            return self.plan_insert(statement)
-        if isinstance(statement, UpdateStmt):
-            return self.plan_update(statement)
-        if isinstance(statement, DeleteStmt):
-            return self.plan_delete(statement)
-        if isinstance(
+            plan: Plan = self.plan_select(statement)
+        elif isinstance(statement, InsertStmt):
+            plan = self.plan_insert(statement)
+        elif isinstance(statement, UpdateStmt):
+            plan = self.plan_update(statement)
+        elif isinstance(statement, DeleteStmt):
+            plan = self.plan_delete(statement)
+        elif isinstance(
             statement,
             (CreateTableStmt, CreateStreamStmt, CreateWindowStmt, CreateIndexStmt),
         ):
             return DdlPlan(statement)
-        raise PlanningError(f"cannot plan {type(statement).__name__}")
+        else:
+            raise PlanningError(f"cannot plan {type(statement).__name__}")
+        if self.compile_plans:
+            from repro.hstore.compile import compile_plan
+
+            compile_plan(plan)
+        return plan
 
     # -- scopes ---------------------------------------------------------------
 

@@ -27,6 +27,11 @@ Counter semantics:
     multi-process deployment (:mod:`repro.parallel`).  Zero on in-process
     engines — the shared-nothing tax, measured rather than assumed.
 
+``plan_cache_hits`` / ``plan_cache_misses``
+    Ad-hoc ``execute_sql`` statements served from / missed by the engine's
+    :class:`~repro.hstore.plancache.PlanCache`.  Stored-procedure statements
+    never count: they are pre-planned once at registration.
+
 A shared-nothing cluster runs one :class:`EngineStats` per worker process;
 :meth:`merge` / ``+`` fold the per-worker views into one coordinator view
 (instances are plain picklable dataclasses, so they travel over the worker
@@ -70,6 +75,8 @@ class EngineStats:
     log_flushes: int = 0
     snapshots_taken: int = 0
     ipc_roundtrips: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     extra: dict[str, int] = field(default_factory=dict)
 
     #: the integer counter field names, in declaration order

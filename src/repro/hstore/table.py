@@ -72,6 +72,15 @@ class Table:
         for rowid in sorted(self._rows):
             yield rowid, self._rows[rowid]
 
+    def storage(self) -> dict[int, Row]:
+        """The live ``rowid -> row`` mapping itself.
+
+        The compiled executor reads through this to skip the per-row
+        method-call + exception machinery of :meth:`get` on scans it has
+        already validated.  Callers must treat it as read-only.
+        """
+        return self._rows
+
     def rows(self) -> list[Row]:
         """All rows in insertion order (convenience for tests/apps)."""
         return [self._rows[rowid] for rowid in sorted(self._rows)]

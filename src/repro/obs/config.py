@@ -29,10 +29,11 @@ class ObsConfig:
     metrics: bool = True
     #: ring-buffer capacity of the trace collector, in spans
     trace_capacity: int = 65536
-    #: also record one span per SQL statement — the microscope setting.
-    #: Off by default: a span costs a few microseconds and the EE executes
-    #: thousands of statements per second, so per-statement spans cost
-    #: ~15% throughput where the default txn/trigger/window-level tracing
+    #: also record per-EE-event spans — one per SQL statement, window
+    #: maintenance firing and EE-trigger firing.  The microscope setting,
+    #: off by default: a span costs a couple of microseconds and the EE
+    #: executes thousands of such events per second, so they cost ~15%
+    #: throughput where the default txn/PE-trigger/workflow-level tracing
     #: stays under 5% (measured by benchmark E12).
     sql_spans: bool = False
 

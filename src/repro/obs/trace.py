@@ -25,7 +25,8 @@ Design constraints, in priority order:
 
 Span kinds used by the engines (see ``docs/INTERNALS.md`` §9):
 ``call``, ``txn``, ``sql``, ``trigger``, ``window``, ``workflow``, ``ipc``,
-``log.flush``, ``snapshot``, ``recovery``.
+``log.flush``, ``snapshot``, ``recovery``, ``compile`` (one per statement
+parse+plan+closure-compile — §10).
 """
 
 from __future__ import annotations
@@ -55,9 +56,13 @@ _ORIGIN_STRIDE = 1 << 40
 _EPOCH_OFFSET_US = time.time_ns() // 1000 - time.perf_counter_ns() // 1000
 
 
+#: bound once — the span hot path calls this twice per span
+_perf_ns = time.perf_counter_ns
+
+
 def _now_us() -> int:
     """Monotonic microseconds, anchored to the epoch at process start."""
-    return _EPOCH_OFFSET_US + time.perf_counter_ns() // 1000
+    return _EPOCH_OFFSET_US + _perf_ns() // 1000
 
 
 class TraceContext(tuple):
@@ -100,6 +105,7 @@ class Span:
         "start_us",
         "end_us",
         "attrs",
+        "_tracer",
     )
 
     def __init__(
@@ -122,6 +128,31 @@ class Span:
         self.start_us = start_us
         self.end_us: int | None = None
         self.attrs = attrs
+        #: set by :meth:`Tracer.span` so the span closes itself on ``with``
+        #: exit — the span is its own context manager, saving a per-span
+        #: handle allocation on the hot path
+        self._tracer: "Tracer | None" = None
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.set(error=str(exc) or exc_type.__name__)
+            self._tracer.end_span(self)
+            return
+        # inlined end_span fast path: a clean ``with`` exit always closes
+        # the innermost open span
+        tracer = self._tracer
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            self.end_us = _EPOCH_OFFSET_US + _perf_ns() // 1000
+            stack.pop()
+            collector = tracer.collector
+            collector._spans.append(self)
+            collector.recorded += 1
+            return
+        tracer.end_span(self)
 
     @property
     def duration_us(self) -> int | None:
@@ -177,6 +208,7 @@ class Span:
             self.end_us,
             self.attrs,
         ) = state
+        self._tracer = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         dur = f"{self.duration_us}us" if self.end_us is not None else "open"
@@ -257,31 +289,6 @@ class TraceCollector:
         return export_chrome_trace(self.spans(), path)
 
 
-class _SpanHandle:
-    """Context manager that closes one span on exit (reused per ``with``)."""
-
-    __slots__ = ("_tracer", "_span")
-
-    def __init__(self, tracer: "Tracer", span: Span) -> None:
-        self._tracer = tracer
-        self._span = span
-
-    @property
-    def span(self) -> Span:
-        return self._span
-
-    def set(self, **attrs: Any) -> Span:
-        return self._span.set(**attrs)
-
-    def __enter__(self) -> Span:
-        return self._span
-
-    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
-        if exc_type is not None:
-            self._span.set(error=str(exc) or exc_type.__name__)
-        self._tracer.end_span(self._span)
-
-
 class Tracer:
     """Records nestable spans into a :class:`TraceCollector`.
 
@@ -318,30 +325,46 @@ class Tracer:
     ) -> Span:
         span_id = self._id_base + self._next_id
         self._next_id += 1
-        if self._stack:
-            parent = self._stack[-1]
+        stack = self._stack
+        if stack:
+            parent = stack[-1]
             trace_id, parent_id = parent.trace_id, parent.span_id
         elif self._remote is not None:
             trace_id, parent_id = self._remote
         else:
             trace_id, parent_id = span_id, None
         span = Span(
-            span_id, trace_id, parent_id, kind, name, self.process, _now_us(), attrs
+            span_id,
+            trace_id,
+            parent_id,
+            kind,
+            name,
+            self.process,
+            _EPOCH_OFFSET_US + _perf_ns() // 1000,
+            attrs,
         )
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def end_span(self, span: Span) -> Span:
-        span.end_us = _now_us()
-        if not any(open_span is span for open_span in self._stack):
+        span.end_us = _EPOCH_OFFSET_US + _perf_ns() // 1000
+        stack = self._stack
+        # fast path: well-nested close of the innermost open span — this is
+        # every span the engines record outside of exception unwinds
+        if stack and stack[-1] is span:
+            stack.pop()
+            collector = self.collector
+            collector._spans.append(span)
+            collector.recorded += 1
+            return span
+        if not any(open_span is span for open_span in stack):
             # ended out of band (double end, or a span adopted from a peer):
             # record it without disturbing the stack
             self.collector.record(span)
             return span
-        # close any children left open (an exception unwound past them);
-        # searching from the top keeps the common case O(1)
-        while self._stack:
-            top = self._stack.pop()
+        # close any children left open (an exception unwound past them)
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
             top.end_us = span.end_us
@@ -350,9 +373,35 @@ class Tracer:
         self.collector.record(span)
         return span
 
-    def span(self, kind: str, name: str, **attrs: Any) -> _SpanHandle:
-        """``with tracer.span("txn", "validate_vote", txn_id=7) as span:``"""
-        return _SpanHandle(self, self.start_span(kind, name, attrs or None))
+    def span(self, kind: str, name: str, **attrs: Any) -> Span:
+        """``with tracer.span("txn", "validate_vote", txn_id=7) as span:``
+
+        The hot-path form: :meth:`start_span` is inlined here because this
+        runs a handful of times per transaction on every traced engine.
+        """
+        span_id = self._id_base + self._next_id
+        self._next_id += 1
+        stack = self._stack
+        if stack:
+            parent = stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self._remote is not None:
+            trace_id, parent_id = self._remote
+        else:
+            trace_id, parent_id = span_id, None
+        span = Span(
+            span_id,
+            trace_id,
+            parent_id,
+            kind,
+            name,
+            self.process,
+            _EPOCH_OFFSET_US + _perf_ns() // 1000,
+            attrs or None,
+        )
+        span._tracer = self
+        stack.append(span)
+        return span
 
     # -- trace-context propagation ----------------------------------------
 
@@ -393,7 +442,9 @@ class NullTracer:
     def __init__(self) -> None:
         self.process = "null"
         self.collector = TraceCollector(capacity=1)
-        self._noop_span = Span(0, 0, None, "noop", "noop", "null", 0, None)
+        # attrs is a real dict so hot paths may store attributes into the
+        # shared noop span without branching on the tracer being real
+        self._noop_span = Span(0, 0, None, "noop", "noop", "null", 0, {})
         self._handle = _NullHandle(self._noop_span)
 
     def start_span(self, kind: str, name: str, attrs: Any = None) -> Span:

@@ -1,0 +1,281 @@
+"""Closure-compilation layer: compiled plans agree with the interpreter.
+
+The compiler (:mod:`repro.hstore.compile`) turns a planned statement's
+expressions into flat closures once, at plan time.  These tests pin down:
+
+* every planned DML statement carries a compiled artifact when compilation
+  is on, and none does when it is off;
+* the point-lookup fast path triggers exactly when eligible (and counts);
+* representative queries return identical results compiled vs. interpreted;
+* compiled expressions preserve interpreted error semantics (binding
+  errors, type errors, division by zero).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BindingError, TypeSystemError
+from repro.hstore.compile import (
+    CompiledDelete,
+    CompiledInsert,
+    CompiledSelect,
+    CompiledUpdate,
+    compile_expr,
+)
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.expression import EvalContext
+from repro.hstore.parser import parse
+
+
+PEOPLE_DDL = (
+    "CREATE TABLE people (id INTEGER NOT NULL, name VARCHAR(32), "
+    "age INTEGER, city VARCHAR(32), PRIMARY KEY (id))"
+)
+PEOPLE_ROWS = [
+    (1, "alice", 34, "boston"),
+    (2, "bob", 28, "boston"),
+    (3, "carol", 41, "cambridge"),
+    (4, "dave", 28, "somerville"),
+    (5, "erin", None, "boston"),
+]
+
+
+def make_people(compile: bool = True) -> HStoreEngine:
+    eng = HStoreEngine(compile=compile)
+    eng.execute_ddl(PEOPLE_DDL)
+    for row in PEOPLE_ROWS:
+        eng.execute_sql("INSERT INTO people VALUES (?, ?, ?, ?)", *row)
+    return eng
+
+
+class TestArtifacts:
+    def test_planned_statements_carry_compiled_artifacts(self):
+        eng = make_people()
+        plan = eng.planner.plan(parse("SELECT name FROM people WHERE age > 30"))
+        assert isinstance(plan.compiled, CompiledSelect)
+        plan = eng.planner.plan(parse("INSERT INTO people VALUES (?, ?, ?, ?)"))
+        assert isinstance(plan.compiled, CompiledInsert)
+        plan = eng.planner.plan(parse("UPDATE people SET age = age + 1 WHERE id = 1"))
+        assert isinstance(plan.compiled, CompiledUpdate)
+        plan = eng.planner.plan(parse("DELETE FROM people WHERE id = 1"))
+        assert isinstance(plan.compiled, CompiledDelete)
+
+    def test_compile_off_leaves_plans_uncompiled(self):
+        eng = make_people(compile=False)
+        plan = eng.planner.plan(parse("SELECT name FROM people"))
+        assert plan.compiled is None
+
+    def test_subquery_plans_are_compiled_too(self):
+        eng = make_people()
+        plan = eng.planner.plan(
+            parse(
+                "SELECT name FROM people WHERE id IN "
+                "(SELECT id FROM people WHERE city = 'boston')"
+            )
+        )
+        assert isinstance(plan.compiled, CompiledSelect)
+        [sub] = [
+            node.plan
+            for node in _walk_planned_subqueries(plan)
+        ]
+        assert isinstance(sub.compiled, CompiledSelect)
+
+    def test_insert_all_parameters_uses_param_rows_fast_path(self):
+        eng = make_people()
+        plan = eng.planner.plan(parse("INSERT INTO people VALUES (?, ?, ?, ?)"))
+        assert plan.compiled.param_rows is not None
+        assert plan.compiled.identity_slots
+
+    def test_insert_expressions_fall_back_to_row_fns(self):
+        eng = make_people()
+        plan = eng.planner.plan(
+            parse("INSERT INTO people VALUES (?, ?, 1 + 2, ?)")
+        )
+        assert plan.compiled.param_rows is None
+        assert len(plan.compiled.row_fns) == 1
+
+
+def _walk_planned_subqueries(plan):
+    from repro.hstore.expression import (
+        PlannedExists,
+        PlannedInSubquery,
+        PlannedScalarSubquery,
+    )
+
+    seen = []
+    stack = [plan.where] if plan.where is not None else []
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        if isinstance(node, (PlannedInSubquery, PlannedExists, PlannedScalarSubquery)):
+            seen.append(node)
+        stack.extend(getattr(node, "children", lambda: [])())
+    return seen
+
+
+class TestPointLookupFastPath:
+    def test_pk_equality_is_a_point_lookup(self):
+        eng = make_people()
+        plan = eng.planner.plan(parse("SELECT name FROM people WHERE id = ?"))
+        assert plan.compiled.point_lookup
+        before = eng.stats.snapshot()
+        assert eng.execute_sql("SELECT name FROM people WHERE id = ?", 3).scalar() == (
+            "carol"
+        )
+        assert eng.stats.delta(before).get("point_lookups", 0) == 1
+
+    def test_residual_predicate_disables_point_lookup(self):
+        eng = make_people()
+        plan = eng.planner.plan(
+            parse("SELECT name FROM people WHERE id = ? AND age > 30")
+        )
+        assert not plan.compiled.point_lookup
+
+    def test_aggregate_disables_point_lookup(self):
+        eng = make_people()
+        plan = eng.planner.plan(parse("SELECT COUNT(*) FROM people WHERE id = ?"))
+        assert not plan.compiled.point_lookup
+
+    def test_point_lookup_results_match_interpreter(self):
+        compiled, interpreted = make_people(), make_people(compile=False)
+        for key in (0, 1, 3, 5, 99):
+            sql = "SELECT * FROM people WHERE id = ?"
+            assert (
+                compiled.execute_sql(sql, key).rows
+                == interpreted.execute_sql(sql, key).rows
+            )
+
+
+#: queries covering scan/filter/join/aggregate/sort/distinct/limit paths
+PARITY_QUERIES = [
+    ("SELECT * FROM people", ()),
+    ("SELECT name, age * 2 FROM people WHERE age >= ?", (28,)),
+    ("SELECT name FROM people WHERE age IS NULL", ()),
+    ("SELECT name FROM people WHERE city = 'boston' AND age < 30", ()),
+    ("SELECT name FROM people WHERE id IN (1, 3, 99)", ()),
+    ("SELECT name FROM people WHERE age BETWEEN ? AND ?", (28, 34)),
+    ("SELECT name FROM people WHERE name LIKE '%a%'", ()),
+    ("SELECT DISTINCT city FROM people ORDER BY city", ()),
+    ("SELECT city, COUNT(*), AVG(age) FROM people GROUP BY city", ()),
+    (
+        "SELECT city, COUNT(*) FROM people GROUP BY city "
+        "HAVING COUNT(*) > 1 ORDER BY city",
+        (),
+    ),
+    ("SELECT name FROM people ORDER BY age DESC, id LIMIT 3", ()),
+    ("SELECT MIN(age), MAX(age), SUM(age) FROM people", ()),
+    ("SELECT COUNT(age), COUNT(*) FROM people", ()),
+    (
+        "SELECT a.name, b.name FROM people a JOIN people b ON a.city = b.city "
+        "WHERE a.id < b.id ORDER BY a.id, b.id",
+        (),
+    ),
+    (
+        "SELECT name FROM people WHERE EXISTS "
+        "(SELECT 1 FROM people p2 WHERE p2.city = people.city AND p2.id <> people.id)",
+        (),
+    ),
+    (
+        "SELECT name, CASE WHEN age IS NULL THEN 'unknown' "
+        "WHEN age < 30 THEN 'young' ELSE 'old' END FROM people ORDER BY id",
+        (),
+    ),
+]
+
+
+class TestCompiledInterpretedParity:
+    @pytest.mark.parametrize("sql,params", PARITY_QUERIES)
+    def test_select_parity(self, sql, params):
+        compiled, interpreted = make_people(), make_people(compile=False)
+        got = compiled.execute_sql(sql, *params)
+        want = interpreted.execute_sql(sql, *params)
+        assert got.rows == want.rows
+        assert got.columns == want.columns
+
+    def test_update_parity(self):
+        compiled, interpreted = make_people(), make_people(compile=False)
+        sql = "UPDATE people SET age = age + 1, city = 'x' WHERE age >= 30"
+        assert compiled.execute_sql(sql) == interpreted.execute_sql(sql)
+        probe = "SELECT * FROM people ORDER BY id"
+        assert compiled.execute_sql(probe).rows == interpreted.execute_sql(probe).rows
+
+    def test_delete_parity(self):
+        compiled, interpreted = make_people(), make_people(compile=False)
+        sql = "DELETE FROM people WHERE age IS NULL OR city = 'boston'"
+        assert compiled.execute_sql(sql) == interpreted.execute_sql(sql)
+        probe = "SELECT * FROM people ORDER BY id"
+        assert compiled.execute_sql(probe).rows == interpreted.execute_sql(probe).rows
+
+    def test_insert_select_parity(self):
+        ddl = (
+            "CREATE TABLE ages (id INTEGER NOT NULL, age INTEGER, "
+            "PRIMARY KEY (id))"
+        )
+        compiled, interpreted = make_people(), make_people(compile=False)
+        for eng in (compiled, interpreted):
+            eng.execute_ddl(ddl)
+            eng.execute_sql(
+                "INSERT INTO ages SELECT id, age FROM people WHERE age IS NOT NULL"
+            )
+        probe = "SELECT * FROM ages ORDER BY id"
+        assert compiled.execute_sql(probe).rows == interpreted.execute_sql(probe).rows
+
+
+class TestCompiledErrorSemantics:
+    def test_unbound_parameter_message_matches_interpreter(self):
+        compiled, interpreted = make_people(), make_people(compile=False)
+        sql = "SELECT name FROM people WHERE id = ?"
+        with pytest.raises(BindingError) as compiled_err:
+            compiled.execute_sql(sql)
+        with pytest.raises(BindingError) as interpreted_err:
+            interpreted.execute_sql(sql)
+        assert str(compiled_err.value) == str(interpreted_err.value)
+
+    def test_division_by_zero(self):
+        eng = make_people()
+        with pytest.raises(TypeSystemError, match="division by zero"):
+            eng.execute_sql("SELECT 1 / (id - id) FROM people")
+
+    def test_null_division_is_null_not_an_error(self):
+        eng = make_people()
+        assert eng.execute_sql("SELECT 1 / NULL FROM people WHERE id = 1").scalar() is (
+            None
+        )
+
+    def test_incomparable_types_raise(self):
+        eng = make_people()
+        with pytest.raises(TypeSystemError, match="cannot compare"):
+            eng.execute_sql("SELECT * FROM people WHERE name < id")
+
+
+class TestCompileExprUnit:
+    def test_comparison_compiles_to_closure(self):
+        expr = parse("SELECT id + 1 FROM t WHERE id = 1").where
+        fn = compile_expr(expr, {"id": 0})
+        ctx = EvalContext(columns={"id": 0}, row=(1,))
+        assert fn(ctx) is True
+        ctx.row = (2,)
+        assert fn(ctx) is False
+
+    def test_unresolvable_column_falls_back_to_bound_eval(self):
+        expr = parse("SELECT 1 FROM t WHERE id = 1").where
+        fn = compile_expr(expr, {})  # offset unknown at compile time
+        ctx = EvalContext(columns={"id": 0}, row=(1,))
+        assert fn(ctx) is True  # resolved dynamically through the context
+
+    def test_three_valued_logic_and_or(self):
+        columns = {"a": 0, "b": 1}
+        stmt = parse("SELECT 1 FROM t WHERE a < 1 OR b < 1")
+        fn = compile_expr(stmt.where, columns)
+        ctx = EvalContext(columns=columns, row=(None, 0))
+        assert fn(ctx) is True  # NULL OR TRUE = TRUE
+        ctx.row = (None, 5)
+        assert fn(ctx) is None  # NULL OR FALSE = NULL
+        stmt = parse("SELECT 1 FROM t WHERE a < 1 AND b < 1")
+        fn = compile_expr(stmt.where, columns)
+        ctx.row = (None, 5)
+        assert fn(ctx) is False  # NULL AND FALSE = FALSE
+        ctx.row = (None, 0)
+        assert fn(ctx) is None  # NULL AND TRUE = NULL
