@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel obs compile bench
+.PHONY: test faults parallel obs compile dstream bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,11 @@ obs:
 		--export-trace benchmarks/_results/trace.jsonl \
 		--export-chrome benchmarks/_results/trace_chrome.json \
 		--export-metrics benchmarks/_results/metrics.json
+
+# distributed streaming: workflow scheduling on the process cluster, the
+# differential ordering oracle, and streaming crash/recover equivalence
+dstream:
+	$(PYTHON) -m pytest -m dstream -q
 
 # closure-compiler suites: unit tests for compiled plans and the plan
 # cache, plus hypothesis differential fuzzing against the interpreter

@@ -18,6 +18,7 @@ from repro.apps.voter.workload import VoterWorkload
 from repro.bench import (
     compare_summaries,
     format_table,
+    run_voter_dstream,
     run_voter_hstore_interleaved,
     run_voter_hstore_sequential,
     run_voter_sstore,
@@ -50,6 +51,28 @@ def test_e1_sstore_matches_reference(benchmark, reference, save_report):
     save_report(
         "e1_sstore",
         "S-Store vs sequential reference: "
+        f"wrong_removals={report.wrong_removals} "
+        f"vote_count_divergence={report.vote_count_divergence} "
+        f"false_winner={report.false_winner}",
+    )
+
+
+def test_e1_dstream_matches_reference(benchmark, reference, save_report):
+    """E1 re-run against the cluster: distribution adds no anomalies."""
+    result = benchmark.pedantic(
+        lambda: run_voter_dstream(
+            _requests(), num_contestants=CONTESTANTS, workers=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = compare_summaries(reference.summary, result.summary)
+    benchmark.extra_info["anomalies"] = report.any_anomaly
+    assert not report.any_anomaly
+
+    save_report(
+        "e1_dstream",
+        "DStream cluster (2 workers) vs sequential reference: "
         f"wrong_removals={report.wrong_removals} "
         f"vote_count_divergence={report.vote_count_divergence} "
         f"false_winner={report.false_winner}",

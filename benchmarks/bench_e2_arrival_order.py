@@ -16,7 +16,12 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.voter.workload import VoterWorkload
-from repro.bench import format_table, run_voter_hstore_interleaved, run_voter_sstore
+from repro.bench import (
+    format_table,
+    run_voter_dstream,
+    run_voter_hstore_interleaved,
+    run_voter_sstore,
+)
 
 CONTESTANTS = 6
 #: below the elimination threshold (100) so candidate removals — which
@@ -87,5 +92,26 @@ def test_e2_sstore_preserves_arrival_order(benchmark, save_report):
     misordered, pairs = _misordered_pairs(result.app, requests)
     benchmark.extra_info["misordered"] = f"{misordered}/{pairs}"
     save_report("e2_sstore", f"misordered rapid pairs: {misordered}/{pairs}")
+    assert misordered == 0
+    assert pairs > 0
+
+
+def test_e2_dstream_preserves_arrival_order(benchmark, save_report):
+    """E2 re-run against the cluster: the per-stream ordering token keeps
+    rapid pairs in arrival order across the process boundary too."""
+    requests = _requests()
+    result = benchmark.pedantic(
+        lambda: run_voter_dstream(
+            requests, num_contestants=CONTESTANTS, workers=2, shutdown=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    try:
+        misordered, pairs = _misordered_pairs(result.app, requests)
+    finally:
+        result.app.engine.shutdown()
+    benchmark.extra_info["misordered"] = f"{misordered}/{pairs}"
+    save_report("e2_dstream", f"misordered rapid pairs: {misordered}/{pairs}")
     assert misordered == 0
     assert pairs > 0

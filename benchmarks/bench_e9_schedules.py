@@ -17,6 +17,7 @@ import pytest
 from repro.apps.voter.workload import VoterWorkload
 from repro.bench import (
     format_table,
+    run_voter_dstream,
     run_voter_hstore_interleaved,
     run_voter_sstore,
 )
@@ -73,3 +74,42 @@ def test_e9_hstore_schedule_invalid(benchmark, histories, save_report):
     assert violations
     assert "natural-order" in by_rule
     assert "contiguity" in by_rule
+
+
+def test_e9_dstream_schedule_valid(benchmark, histories, save_report):
+    """E9 re-run against the cluster: every worker's committed-TE history
+    satisfies the same schedule rules the single engine does."""
+    result = run_voter_dstream(
+        _requests(), num_contestants=CONTESTANTS, workers=2, shutdown=False
+    )
+    engine = result.app.engine
+    try:
+        worker_histories = engine.schedule_histories()
+    finally:
+        engine.shutdown()
+
+    def validate_all():
+        return [
+            validate_schedule(history, histories["workflow"])
+            for history in worker_histories
+        ]
+
+    per_worker = benchmark(validate_all)
+    total_tes = sum(len(history) for history in worker_histories)
+    benchmark.extra_info["violations"] = sum(len(v) for v in per_worker)
+    save_report(
+        "e9_dstream",
+        format_table(
+            ["worker", "TEs", "violations"],
+            [
+                [wid, len(history), len(violations)]
+                for wid, (history, violations) in enumerate(
+                    zip(worker_histories, per_worker)
+                )
+            ],
+        )
+        + f"\ntotal TEs across workers: {total_tes}",
+    )
+    assert all(violations == [] for violations in per_worker)
+    # the serial voter workflow runs somewhere: the history is not vacuous
+    assert total_tes == len(histories["s-store"])

@@ -32,6 +32,7 @@ __all__ = [
     "AnomalyReport",
     "run_voter_sstore",
     "run_voter_hstore_sequential",
+    "run_voter_dstream",
     "run_voter_hstore_interleaved",
     "compare_summaries",
     "format_table",
@@ -99,6 +100,39 @@ def run_voter_sstore(
     started = time.perf_counter()
     app.submit(requests, ingest_chunk=ingest_chunk)
     return _finish("s-store", app, started, before, model)
+
+
+def run_voter_dstream(
+    requests: list[VoteRequest],
+    *,
+    num_contestants: int,
+    batch_size: int = 1,
+    ingest_chunk: int = 1,
+    workers: int = 2,
+    model: LatencyModel | None = None,
+    shutdown: bool = True,
+) -> VoterRunResult:
+    """The same voter workflow, scheduled on a DStreamEngine cluster.
+
+    With ``shutdown=False`` the worker processes stay alive so the caller
+    can inspect cluster state (differential oracle, schedule histories) —
+    the caller then owns ``result.app.engine.shutdown()``.
+    """
+    from repro.dstream import DStreamEngine
+
+    model = model or LatencyModel()
+    engine = DStreamEngine(workers)
+    try:
+        app = VoterSStoreApp(
+            engine, num_contestants=num_contestants, batch_size=batch_size
+        )
+        before = app.engine.stats.snapshot()
+        started = time.perf_counter()
+        app.submit(requests, ingest_chunk=ingest_chunk)
+        return _finish(f"dstream-{workers}w", app, started, before, model)
+    finally:
+        if shutdown:
+            engine.shutdown()
 
 
 def run_voter_hstore_sequential(

@@ -231,6 +231,14 @@ class SStoreEngine(HStoreEngine):
         #: committed-TE history for the schedule validator (E9)
         self.schedule_history: list[TERecord] = []
         self._commit_seq = 0
+        #: per-stream commit ledger: (input_stream, batch rows) appended at
+        #: each TE commit — the differential ordering oracle compares this
+        #: across deployments (kept out of fingerprints: it is observational)
+        self.stream_commits: list[tuple[str, tuple[tuple[Any, ...], ...]]] = []
+        #: (procedure, stream, origin batch id) of the TE whose failure is
+        #: currently propagating — lets the cluster worker loop attribute a
+        #: serialized error to the batch that caused it
+        self._failed_te: tuple[str, str, int] | None = None
         #: procedure name → (workflow, node) for deployed workflow members
         self._node_of: dict[str, tuple[WorkflowSpec, WorkflowNode]] = {}
         #: border stream → consuming BSP node
@@ -324,6 +332,8 @@ class SStoreEngine(HStoreEngine):
         self.windows[spec.name] = state
 
         def _maintain(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
+            if not self._hooks_active(spec.stream):
+                return
             table = self.partitions[0].ee.table(table_name)
             rows = [table.get(rowid) for rowid in rowids]
             # window maintenance is per-EE-event granularity, like per-
@@ -378,6 +388,8 @@ class SStoreEngine(HStoreEngine):
         self._ee_triggers.setdefault(source_entry.name, []).append(trigger)
 
         def _fire(txn: TransactionContext, table_name: str, rowids: list[int]) -> None:
+            if not self._hooks_active(source_entry.name):
+                return
             table = self.partitions[0].ee.table(table_name)
             rows = [table.get(rowid) for rowid in rowids]
             # EE triggers fire inside the EE like individual statements, so
@@ -422,7 +434,13 @@ class SStoreEngine(HStoreEngine):
 
         for node in spec.nodes.values():
             self._node_of[node.procedure_name] = (spec, node)
-            self.streams.get(node.input_stream).add_consumer(node.procedure_name)
+            # A node placed on another cluster worker keeps no local cursor:
+            # its input stream's local copy then has no consumers, so GC
+            # reclaims producer-side tuples immediately after each drain.
+            if self._node_runs_locally(node):
+                self.streams.get(node.input_stream).add_consumer(
+                    node.procedure_name
+                )
             for stream in node.output_streams:
                 self.streams.set_producer(stream, node.procedure_name)
 
@@ -644,7 +662,9 @@ class SStoreEngine(HStoreEngine):
             name: state.dump_state() for name, state in self.windows.items()
         }
         spec, node = self._node_of[task.procedure_name]
-        is_border = task.depth == 0 and node.input_stream == task.batch.stream
+        is_border = (
+            task.depth == 0 and node.input_stream == task.batch.stream
+        )
 
         input_high = -1
         partition.acquire()
@@ -671,6 +691,18 @@ class SStoreEngine(HStoreEngine):
             txn.abort()
             self._restore_windows(window_backup)
             self.stats.txns_aborted += 1
+            self._failed_te = (
+                procedure.name,
+                task.batch.stream,
+                task.batch.origin_batch_id,
+            )
+            raise
+        except BaseException:
+            self._failed_te = (
+                procedure.name,
+                task.batch.stream,
+                task.batch.origin_batch_id,
+            )
             raise
         finally:
             partition.release()
@@ -689,6 +721,7 @@ class SStoreEngine(HStoreEngine):
             )
         )
         self._commit_seq += 1
+        self.stream_commits.append((node.input_stream, tuple(task.batch.rows)))
         self._dispatch_emissions(txn, origin=task.batch)
         return "committed"
 
@@ -724,6 +757,11 @@ class SStoreEngine(HStoreEngine):
         for stream_name, record in emissions.items():
             rows = record["rows"]
             if not rows:
+                continue
+            if not self._stream_consumed_locally(stream_name):
+                # the consuming node lives on another cluster worker: hand
+                # the batch to the dispatch buffer instead of the scheduler
+                self._dispatch_remote(stream_name, rows)
                 continue
             for spec, node in self._consumers_of(stream_name):
                 if origin is not None:
@@ -763,6 +801,32 @@ class SStoreEngine(HStoreEngine):
             for node in spec.consumers_of_stream(stream_name):
                 result.append((spec, node))
         return result
+
+    # ------------------------------------------------------------------
+    # Distribution hooks (repro.dstream overrides these)
+    # ------------------------------------------------------------------
+    # In a single-process engine every workflow node, stream and hook is
+    # local, so these are constants.  StreamShardEngine overrides them with
+    # placement-aware versions so one engine instance per cluster worker can
+    # run just its share of a workflow.
+
+    def _node_runs_locally(self, node: WorkflowNode) -> bool:
+        return True
+
+    def _stream_consumed_locally(self, stream_name: str) -> bool:
+        return True
+
+    def _hooks_active(self, stream_name: str) -> bool:
+        """Whether window/EE-trigger hooks on ``stream_name`` fire here."""
+        return True
+
+    def _dispatch_remote(
+        self, stream_name: str, rows: list[tuple[Any, ...]]
+    ) -> None:
+        raise StreamingError(
+            f"stream {stream_name!r} has no local consumer and this engine "
+            f"cannot dispatch remotely"
+        )
 
     # ------------------------------------------------------------------
     # Emission / access authorization
@@ -909,6 +973,7 @@ class SStoreEngine(HStoreEngine):
     def _restore_extra(self, extra: dict[str, Any]) -> None:
         self.scheduler.clear()
         self._batch_high_rowids.clear()
+        self.stream_commits.clear()
         self.streams.load_state(extra.get("streams", {}))
         window_states = extra.get("windows", {})
         for name, state in self.windows.items():

@@ -1,0 +1,20 @@
+"""Distributed streaming: S-Store workflows on the partition cluster.
+
+``repro.dstream`` schedules workflow transaction executions across the
+multi-process partition cluster from :mod:`repro.parallel`:
+
+* :class:`StreamShardEngine` — one per worker process — runs the share of
+  each workflow placed on that worker (a full :class:`SStoreEngine` whose
+  distribution hooks route cross-worker emissions to a dispatch buffer).
+* :class:`DStreamEngine` — the coordinator facade — deploys workflows with
+  a placement, routes ingests to the border worker, pumps cross-worker
+  stream tasks between workers, and enforces the paper's guarantees
+  cluster-wide (TE order, per-stream batch order, exactly-once recovery).
+
+See ``docs/INTERNALS.md`` §11 for the model and its failure semantics.
+"""
+
+from repro.dstream.engine import DStreamEngine
+from repro.dstream.shard import StreamShardEngine
+
+__all__ = ["DStreamEngine", "StreamShardEngine"]

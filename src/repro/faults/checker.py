@@ -270,11 +270,17 @@ class RecoveryEquivalenceChecker:
 
     def _resume_index(self, engine: HStoreEngine) -> int:
         """First op whose command-log record did not survive the crash."""
-        durable = sum(
-            1
-            for record in engine.command_log.all_records()
-            if record.procedure in self._logged_procedures
-        )
+        counter = getattr(engine, "durable_op_count", None)
+        if counter is not None:
+            # engines with non-trivial record accounting (a dstream cluster
+            # broadcasts each tick to every worker's log) count for us
+            durable = counter(frozenset(self._logged_procedures))
+        else:
+            durable = sum(
+                1
+                for record in engine.command_log.all_records()
+                if record.procedure in self._logged_procedures
+            )
         index = 0
         for op in self.ops:
             if durable == 0:

@@ -120,6 +120,9 @@ class _ClusterCommandLog:
 class ParallelHStoreEngine:
     """N OS processes, one serial partition each, one engine facade."""
 
+    #: which engine each worker process hosts (subclasses override)
+    _ENGINE_KIND = "hstore"
+
     def __init__(
         self,
         workers: int = 2,
@@ -174,6 +177,7 @@ class ParallelHStoreEngine:
                     snapshot_interval=snapshot_interval,
                     command_logging=command_logging,
                     obs=obs,
+                    engine_kind=self._ENGINE_KIND,
                 )
             )
             for wid in range(workers)

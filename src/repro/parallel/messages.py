@@ -54,6 +54,13 @@ __all__ = [
     "OP_INSTALL_FAULTS",
     "OP_PING",
     "OP_SHUTDOWN",
+    "OP_DEPLOY_WORKFLOW",
+    "OP_INGEST",
+    "OP_STREAM_TASK",
+    "OP_TICK",
+    "OP_WF_DRAIN",
+    "OP_TAKE_DISPATCHES",
+    "OP_DSTREAM_STATE",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_FAULT",
@@ -88,6 +95,18 @@ OP_FINGERPRINT = "fingerprint"            # payload: None
 OP_TABLE_ROWS = "table_rows"              # payload: table name str
 OP_DESCRIBE = "describe"                  # payload: None
 
+# -- distributed streaming ops (dstream clusters only) ------------------------
+# Streaming replies carry a "dispatches" list of (stream, token, rows)
+# cross-worker tasks the op produced; the coordinator pump forwards each to
+# the stream's authoritative worker via OP_STREAM_TASK until quiescent.
+OP_DEPLOY_WORKFLOW = "deploy_workflow"    # payload: (WorkflowSpec, placement)
+OP_INGEST = "ingest"                      # payload: (stream, rows)
+OP_STREAM_TASK = "stream_task"            # payload: (stream, token, rows)
+OP_TICK = "tick"                          # payload: (ticks, seq)
+OP_WF_DRAIN = "wf_drain"                  # payload: None
+OP_TAKE_DISPATCHES = "take_dispatches"    # payload: None
+OP_DSTREAM_STATE = "dstream_state"        # payload: None
+
 # -- lifecycle ---------------------------------------------------------------
 OP_PING = "ping"                          # payload: None
 OP_SHUTDOWN = "shutdown"                  # payload: None
@@ -109,6 +128,8 @@ def dump_exception(
     *,
     worker_id: int | None = None,
     txn: str | None = None,
+    stream: str | None = None,
+    batch_id: int | None = None,
 ) -> tuple[str, str]:
     """Serialize an exception for an ``"error"`` reply.
 
@@ -119,13 +140,20 @@ def dump_exception(
     ``worker_id`` and ``txn`` (the procedure being invoked, when the op
     carried one) are prefixed onto the message so a coordinator-side
     traceback says *which* shard and transaction blew up — otherwise N
-    identical workers are indistinguishable in the error text.
+    identical workers are indistinguishable in the error text.  For stream
+    TEs the op payload names only the border stream, not the failing
+    transaction, so the worker additionally attributes the originating
+    ``stream`` and origin ``batch_id`` of the TE whose failure propagated.
     """
     prefix = ""
     if worker_id is not None:
         where = f"worker {worker_id}"
         if txn:
             where += f", txn {txn!r}"
+        if stream is not None:
+            where += f", stream {stream!r}"
+            if batch_id is not None:
+                where += f", batch {batch_id}"
         prefix = f"[{where}] "
     if isinstance(exc, ReproError):
         return type(exc).__name__, prefix + str(exc)

@@ -49,6 +49,9 @@ class WorkerConfig:
     #: observability config shared with the coordinator (None = off); the
     #: worker builds its own tracer from it and ships span batches back
     obs: ObsConfig | None = None
+    #: which engine the worker hosts: "hstore" (plain OLTP shard) or
+    #: "dstream" (a StreamShardEngine running its share of the workflows)
+    engine_kind: str = "hstore"
 
 
 class PartitionWorker:
@@ -136,13 +139,25 @@ class PartitionWorker:
 
 def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
     """The partition process: build the engine shard, serve the mailbox."""
-    engine = HStoreEngine(
-        partitions=1,
-        log_group_size=config.log_group_size,
-        snapshot_interval=config.snapshot_interval,
-        command_logging=config.command_logging,
-        obs=config.obs,
-    )
+    if config.engine_kind == "dstream":
+        from repro.dstream.shard import StreamShardEngine
+
+        engine = StreamShardEngine(
+            worker_id=config.worker_id,
+            worker_count=config.worker_count,
+            log_group_size=config.log_group_size,
+            snapshot_interval=config.snapshot_interval,
+            command_logging=config.command_logging,
+            obs=config.obs,
+        )
+    else:
+        engine = HStoreEngine(
+            partitions=1,
+            log_group_size=config.log_group_size,
+            snapshot_interval=config.snapshot_interval,
+            command_logging=config.command_logging,
+            obs=config.obs,
+        )
     # origin worker_id+1 keeps span ids disjoint from the coordinator's
     # (origin 0) and every sibling's across the whole cluster
     engine.set_tracer_identity(
@@ -163,10 +178,16 @@ def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
             result = state.handle(op, payload)
             status, reply = msg.STATUS_OK, result
         except InjectedFault as exc:
+            state.take_failed_te()  # discard: faults are attributed by label
             status, reply = msg.STATUS_FAULT, _fault_payload(exc)
         except Exception as exc:  # noqa: BLE001 - serialized, not swallowed
+            failed_proc, failed_stream, failed_batch = state.take_failed_te()
             status, reply = msg.STATUS_ERROR, msg.dump_exception(
-                exc, worker_id=config.worker_id, txn=_txn_label(op, payload)
+                exc,
+                worker_id=config.worker_id,
+                txn=failed_proc or _txn_label(op, payload),
+                stream=failed_stream,
+                batch_id=failed_batch,
             )
         finally:
             if tracer.enabled:
@@ -191,6 +212,10 @@ def _txn_label(op: str, payload: Any) -> str | None:
         return payload[0]
     if op == msg.OP_SQL:
         return "<adhoc>"
+    if op == msg.OP_INGEST:
+        return "<ingest>"
+    if op == msg.OP_STREAM_TASK:
+        return "<task>"
     return None
 
 
@@ -218,6 +243,20 @@ class _WorkerState:
 
     def fault_plan(self):
         return self.injector.plan if self.injector is not None else None
+
+    def take_failed_te(self) -> tuple[str | None, str | None, int | None]:
+        """Consume the engine's failed-TE attribution, if any.
+
+        The streaming engine records which TE's failure is propagating
+        (procedure, originating stream, origin batch id); the worker loop
+        folds that into the serialized error so the coordinator's traceback
+        names the batch that blew up, not just the op that carried it.
+        """
+        failed = getattr(self.engine, "_failed_te", None)
+        if failed is None:
+            return (None, None, None)
+        self.engine._failed_te = None
+        return failed
 
     def newly_fired(self, fired_before: list[bool]) -> tuple:
         plan = self.fault_plan()
@@ -273,8 +312,20 @@ class _WorkerState:
                 "ordered": bool(plan.order_by),
                 "limited": plan.limit is not None,
             }
+        authority = getattr(self.engine, "adhoc_authority", None)
+        authoritative = authority(plan) if authority is not None else True
+        if not authoritative and select_flags is None:
+            # Non-owner DML on a workflow-owned table: skip it entirely —
+            # no execution and no <adhoc> log record, so replay re-derives
+            # the same skip.  (SELECTs still run; the coordinator discards
+            # the non-authoritative result.)
+            return {"result": 0, "select": None, "authoritative": False}
         result = self.engine._execute_sql(sql, tuple(params))
-        return {"result": result, "select": select_flags}
+        return {
+            "result": result,
+            "select": select_flags,
+            "authoritative": authoritative,
+        }
 
     def _op_invoke(self, payload: tuple[str, tuple[Any, ...]]) -> Any:
         name, params = payload
@@ -378,6 +429,52 @@ class _WorkerState:
     def _op_describe(self, _payload: None) -> str:
         return self.engine.describe()
 
+    # -- distributed streaming -----------------------------------------
+
+    def _shard(self):
+        from repro.dstream.shard import StreamShardEngine
+
+        if not isinstance(self.engine, StreamShardEngine):
+            raise ReproError(
+                f"worker {self.config.worker_id}: streaming op on a "
+                f"non-streaming worker (engine_kind="
+                f"{self.config.engine_kind!r}); build a DStreamEngine"
+            )
+        return self.engine
+
+    def _op_deploy_workflow(self, payload: tuple) -> dict[str, Any]:
+        spec, node_placement = payload
+        return self._shard().deploy_placed_workflow(spec, node_placement)
+
+    def _op_ingest(self, payload: tuple) -> dict[str, Any]:
+        stream_name, rows = payload
+        engine = self._shard()
+        accepted = engine.ingest(stream_name, [tuple(row) for row in rows])
+        return {"accepted": accepted, "dispatches": engine.take_outbound()}
+
+    def _op_stream_task(self, payload: tuple) -> dict[str, Any]:
+        stream_name, token, rows = payload
+        engine = self._shard()
+        applied = engine.apply_stream_task(stream_name, token, rows)
+        return {"applied": applied, "dispatches": engine.take_outbound()}
+
+    def _op_tick(self, payload: tuple) -> dict[str, Any]:
+        ticks, seq = payload
+        engine = self._shard()
+        now = engine.apply_tick(ticks, seq)
+        return {"now": now, "dispatches": engine.take_outbound()}
+
+    def _op_wf_drain(self, _payload: None) -> dict[str, Any]:
+        engine = self._shard()
+        executed = engine.run_until_quiescent()
+        return {"executed": executed, "dispatches": engine.take_outbound()}
+
+    def _op_take_dispatches(self, _payload: None) -> list:
+        return self._shard().take_outbound()
+
+    def _op_dstream_state(self, _payload: None) -> dict[str, Any]:
+        return self._shard().dstream_state()
+
     # -- lifecycle -----------------------------------------------------
 
     def _op_ping(self, _payload: None) -> int:
@@ -406,6 +503,13 @@ class _WorkerState:
         msg.OP_FINGERPRINT: _op_fingerprint,
         msg.OP_TABLE_ROWS: _op_table_rows,
         msg.OP_DESCRIBE: _op_describe,
+        msg.OP_DEPLOY_WORKFLOW: _op_deploy_workflow,
+        msg.OP_INGEST: _op_ingest,
+        msg.OP_STREAM_TASK: _op_stream_task,
+        msg.OP_TICK: _op_tick,
+        msg.OP_WF_DRAIN: _op_wf_drain,
+        msg.OP_TAKE_DISPATCHES: _op_take_dispatches,
+        msg.OP_DSTREAM_STATE: _op_dstream_state,
         msg.OP_PING: _op_ping,
         msg.OP_SHUTDOWN: _op_shutdown,
     }

@@ -1,0 +1,73 @@
+"""Stream procedures for the distributed-streaming suite.
+
+Module level so worker subprocesses can unpickle them (same pattern as
+``tests/parallel/procs.py``).  The ``pipe`` workflow (relay → sink) is the
+canonical cross-worker shape: relay and sink write disjoint tables, so the
+two nodes may legally live on different workers.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import StreamProcedure
+from repro.errors import ReproError
+
+
+class Relay(StreamProcedure):
+    """Depth-0 border procedure: log each key, tag it, forward downstream."""
+
+    name = "relay"
+    statements = {"log": "INSERT INTO relay_log (k, parity) VALUES (?, ?)"}
+
+    def run(self, ctx) -> None:
+        out = []
+        for (k,) in ctx.batch:
+            ctx.execute("log", k, k % 2)
+            out.append((k, "even" if k % 2 == 0 else "odd"))
+        ctx.emit("mid", out)
+
+
+class Sink(StreamProcedure):
+    """Depth-1 consumer: count occurrences per key.
+
+    Refuses negative keys with a :class:`ReproError` — the error-attribution
+    tests use that to make a TE fail on the *downstream* worker, mid-cascade.
+    """
+
+    name = "sink"
+    statements = {
+        "get": "SELECT n FROM sink_counts WHERE k = ?",
+        "new": "INSERT INTO sink_counts (k, n) VALUES (?, 1)",
+        "add": "UPDATE sink_counts SET n = n + 1 WHERE k = ?",
+    }
+
+    def run(self, ctx) -> None:
+        for k, _tag in ctx.batch:
+            if k < 0:
+                raise ReproError(f"sink refuses negative key {k}")
+            if ctx.execute("get", k).scalar() is None:
+                ctx.execute("new", k)
+            else:
+                ctx.execute("add", k)
+
+
+class Audit(StreamProcedure):
+    """Second consumer of ``mid`` — fan-out placement validation needs one."""
+
+    name = "audit"
+    statements = {"note": "INSERT INTO audit_log (k, tag) VALUES (?, ?)"}
+
+    def run(self, ctx) -> None:
+        for k, tag in ctx.batch:
+            ctx.execute("note", k, tag)
+
+
+class Logger(StreamProcedure):
+    """Writes ``relay_log`` like :class:`Relay` — from a *second* workflow,
+    so a split placement of the two workflows collides on the write set."""
+
+    name = "logger"
+    statements = {"log": "INSERT INTO relay_log (k, parity) VALUES (?, ?)"}
+
+    def run(self, ctx) -> None:
+        for (k,) in ctx.batch:
+            ctx.execute("log", k, -1)

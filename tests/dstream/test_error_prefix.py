@@ -1,0 +1,53 @@
+"""Worker-side trigger failures carry their originating stream and batch.
+
+A TE that dies mid-cascade on a remote worker used to serialize back as a
+bare ``[worker N, txn '<task>']`` error — useless for debugging a workflow.
+The worker now attributes the failure to the TE that raised: procedure,
+input stream, and origin batch id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+
+from tests.dstream.conftest import build_pipe_cluster, build_pipe_single
+
+pytestmark = pytest.mark.dstream
+
+
+def test_remote_trigger_error_names_stream_and_batch():
+    with build_pipe_cluster(workers=2) as cluster:
+        with pytest.raises(
+            ReproError,
+            match=r"\[worker 1, txn 'sink', stream 'mid', batch \d+\] "
+            r"sink refuses negative key -1",
+        ):
+            cluster.ingest("src", [(-1,), (-2,)])
+
+
+def test_coplaced_trigger_error_attributed_through_the_ingest_op():
+    """When the whole cascade runs on the ingest worker, the failure
+    surfaces through the ``<ingest>`` op — still naming the actual TE."""
+    with build_pipe_cluster(
+        workers=2, placement={"relay": 1, "sink": 1}
+    ) as cluster:
+        with pytest.raises(
+            ReproError,
+            match=r"\[worker 1, txn 'sink', stream 'mid', batch \d+\] "
+            r"sink refuses negative key -3",
+        ):
+            cluster.ingest("src", [(-3,), (-4,)])
+
+
+def test_single_engine_failure_still_attributed():
+    engine = build_pipe_single()
+    engine.ingest("src", [(-7,)])
+    with pytest.raises(ReproError, match="sink refuses negative key -7"):
+        engine.ingest("src", [(0,)])  # completes the batch of 2, fires sink
+    assert engine._failed_te is not None
+    procedure, stream, batch_id = engine._failed_te
+    assert procedure == "sink"
+    assert stream == "mid"
+    assert isinstance(batch_id, int)
