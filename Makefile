@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel obs compile dstream bench
+.PHONY: test faults parallel obs compile dstream ivm bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,11 @@ obs:
 # differential ordering oracle, and streaming crash/recover equivalence
 dstream:
 	$(PYTHON) -m pytest -m dstream -q
+
+# incremental view maintenance: delta-view unit tests plus the hypothesis
+# differential sweep (view-backed reads vs the interpreter's full recompute)
+ivm:
+	$(PYTHON) -m pytest -m ivm -q
 
 # closure-compiler suites: unit tests for compiled plans and the plan
 # cache, plus hypothesis differential fuzzing against the interpreter

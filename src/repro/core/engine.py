@@ -67,10 +67,14 @@ from repro.hstore.engine import HStoreEngine
 from repro.hstore.executor import ResultSet
 from repro.hstore.parser import (
     CreateStreamStmt,
+    CreateViewStmt,
     CreateWindowStmt,
+    DropViewStmt,
+    SelectStmt,
     parse,
 )
-from repro.hstore.planner import Plan
+from repro.hstore.planner import Plan, SelectPlan, SeqScan
+from repro.ivm import DeltaView, ViewRead, derive_view_shape, match_plan
 from repro.hstore.procedure import (
     ProcedureContext,
     ProcedureResult,
@@ -222,6 +226,10 @@ class SStoreEngine(HStoreEngine):
         self.streams = StreamRegistry()
         self.windows: dict[str, WindowState] = {}
         self.scopes = WindowScopes()
+        #: delta views by name (repro.ivm), and by backing window table for
+        #: plan lowering — empty dicts keep the no-view path zero-cost
+        self.delta_views: dict[str, DeltaView] = {}
+        self._views_of_table: dict[str, list[DeltaView]] = {}
         self.batch_factory = BatchFactory()
         self.scheduler = StreamScheduler()
         self.workflows: dict[str, WorkflowSpec] = {}
@@ -280,6 +288,12 @@ class SStoreEngine(HStoreEngine):
                 slide=statement.slide,
                 owner=statement.owner,
             )
+            return
+        if isinstance(statement, CreateViewStmt):
+            self.create_delta_view(statement.name, statement.select, sql=sql)
+            return
+        if isinstance(statement, DropViewStmt):
+            self.drop_delta_view(statement.name)
             return
         super().execute_ddl(sql)
 
@@ -354,6 +368,105 @@ class SStoreEngine(HStoreEngine):
         if window_name.lower() not in self.windows:
             raise UnknownObjectError(f"no window named {window_name!r}")
         self.scopes.assign(window_name, procedure_name)
+
+    # ------------------------------------------------------------------
+    # Delta views (repro.ivm): incrementally maintained window aggregates
+    # ------------------------------------------------------------------
+
+    def create_delta_view(
+        self, name: str, select: "SelectStmt | str", *, sql: str = ""
+    ) -> DeltaView:
+        """Register an incrementally maintained view over a window.
+
+        The definition must be a plain grouped aggregate over one window
+        (``SELECT cols..., aggs... FROM window GROUP BY cols...``).  From
+        registration on, the window folds its admit/expire deltas into the
+        view inside the maintaining transaction, and eligible compiled
+        SELECTs are lowered to O(groups) view reads.  Registration bumps the
+        catalog version, so cached ad-hoc plans re-plan and pick the view
+        up lazily — the same DDL invalidation discipline compiled plans use.
+        """
+        name = name.lower()
+        if name in self.delta_views:
+            raise CatalogError(f"view {name!r} already exists")
+        if isinstance(select, str):
+            statement = parse(select)
+            if not isinstance(statement, SelectStmt):
+                raise CatalogError("a view is defined by a SELECT statement")
+            select = statement
+        plan = self.planner.plan(select)
+        table_name, group_offsets, specs = derive_view_shape(plan)
+        entry = self.catalog.table(table_name)
+        if entry.kind is not TableKind.WINDOW:
+            raise CatalogError(
+                f"delta views are maintained over windows; {table_name!r} "
+                f"is a {entry.kind.value}"
+            )
+        window = self.windows[table_name]
+        view = DeltaView(
+            name, table_name, group_offsets, specs, self.stats, sql=sql
+        )
+        if self.metrics is not None:
+            view.bind_metrics(self.metrics)
+        # seed from whatever the window already holds, then ride the deltas
+        view.rebuild(self.partitions[0].ee.table(table_name))
+        window.views.append(view)
+        self.delta_views[name] = view
+        self._views_of_table.setdefault(table_name, []).append(view)
+        # invalidate cached ad-hoc plans and re-lower pre-planned procedure
+        # statements so existing aggregate scans pick the view up
+        self.catalog.bump_version()
+        for procedure in self.procedures.values():
+            for proc_plan in procedure.plans.values():
+                self._attach_view_read(proc_plan)
+        return view
+
+    def drop_delta_view(self, name: str) -> None:
+        """Unregister a delta view and detach every plan lowered onto it."""
+        name = name.lower()
+        view = self.delta_views.pop(name, None)
+        if view is None:
+            raise UnknownObjectError(f"no view named {name!r}")
+        self.windows[view.table_name].views.remove(view)
+        table_views = self._views_of_table.get(view.table_name, [])
+        if view in table_views:
+            table_views.remove(view)
+        if not table_views:
+            self._views_of_table.pop(view.table_name, None)
+        self.catalog.bump_version()
+        for procedure in self.procedures.values():
+            for proc_plan in procedure.plans.values():
+                read = getattr(proc_plan, "view_read", None)
+                if read is not None and read.view is view:
+                    proc_plan.view_read = None
+
+    def _attach_view_read(self, plan: Plan) -> None:
+        """Lower an eligible compiled aggregate SELECT onto a delta view.
+
+        Eligibility: a SeqScan over a viewed window, no joins or WHERE,
+        grouped, group keys and aggregates matching what the view maintains.
+        The interpreter stays the differential oracle: with
+        ``compile=False`` plans are never lowered, so interpreted execution
+        always scans.
+        """
+        if not self._views_of_table or not isinstance(plan, SelectPlan):
+            return
+        if plan.compiled is None or plan.view_read is not None:
+            return
+        if plan.joins or plan.where is not None or not plan.grouped:
+            return
+        if not isinstance(plan.access, SeqScan):
+            return
+        for view in self._views_of_table.get(plan.access.table, ()):
+            agg_map = match_plan(view, plan)
+            if agg_map is not None:
+                plan.view_read = ViewRead(view, agg_map)
+                return
+
+    def _plan_statement(self, sql: str, label: str):
+        plan = super()._plan_statement(sql, label)
+        self._attach_view_read(plan)
+        return plan
 
     # ------------------------------------------------------------------
     # EE triggers (SQL-level)

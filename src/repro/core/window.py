@@ -104,6 +104,9 @@ class WindowState:
         self._live_rowids: deque[int] = deque()
         #: last boundary applied (time windows)
         self._last_boundary = -1
+        #: attached delta views (repro.ivm.DeltaView); admits/expires are
+        #: folded into each as (rowid, row, ±1) inside the maintaining txn
+        self.views: list[Any] = []
 
     # ------------------------------------------------------------------
     # EE-trigger entry points (called inside the inserting transaction)
@@ -143,20 +146,26 @@ class WindowState:
         assert self._timestamp_offset is not None
 
         # admit staged tuples inside the current window extent; tuples with
-        # a future timestamp stay staged, tuples older than the extent drop
-        admit = [
-            row
-            for row in self._staging
-            if low < row[self._timestamp_offset] <= boundary
-        ]
-        self._staging = deque(
-            row for row in self._staging if row[self._timestamp_offset] > boundary
-        )
+        # a future timestamp stay staged, tuples older than the extent drop.
+        # Empty staging skips the whole admission pass — ticks on a quiet
+        # stream must not pay a per-window list scan and deque rebuild.
+        if self._staging:
+            ts = self._timestamp_offset
+            admit = [
+                row for row in self._staging if low < row[ts] <= boundary
+            ]
+            keep = [row for row in self._staging if row[ts] > boundary]
+            if len(keep) != len(self._staging):
+                self._staging = deque(keep)
+        else:
+            admit = []
         if admit:
             rowids = self._ee.insert_rows(
                 txn, self.spec.name, admit, fire_hooks=True
             )
             self._live_rowids.extend(rowids)
+            for view in self.views:
+                view.apply(rowids, admit, 1)
 
         if not slid and not admit:
             return
@@ -166,15 +175,20 @@ class WindowState:
             # expire tuples that fell off the back of the extent
             table = self._ee.table(self.spec.name)
             expired: list[int] = []
+            expired_rows: list[tuple[Any, ...]] = []
             while self._live_rowids:
                 rowid = self._live_rowids[0]
                 row = table.get(rowid)
                 if row[self._timestamp_offset] <= low:
                     expired.append(self._live_rowids.popleft())
+                    expired_rows.append(row)
                 else:
                     break
             if expired:
                 self._ee.delete_rows(txn, self.spec.name, expired)
+                self._stats.window_expired_rows += len(expired)
+                for view in self.views:
+                    view.apply(expired, expired_rows, -1)
 
     def _on_tuples(
         self, txn: "TransactionContext", rows: list[tuple[Any, ...]]
@@ -190,15 +204,27 @@ class WindowState:
         self._stats.ee_trigger_firings += 1
         self._stats.window_slides += 1
         if self._staging:
+            staged = list(self._staging)
             rowids = self._ee.insert_rows(
-                txn, self.spec.name, list(self._staging), fire_hooks=True
+                txn, self.spec.name, staged, fire_hooks=True
             )
             self._live_rowids.extend(rowids)
             self._staging.clear()
+            for view in self.views:
+                view.apply(rowids, staged, 1)
         overflow = len(self._live_rowids) - self.spec.size
         if overflow > 0:
             expired = [self._live_rowids.popleft() for _ in range(overflow)]
+            if self.views:
+                # fetch the doomed rows before the delete: -1 deltas carry
+                # the row values so views can unfeed the right group
+                table = self._ee.table(self.spec.name)
+                expired_rows = [table.get(rowid) for rowid in expired]
             self._ee.delete_rows(txn, self.spec.name, expired)
+            self._stats.window_expired_rows += len(expired)
+            if self.views:
+                for view in self.views:
+                    view.apply(expired, expired_rows, -1)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -229,6 +255,12 @@ class WindowState:
         self._staging = deque(tuple(row) for row in state.get("staging", []))
         self._live_rowids = deque(int(r) for r in state.get("live_rowids", []))
         self._last_boundary = int(state.get("last_boundary", -1))
+        # the backing table was restored (recovery) or rolled back (abort)
+        # before this call: attached views re-derive from it deterministically
+        if self.views:
+            table = self._ee.table(self.spec.name)
+            for view in self.views:
+                view.rebuild(table)
 
     def reset(self) -> None:
         self.load_state({})

@@ -328,12 +328,24 @@ class StreamShardEngine(SStoreEngine):
         A statement touching a workflow-owned table is authoritative only on
         the owner (other workers hold stale/empty replicas); statements over
         unowned tables are authoritative everywhere (classic broadcast DML).
+        Windows and streams resolve to the worker that consumes the stream:
+        window maintenance (and so any attached delta view) fires only
+        there, so only that worker's window contents are real.
         """
         reads, writes = plan_table_access(plan)
         return all(
-            self._owned_tables.get(table, self.worker_id) == self.worker_id
-            for table in reads | writes
+            self._table_authoritative(table) for table in reads | writes
         )
+
+    def _table_authoritative(self, table: str) -> bool:
+        # walk window-over-window chains down to the root stream: a window
+        # materializes wherever its root stream is consumed
+        source = table
+        while source in self.windows:
+            source = self.windows[source].spec.stream
+        if source != table or self.streams.has(source):
+            return self._stream_consumed_locally(source)
+        return self._owned_tables.get(table, self.worker_id) == self.worker_id
 
     # ------------------------------------------------------------------
     # Coordinator-facing state

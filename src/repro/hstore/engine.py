@@ -49,9 +49,11 @@ from repro.hstore.parser import (
     CreateIndexStmt,
     CreateStreamStmt,
     CreateTableStmt,
+    CreateViewStmt,
     CreateWindowStmt,
     DropIndexStmt,
     DropTableStmt,
+    DropViewStmt,
     TruncateStmt,
     parse,
 )
@@ -242,11 +244,14 @@ class HStoreEngine:
             for partition in self.partitions:
                 partition.ee.table(entry.name).truncate()
             return
-        if isinstance(statement, (CreateStreamStmt, CreateWindowStmt)):
+        if isinstance(
+            statement, (CreateStreamStmt, CreateWindowStmt, CreateViewStmt, DropViewStmt)
+        ):
             raise CatalogError(
                 f"{type(statement).__name__.replace('Stmt', '')} requires the "
                 f"S-Store engine (repro.SStoreEngine); plain H-Store has no "
-                f"native streams or windows — that is the paper's point"
+                f"native streams, windows or delta views — that is the "
+                f"paper's point"
             )
         raise CatalogError(f"not a DDL statement: {sql!r}")
 

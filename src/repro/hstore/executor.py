@@ -242,6 +242,19 @@ class ExecutionEngine:
     def _execute_select(
         self, plan: SelectPlan, params: tuple[Any, ...]
     ) -> ResultSet:
+        view_read = plan.view_read
+        if view_read is not None:
+            # delta-view lowering (repro.ivm): the scan + aggregate stage is
+            # served from incrementally maintained state in O(groups); the
+            # compiled post pipeline (HAVING → projection → DISTINCT →
+            # ORDER → LIMIT) runs unchanged over the extended rows
+            ext_rows = view_read.view.ext_rows(view_read.agg_map)
+            ctx = EvalContext(
+                columns=plan.ext_columns, params=params, executor=self
+            )
+            return self._project_compiled(
+                plan, plan.compiled, params, ctx, ext_rows
+            )
         if plan.compiled is not None:
             return self._execute_select_compiled(plan, plan.compiled, params)
 

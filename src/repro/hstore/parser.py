@@ -11,6 +11,7 @@ applications and the benchmarks need):
                        [PARTITION ON ident]
                  | CREATE STREAM name '(' column_def (',' column_def)* ')'
                  | CREATE WINDOW name ON stream (ROWS n | RANGE n) [SLIDE n]
+                 | CREATE VIEW name AS select
                  | CREATE [UNIQUE] INDEX name ON table '(' ident_list ')'
                        [USING (HASH | TREE)]
     select      := SELECT select_item (',' select_item)*
@@ -76,9 +77,11 @@ __all__ = [
     "CreateTableStmt",
     "CreateStreamStmt",
     "CreateWindowStmt",
+    "CreateViewStmt",
     "CreateIndexStmt",
     "DropTableStmt",
     "DropIndexStmt",
+    "DropViewStmt",
     "TruncateStmt",
 ]
 
@@ -183,6 +186,19 @@ class CreateWindowStmt(Statement):
 
 
 @dataclass(frozen=True)
+class CreateViewStmt(Statement):
+    """A delta view: incrementally maintained aggregates over a window."""
+
+    name: str
+    select: SelectStmt
+
+
+@dataclass(frozen=True)
+class DropViewStmt(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
 class DropTableStmt(Statement):
     name: str
 
@@ -234,7 +250,7 @@ _RESERVED = {
     "NULL", "TRUE", "FALSE", "AS", "ASC", "DESC", "DISTINCT", "UNIQUE",
     "INNER", "USING", "PARTITION", "ROWS", "RANGE", "SLIDE",
     "CASE", "WHEN", "THEN", "ELSE", "END", "LEFT", "OUTER", "EXISTS",
-    "DROP", "TRUNCATE",
+    "DROP", "TRUNCATE", "VIEW",
 }
 
 
@@ -522,11 +538,13 @@ class _Parser:
             return self.parse_create_stream()
         if self.accept_keyword("WINDOW"):
             return self.parse_create_window()
+        if self.accept_keyword("VIEW"):
+            return self.parse_create_view()
         unique = self.accept_keyword("UNIQUE") is not None
         if self.accept_keyword("INDEX"):
             return self.parse_create_index(unique)
         raise SqlSyntaxError(
-            f"expected TABLE, STREAM, WINDOW or INDEX after CREATE, "
+            f"expected TABLE, STREAM, WINDOW, VIEW or INDEX after CREATE, "
             f"found {self.current.text!r}",
             self.current.position,
         )
@@ -537,8 +555,11 @@ class _Parser:
             return DropTableStmt(self.expect_ident())
         if self.accept_keyword("INDEX"):
             return DropIndexStmt(self.expect_ident())
+        if self.accept_keyword("VIEW"):
+            return DropViewStmt(self.expect_ident())
         raise SqlSyntaxError(
-            f"expected TABLE or INDEX after DROP, found {self.current.text!r}",
+            f"expected TABLE, INDEX or VIEW after DROP, "
+            f"found {self.current.text!r}",
             self.current.position,
         )
 
@@ -629,6 +650,17 @@ class _Parser:
         return CreateWindowStmt(
             name=name, stream=stream, kind=kind, size=size, slide=slide, owner=owner
         )
+
+    def parse_create_view(self) -> CreateViewStmt:
+        name = self.expect_ident()
+        self.expect_keyword("AS")
+        if not self.peek_keyword("SELECT"):
+            raise SqlSyntaxError(
+                f"expected SELECT after CREATE VIEW ... AS, "
+                f"found {self.current.text!r}",
+                self.current.position,
+            )
+        return CreateViewStmt(name=name, select=self.parse_select())
 
     def parse_create_index(self, unique: bool) -> CreateIndexStmt:
         name = self.expect_ident()

@@ -44,8 +44,10 @@ from repro.hstore.parser import (
     CreateIndexStmt,
     CreateStreamStmt,
     CreateTableStmt,
+    CreateViewStmt,
     CreateWindowStmt,
     DeleteStmt,
+    DropViewStmt,
     InsertStmt,
     SelectStmt,
     Statement,
@@ -169,6 +171,10 @@ class SelectPlan(Plan):
     #: closure-compiled artifact (repro.hstore.compile.CompiledSelect);
     #: None = interpreted execution (the correctness oracle)
     compiled: Any = None
+    #: repro.ivm.ViewRead when this plan's scan+aggregate stage is served
+    #: from a delta view (attached by the S-Store engine at plan time);
+    #: None = scan execution
+    view_read: Any = None
 
 
 @dataclass
@@ -241,7 +247,14 @@ class Planner:
             plan = self.plan_delete(statement)
         elif isinstance(
             statement,
-            (CreateTableStmt, CreateStreamStmt, CreateWindowStmt, CreateIndexStmt),
+            (
+                CreateTableStmt,
+                CreateStreamStmt,
+                CreateWindowStmt,
+                CreateIndexStmt,
+                CreateViewStmt,
+                DropViewStmt,
+            ),
         ):
             return DdlPlan(statement)
         else:

@@ -71,6 +71,7 @@ class EngineStats:
     stream_tuples_ingested: int = 0
     stream_tuples_gced: int = 0
     window_slides: int = 0
+    window_expired_rows: int = 0
     log_records: int = 0
     log_flushes: int = 0
     snapshots_taken: int = 0

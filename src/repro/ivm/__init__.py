@@ -1,0 +1,12 @@
+"""Incremental view maintenance (DBSP-style weighted deltas) over windows.
+
+Windows emit ``(rowid, row, +1)`` on admit and ``(rowid, row, -1)`` on
+expire inside the maintaining transaction; a :class:`DeltaView` folds those
+deltas into GROUP BY aggregate state so a view-backed read costs O(groups)
+instead of a full window scan.  See :mod:`repro.ivm.view` for the delta
+algebra and docs/INTERNALS.md §12 for the design.
+"""
+
+from repro.ivm.view import AggSpec, DeltaView, ViewRead, derive_view_shape, match_plan
+
+__all__ = ["AggSpec", "DeltaView", "ViewRead", "derive_view_shape", "match_plan"]

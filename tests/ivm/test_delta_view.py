@@ -1,0 +1,220 @@
+"""Unit tests for :mod:`repro.ivm`: the delta fold, repairs, and matching."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.hstore.parser import parse
+from repro.hstore.planner import Planner
+from repro.hstore.stats import EngineStats
+from repro.ivm import AggSpec, DeltaView, derive_view_shape, match_plan
+
+pytestmark = pytest.mark.ivm
+
+
+def make_view(*kinds_offsets, groups=(0,)):
+    specs = tuple(AggSpec(kind, offset) for kind, offset in kinds_offsets)
+    return DeltaView("v", "w", tuple(groups), specs, EngineStats())
+
+
+class TestDeltaFold:
+    def test_count_sum_avg_track_weighted_batches(self):
+        view = make_view(("count_star", None), ("sum", 1), ("avg", 1))
+        view.apply([1, 2, 3], [(0, 10), (0, 20), (1, 5)], 1)
+        assert view.ext_rows() == [(0, 2, 30, 15.0), (1, 1, 5, 5.0)]
+        view.apply([1], [(0, 10)], -1)
+        assert view.ext_rows() == [(0, 1, 20, 20.0), (1, 1, 5, 5.0)]
+
+    def test_nulls_are_ignored_by_value_aggregates(self):
+        view = make_view(("count_star", None), ("count", 1), ("sum", 1))
+        view.apply([1, 2], [(0, None), (0, 4)], 1)
+        assert view.ext_rows() == [(0, 2, 1, 4)]
+        view.apply([2], [(0, 4)], -1)
+        assert view.ext_rows() == [(0, 1, 0, None)]
+
+    def test_group_vanishes_when_empty(self):
+        view = make_view(("count", 1))
+        view.apply([1], [(7, 3)], 1)
+        assert view.group_count == 1
+        view.apply([1], [(7, 3)], -1)
+        assert view.group_count == 0
+        assert view.ext_rows() == []
+
+    def test_global_view_empty_defaults_row(self):
+        view = make_view(
+            ("count_star", None), ("count", 0), ("sum", 0), ("min", 0),
+            groups=(),
+        )
+        assert view.ext_rows() == [(0, 0, None, None)]
+        assert view.ext_rows((3, 0)) == [(None, 0)]
+
+    def test_minus_delta_for_unknown_group_raises(self):
+        view = make_view(("count", 1))
+        with pytest.raises(CatalogError):
+            view.apply([1], [(9, 1)], -1)
+
+    def test_agg_map_reorders_and_repeats(self):
+        view = make_view(("sum", 1), ("count", 1))
+        view.apply([1, 2], [(0, 2), (0, 3)], 1)
+        assert view.ext_rows((1, 0, 0)) == [(0, 2, 5, 5)]
+
+
+class TestMinMaxRepair:
+    def test_insert_updates_without_repair(self):
+        view = make_view(("min", 1), ("max", 1))
+        view.apply([1, 2, 3], [(0, 5), (0, 2), (0, 9)], 1)
+        assert view.ext_rows() == [(0, 2, 9)]
+        assert view._stats.extra.get("ivm_repairs", 0) == 0
+
+    def test_removing_the_extreme_repairs_lazily(self):
+        view = make_view(("min", 1))
+        view.apply([1, 2, 3], [(0, 5), (0, 2), (0, 9)], 1)
+        view.apply([2], [(0, 2)], -1)
+        assert view._stats.extra.get("ivm_repairs", 0) == 0  # lazy
+        assert view.ext_rows() == [(0, 5)]
+        assert view._stats.extra.get("ivm_repairs", 0) == 1
+        # repaired state is clean again: the next read does not rescan
+        assert view.ext_rows() == [(0, 5)]
+        assert view._stats.extra.get("ivm_repairs", 0) == 1
+
+    def test_removing_a_non_extreme_is_free(self):
+        view = make_view(("max", 1))
+        view.apply([1, 2], [(0, 5), (0, 9)], 1)
+        view.apply([1], [(0, 5)], -1)
+        assert view.ext_rows() == [(0, 9)]
+        assert view._stats.extra.get("ivm_repairs", 0) == 0
+
+    def test_nan_removal_invalidates(self):
+        nan = float("nan")
+        view = make_view(("max", 1))
+        view.apply([1, 2], [(0, 3.0), (0, nan)], 1)
+        view.apply([2], [(0, nan)], -1)
+        assert view.ext_rows() == [(0, 3.0)]
+        assert view._stats.extra.get("ivm_repairs", 0) == 1
+
+    def test_duplicate_extremes_keep_first_encountered(self):
+        # ties: strict < means the first-scanned value wins, like the oracle
+        view = make_view(("min", 1))
+        a, b = 2.0, 2.0
+        view.apply([1, 2, 3], [(0, a), (0, b), (0, 7.0)], 1)
+        view.apply([1], [(0, a)], -1)  # removes one copy of the extreme
+        assert view.ext_rows() == [(0, 2.0)]
+
+
+class TestSumExactness:
+    def test_int_groups_never_recompute(self):
+        view = make_view(("sum", 1))
+        view.apply(list(range(100)), [(0, i) for i in range(100)], 1)
+        view.apply(list(range(50)), [(0, i) for i in range(50)], -1)
+        assert view.ext_rows() == [(0, sum(range(50, 100)))]
+        assert view._stats.extra.get("ivm_repairs", 0) == 0
+
+    def test_float_flips_group_to_recompute(self):
+        view = make_view(("sum", 1), ("avg", 1))
+        view.apply([1, 2], [(0, 1), (0, 0.5)], 1)
+        rows = view.ext_rows()
+        assert rows == [(0, 1.5, 0.75)]
+        assert view._stats.extra.get("ivm_repairs", 0) >= 1
+
+    def test_float_recompute_replays_scan_order(self):
+        # 0.1 + 0.2 + 0.3 != 0.3 + 0.2 + 0.1 bit-for-bit; the fallback must
+        # fold in rowid order, exactly like the interpreter's accumulator
+        values = [0.1, 0.2, 0.3]
+        view = make_view(("sum", 1))
+        view.apply([1, 2, 3], [(0, v) for v in values], 1)
+        oracle = values[0]
+        for v in values[1:]:
+            oracle += v
+        (row,) = view.ext_rows()
+        assert row[1] == oracle and math.isclose(row[1], 0.6)
+
+    def test_emptied_group_resets_exactness(self):
+        view = make_view(("sum", 1))
+        view.apply([1], [(0, 0.5)], 1)
+        view.apply([1], [(0, 0.5)], -1)  # group dies, poisoned state with it
+        view.apply([2, 3], [(0, 2), (0, 3)], 1)
+        assert view.ext_rows() == [(0, 5)]
+        assert view._stats.extra.get("ivm_repairs", 0) == 0
+
+
+class TestRebuild:
+    def test_rebuild_matches_incremental_state(self):
+        from tests.ivm.conftest import build_engine
+
+        eng = build_engine(
+            "CREATE WINDOW w ON s ROWS 6 SLIDE 2",
+            view_sql="CREATE VIEW vw AS SELECT g, COUNT(*), SUM(v) "
+            "FROM w GROUP BY g",
+        )
+        for i in range(15):
+            eng.ingest("s", [(i, i % 3, i, None)])
+        view = eng.delta_views["vw"]
+        incremental = view.ext_rows()
+        view.rebuild(eng.partitions[0].ee.table("w"))
+        assert view.ext_rows() == incremental
+
+
+class TestShapeDerivation:
+    def plan(self, sql):
+        planner = Planner(_catalog())
+        return planner.plan(parse(sql))
+
+    def test_accepts_plain_grouped_aggregate(self):
+        table, groups, specs = derive_view_shape(
+            self.plan("SELECT g, COUNT(*), SUM(v) FROM w GROUP BY g")
+        )
+        assert table == "w"
+        assert groups == (1,)
+        assert specs == (AggSpec("count_star", None), AggSpec("sum", 2))
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT g, COUNT(*) FROM w WHERE v > 0 GROUP BY g",
+            "SELECT g, COUNT(*) FROM w GROUP BY g HAVING COUNT(*) > 1",
+            "SELECT g, COUNT(*) FROM w GROUP BY g ORDER BY g",
+            "SELECT g, COUNT(*) FROM w GROUP BY g LIMIT 1",
+            "SELECT g, COUNT(DISTINCT v) FROM w GROUP BY g",
+            "SELECT g + 1, COUNT(*) FROM w GROUP BY g + 1",
+            "SELECT g, SUM(v + 1) FROM w GROUP BY g",
+            "SELECT g, v FROM w",
+        ],
+    )
+    def test_rejects_unmaintainable_shapes(self, sql):
+        with pytest.raises(CatalogError):
+            derive_view_shape(self.plan(sql))
+
+    def test_match_plan_permutes_aggregates(self):
+        table, groups, specs = derive_view_shape(
+            self.plan("SELECT g, COUNT(*), SUM(v), MIN(v) FROM w GROUP BY g")
+        )
+        view = DeltaView("v", table, groups, specs, EngineStats())
+        query = self.plan("SELECT g, MIN(v), COUNT(*) FROM w GROUP BY g")
+        assert match_plan(view, query) == (2, 0)
+        other_keys = self.plan("SELECT ts, COUNT(*) FROM w GROUP BY ts")
+        assert match_plan(view, other_keys) is None
+        unmaintained = self.plan("SELECT g, AVG(v) FROM w GROUP BY g")
+        assert match_plan(view, unmaintained) is None
+
+
+def _catalog():
+    from repro.hstore.catalog import Catalog, Column, Schema, TableEntry
+    from repro.hstore.types import SqlType
+
+    cat = Catalog()
+    cat.add_table(
+        TableEntry(
+            "w",
+            Schema(
+                [
+                    Column("ts", SqlType.TIMESTAMP),
+                    Column("g", SqlType.INTEGER),
+                    Column("v", SqlType.INTEGER),
+                ]
+            ),
+        )
+    )
+    return cat

@@ -1,0 +1,84 @@
+"""Delta views on the cluster: one authoritative copy, same answers.
+
+Windows (and therefore their views) are maintained only on the worker that
+consumes the window's root stream; every other worker's replica stays empty
+and reports itself non-authoritative for queries over the window.  A
+grouped SELECT against the view is then answered by exactly one worker and
+must match the single-process engine bit-for-bit at 1, 2 and 4 workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SStoreEngine
+from repro.dstream import DStreamEngine
+
+from tests.dstream.conftest import PIPE_SPLIT, build_pipe
+from tests.ivm.conftest import assert_rows_identical
+
+pytestmark = [pytest.mark.ivm, pytest.mark.dstream]
+
+VIEW_DDL = [
+    "CREATE WINDOW wmid ON mid ROWS 6 SLIDE 2",
+    "CREATE VIEW vmid AS SELECT tag, COUNT(*), SUM(k), MIN(k) "
+    "FROM wmid GROUP BY tag",
+]
+QUERY = "SELECT tag, COUNT(*), SUM(k), MIN(k) FROM wmid GROUP BY tag"
+
+
+def drive(engine, n=24):
+    for ddl in VIEW_DDL:
+        engine.execute_ddl(ddl)
+    for i in range(n):
+        engine.ingest("src", [(i,)])
+    engine.run_until_quiescent()
+    return engine.execute_sql(QUERY).rows
+
+
+@pytest.fixture(scope="module")
+def single_answer():
+    return drive(build_pipe(SStoreEngine()))
+
+
+@pytest.mark.parametrize(
+    "workers,placement",
+    [
+        (1, {"relay": 0, "sink": 0}),
+        (2, PIPE_SPLIT),
+        (4, {"relay": 1, "sink": 3}),
+    ],
+)
+def test_cluster_view_matches_single_process(workers, placement, single_answer):
+    cluster = build_pipe(DStreamEngine(workers), placement=placement)
+    try:
+        assert_rows_identical(drive(cluster), single_answer)
+    finally:
+        cluster.shutdown()
+
+
+def test_view_lives_on_the_consumers_worker(single_answer):
+    """Only sink's worker maintains wmid; the others hold nothing."""
+    cluster = build_pipe(DStreamEngine(2), placement=PIPE_SPLIT)
+    try:
+        drive(cluster)
+        per_worker = [
+            len(cluster.table_rows("wmid", partition_id=wid))
+            for wid in range(2)
+        ]
+        assert per_worker == [0, 6]
+    finally:
+        cluster.shutdown()
+
+
+def test_cluster_crash_recover_keeps_view_answers(tmp_path, single_answer):
+    cluster = build_pipe(DStreamEngine(2), placement=PIPE_SPLIT)
+    try:
+        cluster.enable_durability(tmp_path / "d")
+        answer = drive(cluster)
+        cluster.crash()
+        cluster.recover()
+        assert_rows_identical(cluster.execute_sql(QUERY).rows, answer)
+        assert answer == single_answer
+    finally:
+        cluster.shutdown()
