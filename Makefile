@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel obs compile dstream ivm bench
+.PHONY: test faults parallel obs compile dstream ivm net bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,6 +44,11 @@ compile:
 	$(PYTHON) -m pytest tests/hstore/test_compile.py \
 		tests/hstore/test_plan_cache.py \
 		tests/property/test_prop_compile_diff.py -q
+
+# TCP front door: wire-protocol codec units + hypothesis garbage fuzzing,
+# typed-error round trips, and the asyncio server lifecycle/load suite
+net:
+	$(PYTHON) -m pytest -m net -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,277 @@
+"""E16 — The network front door: TPS and tail latency vs. client count.
+
+ISSUE 8's tentpole, measured over real sockets:
+
+* **client-count sweep** (1/10/100/1000 TCP connections, closed-loop
+  voters): sustained TPS must *rise* with concurrency because the commit
+  coalescer amortizes one log flush over every concurrently arriving txn —
+  the acceptance bar is ≥2x TPS at 100 clients vs. 1;
+* **overload check**: with ``max_inflight`` exhausted by an open-loop
+  request storm, admission control fast-rejects (``SERVER_BUSY``) instead
+  of queueing, so the p99 of *admitted* requests stays bounded by the
+  in-flight cap — not by the storm size;
+* **differential check**: the state committed through 100 concurrent
+  network clients is row-identical to the same workload run in-process.
+
+Guarded in ``check_regression.py``: the 100c/1c TPS ratio and the two
+1.0-boolean flags (p99-bounded, state-differential).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+
+import pytest
+
+from repro.apps.voter import schema
+from repro.apps.voter.procedures import ValidateVote
+from repro.bench import format_table, percentiles, write_bench_json
+from repro.errors import ServerBusyError
+from repro.hstore.engine import HStoreEngine
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+
+CLIENT_SWEEP = [(1, 300), (10, 60), (100, 10), (1000, 2)]  # (clients, votes each)
+OVERLOAD_MAX_INFLIGHT = 64
+OVERLOAD_CLIENTS = 20
+OVERLOAD_PIPELINE_DEPTH = 100
+
+
+def make_engine(log_dir: str | None = None) -> HStoreEngine:
+    """A voter engine; with ``log_dir``, acks cost a real fsync.
+
+    The fsync is the point of the sweep: it is the fixed per-flush cost
+    the commit coalescer amortizes, so TPS *rises* with client count.
+    Without it ``CommandLog.flush()`` is an in-memory pointer move and
+    group commit has nothing to win.
+    """
+    engine = HStoreEngine(command_logging=True)
+    schema.install_tables(engine)
+    schema.seed_contestants(engine)
+    engine.register_procedure(ValidateVote)
+    if log_dir is not None:
+        engine.enable_durability(log_dir, fsync_log=True)
+    return engine
+
+
+def votes_for(clients: int, per_client: int) -> list[list[tuple]]:
+    """All-distinct valid votes: final state is interleaving-independent."""
+    return [
+        [(f"{c:04d}-555-{i:04d}", (c + i) % schema.NUM_CONTESTANTS + 1, i)
+         for i in range(per_client)]
+        for c in range(clients)
+    ]
+
+
+def run_scale(clients: int, per_client: int) -> dict:
+    """One sweep point: N closed-loop TCP clients against a fresh engine.
+
+    All connections are established *before* the clock starts, so the TPS
+    number measures the steady state, not the connection storm.
+    """
+
+    async def body(log_dir: str) -> dict:
+        engine = make_engine(log_dir)
+        server = NetServer(engine, port=0, max_inflight=2048, max_pipeline=64)
+        await server.start()
+        latencies: list[float] = []
+
+        async def one_client(client: NetClient, share: list[tuple]) -> None:
+            async with client:
+                for vote in share:
+                    started = time.perf_counter()
+                    result = await client.call_procedure("validate_vote", *vote)
+                    latencies.append((time.perf_counter() - started) * 1e6)
+                    assert result.success
+
+        connections = await asyncio.gather(
+            *(NetClient.connect("127.0.0.1", server.port) for _ in range(clients))
+        )
+        shares = votes_for(clients, per_client)
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(one_client(conn, share) for conn, share in zip(connections, shares))
+        )
+        wall = time.perf_counter() - started
+        counters = server.counters.copy()
+        rows = sorted(engine.execute_sql("SELECT * FROM votes").rows)
+        await server.stop()
+        engine.shutdown()
+        requests = clients * per_client
+        return {
+            "clients": clients,
+            "requests": requests,
+            "wall_seconds": wall,
+            "tps": requests / wall,
+            "latency_us": percentiles(latencies),
+            "log_flushes": counters["log_flushes"],
+            "batches": counters["batches"],
+            "rows": rows,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="e16-net-") as log_dir:
+        return asyncio.run(body(log_dir))
+
+
+def run_in_process(clients: int, per_client: int) -> list[tuple]:
+    """The oracle: same votes, plain in-process calls, no network."""
+    engine = make_engine()
+    for share in votes_for(clients, per_client):
+        for vote in share:
+            assert engine.call_procedure("validate_vote", *vote).success
+    rows = sorted(engine.execute_sql("SELECT * FROM votes").rows)
+    engine.shutdown()
+    return rows
+
+
+def run_overload() -> dict:
+    """Open-loop storm vs. a small in-flight budget: p99 must stay bounded."""
+
+    async def body() -> dict:
+        engine = make_engine()
+        server = NetServer(
+            engine,
+            port=0,
+            max_inflight=OVERLOAD_MAX_INFLIGHT,
+            max_pipeline=OVERLOAD_PIPELINE_DEPTH + 8,
+        )
+        await server.start()
+
+        # light phase: one closed-loop client → baseline service latency
+        light: list[float] = []
+        async with await NetClient.connect("127.0.0.1", server.port) as client:
+            for i in range(200):
+                started = time.perf_counter()
+                await client.call_procedure(
+                    "validate_vote", f"light-{i:04d}", i % 25 + 1, i
+                )
+                light.append((time.perf_counter() - started) * 1e6)
+
+        # storm phase: 20 clients × 100 *pipelined* requests, all at once
+        admitted: list[float] = []
+        busy = 0
+
+        async def storm_client(cid: int) -> None:
+            nonlocal busy
+            async with await NetClient.connect("127.0.0.1", server.port) as client:
+                async def fire(i: int) -> None:
+                    nonlocal busy
+                    started = time.perf_counter()
+                    try:
+                        await client.call_procedure(
+                            "validate_vote", f"{cid:03d}s-{i:04d}", i % 25 + 1, i
+                        )
+                    except ServerBusyError:
+                        busy += 1
+                        return
+                    admitted.append((time.perf_counter() - started) * 1e6)
+
+                await asyncio.gather(
+                    *(fire(i) for i in range(OVERLOAD_PIPELINE_DEPTH))
+                )
+
+        started = time.perf_counter()
+        await asyncio.gather(*(storm_client(c) for c in range(OVERLOAD_CLIENTS)))
+        storm_wall = time.perf_counter() - started
+        counters = server.counters.copy()
+        await server.stop()
+        engine.shutdown()
+
+        light_stats = percentiles(light)
+        admitted_stats = percentiles(admitted)
+        mean_light = sum(light) / len(light)
+        # fast-reject caps the queue at max_inflight requests, so an
+        # admitted request waits at most ~max_inflight service times; an
+        # unbounded queue would wait ~(storm size / max_inflight)× that
+        bound_us = 8 * OVERLOAD_MAX_INFLIGHT * mean_light
+        return {
+            "storm_requests": OVERLOAD_CLIENTS * OVERLOAD_PIPELINE_DEPTH,
+            "storm_wall_seconds": storm_wall,
+            "admitted": len(admitted),
+            "busy_rejected": busy,
+            "busy_counter": counters["busy_rejected"],
+            "light_latency_us": light_stats,
+            "admitted_latency_us": admitted_stats,
+            "mean_light_us": mean_light,
+            "p99_bound_us": bound_us,
+            "p99_bounded": admitted_stats["p99"] <= bound_us,
+        }
+
+    return asyncio.run(body())
+
+
+def test_e16_net_tps_and_overload(benchmark, save_report):
+    sweep: list[dict] = []
+    overload: dict = {}
+    oracle_rows: list = []
+
+    def run_all():
+        sweep.clear()
+        for clients, per_client in CLIENT_SWEEP:
+            sweep.append(run_scale(clients, per_client))
+        overload.update(run_overload())
+        oracle_rows.extend(run_in_process(100, 10))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    by_clients = {point["clients"]: point for point in sweep}
+    tps_1 = by_clients[1]["tps"]
+    tps_100 = by_clients[100]["tps"]
+    scaling_100c = tps_100 / tps_1
+
+    hundred = by_clients[100]
+    differential_ok = hundred.pop("rows") == oracle_rows
+    for point in sweep:
+        point.pop("rows", None)
+
+    table_rows = [
+        [
+            point["clients"],
+            point["requests"],
+            f"{point['wall_seconds']:.3f}s",
+            f"{point['tps']:.0f}",
+            f"{point['latency_us']['p50']:.0f}",
+            f"{point['latency_us']['p99']:.0f}",
+            f"{point['requests'] / max(1, point['log_flushes']):.1f}",
+        ]
+        for point in sweep
+    ]
+    save_report(
+        "e16_net",
+        format_table(
+            ["clients", "reqs", "wall", "tps", "p50 µs", "p99 µs", "reqs/flush"],
+            table_rows,
+        )
+        + f"\nTPS scaling 100c/1c = {scaling_100c:.2f}x"
+        + f"\noverload: {overload['admitted']} admitted / "
+        f"{overload['busy_rejected']} busy-rejected, admitted p99 = "
+        f"{overload['admitted_latency_us']['p99']:.0f}µs "
+        f"(bound {overload['p99_bound_us']:.0f}µs) → "
+        f"bounded={overload['p99_bounded']}"
+        + f"\ndifferential @100c: identical={differential_ok}",
+    )
+
+    # acceptance: ≥2x sustained TPS at 100 clients vs 1 (group commit),
+    # overload keeps p99 bounded via fast-reject, state identical
+    assert scaling_100c >= 2.0, f"TPS scaling {scaling_100c:.2f}x < 2x"
+    assert overload["busy_rejected"] > 0, "storm never tripped admission control"
+    assert overload["p99_bounded"], (
+        f"admitted p99 {overload['admitted_latency_us']['p99']:.0f}µs exceeds "
+        f"bound {overload['p99_bound_us']:.0f}µs"
+    )
+    assert differential_ok, "networked state diverged from in-process run"
+
+    write_bench_json(
+        "e16_net",
+        {
+            "sweep": sweep,
+            "overload": overload,
+            "guard": {
+                "net_tps_100c": scaling_100c,
+                "net_p99_bounded_overload": float(overload["p99_bounded"]),
+                "net_state_differential": float(differential_ok),
+            },
+        },
+    )

@@ -5,6 +5,7 @@ from repro.bench.harness import (
     VoterRunResult,
     compare_summaries,
     format_table,
+    percentiles,
     run_voter_dstream,
     run_voter_hstore_interleaved,
     run_voter_hstore_sequential,
@@ -17,6 +18,7 @@ __all__ = [
     "VoterRunResult",
     "compare_summaries",
     "format_table",
+    "percentiles",
     "run_voter_dstream",
     "run_voter_hstore_interleaved",
     "run_voter_hstore_sequential",

@@ -161,6 +161,38 @@ class InjectedIOError(InjectedFault, OSError):
 
 
 # ---------------------------------------------------------------------------
+# Network front door (repro.net)
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the TCP front door (``repro.net``)."""
+
+
+class ProtocolError(NetworkError):
+    """A malformed wire frame: bad version, unknown type, oversized length,
+    or a payload that is not a JSON object.
+
+    The server answers the offending connection with one protocol-error
+    frame and closes it — a client speaking garbage can never crash or wedge
+    the server, only lose its own connection.
+    """
+
+
+class ServerBusyError(NetworkError):
+    """Admission control fast-rejected the request (``SERVER_BUSY``).
+
+    Raised client-side when the server's in-flight budget is exhausted.
+    The request was *not* queued and *not* executed; retrying after a
+    backoff is always safe.
+    """
+
+
+class ConnectionClosedError(NetworkError):
+    """The TCP connection closed while requests were still outstanding."""
+
+
+# ---------------------------------------------------------------------------
 # Streaming (S-Store core) errors
 # ---------------------------------------------------------------------------
 

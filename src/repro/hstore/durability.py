@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pathlib
 from typing import TYPE_CHECKING, Any
 
@@ -75,7 +76,9 @@ def _snapshot_body(payload: dict[str, Any]) -> str:
 class DurabilityDirectory:
     """One engine's durable storage location."""
 
-    def __init__(self, path: str | pathlib.Path) -> None:
+    def __init__(
+        self, path: str | pathlib.Path, *, fsync_log: bool = False
+    ) -> None:
         self.path = pathlib.Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         (self.path / _SNAPSHOT_DIR).mkdir(exist_ok=True)
@@ -83,6 +86,9 @@ class DurabilityDirectory:
         self.fault_injector: "FaultInjector | None" = None
         #: tracing seam; the owning engine swaps in its real tracer
         self.tracer = NULL_TRACER
+        #: when set, every log append ends with one fsync — the fixed
+        #: per-flush cost that group commit exists to amortize
+        self.fsync_log = fsync_log
 
     # ------------------------------------------------------------------
     # command log
@@ -136,6 +142,9 @@ class DurabilityDirectory:
                         path=self.log_path,
                     )
                 handle.write(payload)
+            if self.fsync_log:
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def scan_log(self, *, repair: bool = True) -> tuple[list[LogRecord], int]:
         """Read the durable log, tolerating a torn trailing record.

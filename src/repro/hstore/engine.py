@@ -824,13 +824,20 @@ class HStoreEngine:
     # File-backed durability (survives process restarts, not just crash())
     # ------------------------------------------------------------------
 
-    def enable_durability(self, path: Any) -> "DurabilityDirectory":
+    def enable_durability(
+        self, path: Any, *, fsync_log: bool = False
+    ) -> "DurabilityDirectory":
         """Persist the command log and snapshots under ``path``.
 
         Flushed log records are appended to ``<path>/command.log`` from now
         on, and every snapshot is written as a file.  Records already in the
         in-memory log (e.g., application seed DML executed during setup) are
         written out immediately so the durable history is complete.
+
+        With ``fsync_log=True`` every append ends in one ``fsync`` — acked
+        means on-disk, and the per-flush syscall becomes the fixed cost the
+        group-commit batcher (``log_group_size``, the network coalescer)
+        amortizes across concurrent transactions.
         """
         from repro.hstore.durability import DurabilityDirectory
 
@@ -839,7 +846,7 @@ class HStoreEngine:
                 "cannot enable durability: this engine was built with "
                 "command_logging=False, so there is no history to persist"
             )
-        directory = DurabilityDirectory(path)
+        directory = DurabilityDirectory(path, fsync_log=fsync_log)
         if directory.load_log_records():
             raise ReproError(
                 f"durability directory {directory.path} already holds a log; "

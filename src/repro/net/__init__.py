@@ -1,0 +1,27 @@
+"""``repro.net``: the TCP front door of the engine.
+
+Everything else in the reproduction exercises the engines through
+in-process calls (timed by :mod:`repro.hstore.netsim`'s simulated latency
+model).  This package is the real edge: a framed wire protocol
+(:mod:`repro.net.protocol`), an asyncio server multiplexing thousands of
+client connections onto one engine backend with cross-client group commit
+and admission control (:mod:`repro.net.server`), and a pipelining asyncio
+client library plus a blocking convenience wrapper
+(:mod:`repro.net.client`).
+
+Quick start::
+
+    # terminal 1 — serve an S-Store engine on localhost:7077
+    python -m repro.net.server --port 7077 --backend sstore
+
+    # terminal 2 — talk to it
+    from repro.net.client import SyncNetClient
+    with SyncNetClient("127.0.0.1", 7077) as db:
+        db.execute_sql("CREATE TABLE t (k INT PRIMARY KEY, v VARCHAR)")
+        db.execute_sql("INSERT INTO t VALUES (1, 'hello')")
+        print(db.execute_sql("SELECT v FROM t WHERE k = 1").rows)
+"""
+
+from repro.net.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES"]

@@ -1,0 +1,272 @@
+"""The client library: pipelined asyncio client + blocking wrapper.
+
+:class:`NetClient` multiplexes any number of concurrent coroutines onto one
+TCP connection: every request carries a fresh correlation id, a single
+reader task matches response frames back to their waiting futures, so N
+in-flight requests cost one connection and no locks.  This is also what
+feeds the server's group commit — concurrent requests from one (or many)
+clients arrive together and commit as one batch.
+
+Responses rebuild engine-side shapes: ``call_procedure`` returns a real
+:class:`~repro.hstore.procedure.ProcedureResult` (aborts come back as
+``success=False``, exactly like the in-process API), ``execute_sql``
+returns a :class:`~repro.hstore.executor.ResultSet` (rows re-tupled) or a
+row count, and typed error frames are re-raised as their original
+:mod:`repro.errors` class with the server's location prefix intact.
+
+:class:`SyncNetClient` wraps all of it for blocking callers (examples,
+REPLs): it runs a private event loop on a daemon thread and forwards every
+call with ``run_coroutine_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any
+
+from repro.errors import ConnectionClosedError, ProtocolError, ServerBusyError
+from repro.hstore.executor import ResultSet
+from repro.hstore.procedure import ProcedureResult
+from repro.net import protocol as proto
+
+__all__ = ["NetClient", "SyncNetClient", "from_wire"]
+
+
+def from_wire(value: Any) -> Any:
+    """Rebuild engine-side shapes from their JSON wire form."""
+    if isinstance(value, dict):
+        if value.get("$") == "rows":
+            return ResultSet(
+                columns=list(value.get("columns", [])),
+                rows=[tuple(row) for row in value.get("rows", [])],
+            )
+        return {key: from_wire(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_wire(item) for item in value]
+    return value
+
+
+class NetClient:
+    """One TCP connection, any number of pipelined in-flight requests."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame: int = proto.MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._decoder = proto.FrameDecoder(max_frame)
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_responses()
+        )
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        *,
+        max_frame: int = proto.MAX_FRAME_BYTES,
+    ) -> "NetClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame=max_frame)
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._fail_pending(ConnectionClosedError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # response pump
+    # ------------------------------------------------------------------
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    raise ConnectionClosedError(
+                        f"server closed the connection with "
+                        f"{len(self._pending)} request(s) outstanding"
+                    )
+                for frame_type, payload in self._decoder.feed(data):
+                    self._handle(frame_type, payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._closed = True
+            self._fail_pending(exc)
+
+    def _handle(self, frame_type: int, payload: dict[str, Any]) -> None:
+        if frame_type == proto.RESP_PROTOCOL_ERROR:
+            # the server is about to close this connection; every pending
+            # request dies with the server's reason
+            raise ProtocolError(
+                f"server reported a protocol error: {payload.get('message')}"
+            )
+        future = self._pending.pop(payload.get("id"), None)
+        if future is not None and not future.done():
+            future.set_result((frame_type, payload))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+
+    async def request(
+        self, frame_type: int, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Send one request frame, await its correlated response.
+
+        Raises the rebuilt server-side exception for ``RESP_ERROR`` frames
+        and :class:`~repro.errors.ServerBusyError` for admission-control
+        fast-rejects; other response types are returned to the caller.
+        """
+        if self._closed:
+            raise ConnectionClosedError("client is closed")
+        self._next_id += 1
+        rid = self._next_id
+        frame = proto.encode_frame(
+            frame_type, {"id": rid, **payload}, max_frame=self._max_frame
+        )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        self._writer.write(frame)
+        await self._writer.drain()
+        resp_type, resp = await future
+        if resp_type == proto.RESP_BUSY:
+            raise ServerBusyError(
+                "server busy: request fast-rejected by admission control "
+                "(not executed; safe to retry after a backoff)"
+            )
+        if resp_type == proto.RESP_ERROR:
+            raise proto.load_error(resp.get("error", {}))
+        return resp_type, resp
+
+    async def call_procedure(self, name: str, *params: Any) -> ProcedureResult:
+        _, resp = await self.request(
+            proto.REQ_CALL, {"proc": name, "params": list(params)}
+        )
+        return ProcedureResult(
+            success=bool(resp.get("success")),
+            data=from_wire(resp.get("data")),
+            error=resp.get("error"),
+            txn_id=resp.get("txn_id"),
+            partition=resp.get("partition"),
+        )
+
+    async def execute_sql(self, sql: str, *params: Any) -> ResultSet | int:
+        _, resp = await self.request(
+            proto.REQ_SQL, {"sql": sql, "params": list(params)}
+        )
+        return from_wire(resp.get("result"))
+
+    async def ingest(self, stream: str, rows: list[tuple[Any, ...]]) -> int:
+        _, resp = await self.request(
+            proto.REQ_INGEST,
+            {"stream": stream, "rows": [list(row) for row in rows]},
+        )
+        return int(resp.get("result", 0))
+
+    async def ping(self, echo: Any = None) -> Any:
+        _, resp = await self.request(proto.REQ_PING, {"echo": echo})
+        return resp.get("echo")
+
+    async def stats(self) -> dict[str, Any]:
+        _, resp = await self.request(proto.REQ_STATS, {})
+        return {"server": resp.get("server", {}), "engine": resp.get("engine", {})}
+
+
+class SyncNetClient:
+    """Blocking facade over :class:`NetClient` for sync callers.
+
+    Owns a private event loop on a daemon thread; every method forwards the
+    matching coroutine with ``run_coroutine_threadsafe`` and blocks on the
+    result.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        *,
+        timeout: float = 30.0,
+        max_frame: int = proto.MAX_FRAME_BYTES,
+    ) -> None:
+        self.timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-net-client", daemon=True
+        )
+        self._thread.start()
+        self._client: NetClient = self._run(
+            NetClient.connect(host, port, max_frame=max_frame)
+        )
+
+    def _run(self, coro: Any) -> Any:
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(self.timeout)
+
+    def __enter__(self) -> "SyncNetClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._loop.is_closed():
+            return
+        try:
+            self._run(self._client.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=self.timeout)
+            self._loop.close()
+
+    def call_procedure(self, name: str, *params: Any) -> ProcedureResult:
+        return self._run(self._client.call_procedure(name, *params))
+
+    def execute_sql(self, sql: str, *params: Any) -> ResultSet | int:
+        return self._run(self._client.execute_sql(sql, *params))
+
+    def ingest(self, stream: str, rows: list[tuple[Any, ...]]) -> int:
+        return self._run(self._client.ingest(stream, rows))
+
+    def ping(self, echo: Any = None) -> Any:
+        return self._run(self._client.ping(echo))
+
+    def stats(self) -> dict[str, Any]:
+        return self._run(self._client.stats())

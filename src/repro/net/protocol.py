@@ -1,0 +1,318 @@
+"""The framed wire protocol of the network front door.
+
+Every message on the wire is one *frame*::
+
+    +---------+---------+-------------------+--------------------------+
+    | version | type    | payload length    | payload                  |
+    | 1 byte  | 1 byte  | 4 bytes (big-end) | <length> bytes of JSON   |
+    +---------+---------+-------------------+--------------------------+
+
+The 6-byte binary header makes framing trivial and cheap to parse off the
+event loop; the payload is a UTF-8 JSON object, so the protocol is
+inspectable with ``tcpdump`` and trivially implementable from any language.
+Version is carried on *every* frame (no handshake, no connection state):
+a client and server disagreeing about the protocol fail on the first frame
+with a typed :class:`~repro.errors.ProtocolError` instead of desyncing.
+
+Requests and responses correlate by an ``"id"`` field in the payload —
+mandatory on every request, echoed on the matching response — which is what
+lets a client pipeline many requests down one connection and match answers
+out of band.
+
+Frame types (requests 0x01–0x3f, responses 0x81–0xbf, 0x7f reserved for
+the pre-close protocol-error notice):
+
+========================  ======  ==========================================
+constant                  value   payload
+========================  ======  ==========================================
+``REQ_CALL``              0x01    ``{"id", "proc", "params"}``
+``REQ_SQL``               0x02    ``{"id", "sql", "params"}``
+``REQ_INGEST``            0x03    ``{"id", "stream", "rows"}``
+``REQ_PING``              0x04    ``{"id", "echo"?}``
+``REQ_STATS``             0x05    ``{"id"}``
+``RESP_RESULT``           0x81    ``{"id", "success", "data", "error",
+                                  "txn_id", "partition"}`` (REQ_CALL) or
+                                  ``{"id", "result"}`` (REQ_SQL/REQ_INGEST)
+``RESP_ERROR``            0x82    ``{"id", "error": {"class", "message",
+                                  "kind", "code"?}}``
+``RESP_PONG``             0x83    ``{"id", "echo"}``
+``RESP_STATS``            0x84    ``{"id", "server", "engine"}``
+``RESP_BUSY``             0x85    ``{"id"}`` — admission control fast-reject
+``RESP_PROTOCOL_ERROR``   0x7f    ``{"message"}`` — sent once, then close
+========================  ======  ==========================================
+
+Typed error payloads round-trip the engine's exception hierarchy: the
+``class`` field names a class from :mod:`repro.errors` (rebuilt verbatim on
+the client via the same registry the worker mailboxes use), ``message``
+keeps the server's location prefix (``[net conn 3, call 'x'] ...``), and
+``kind`` coarsely buckets the hierarchy (``txn`` / ``sql`` / ``catalog`` /
+``stream`` / ``net`` / ``engine`` / ``internal``) so non-Python clients can
+branch without knowing the class names.
+
+Values cross the wire as JSON: tuples arrive as lists (rows are re-tupled
+by the client library), table results as ``{"columns", "rows"}`` objects.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Iterator
+
+from repro.errors import (
+    CatalogError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SqlError,
+    StreamingError,
+    TransactionError,
+    TypeSystemError,
+)
+from repro.parallel.messages import dump_exception, load_exception
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "HEADER",
+    "REQ_CALL",
+    "REQ_SQL",
+    "REQ_INGEST",
+    "REQ_PING",
+    "REQ_STATS",
+    "RESP_RESULT",
+    "RESP_ERROR",
+    "RESP_PONG",
+    "RESP_STATS",
+    "RESP_BUSY",
+    "RESP_PROTOCOL_ERROR",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "FRAME_NAMES",
+    "frame_name",
+    "encode_frame",
+    "FrameDecoder",
+    "dump_error",
+    "load_error",
+    "error_kind",
+    "to_wire",
+]
+
+#: bumped on any incompatible header/payload change; carried on every frame
+PROTOCOL_VERSION = 1
+
+#: header: version (uint8), frame type (uint8), payload length (uint32)
+HEADER = struct.Struct("!BBI")
+
+#: default ceiling on one frame's payload; a length field beyond this is a
+#: protocol error, not an allocation — garbage cannot OOM the server
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+REQ_CALL = 0x01
+REQ_SQL = 0x02
+REQ_INGEST = 0x03
+REQ_PING = 0x04
+REQ_STATS = 0x05
+
+RESP_RESULT = 0x81
+RESP_ERROR = 0x82
+RESP_PONG = 0x83
+RESP_STATS = 0x84
+RESP_BUSY = 0x85
+RESP_PROTOCOL_ERROR = 0x7F
+
+REQUEST_TYPES = frozenset({REQ_CALL, REQ_SQL, REQ_INGEST, REQ_PING, REQ_STATS})
+RESPONSE_TYPES = frozenset(
+    {RESP_RESULT, RESP_ERROR, RESP_PONG, RESP_STATS, RESP_BUSY, RESP_PROTOCOL_ERROR}
+)
+
+FRAME_NAMES = {
+    REQ_CALL: "call",
+    REQ_SQL: "sql",
+    REQ_INGEST: "ingest",
+    REQ_PING: "ping",
+    REQ_STATS: "stats",
+    RESP_RESULT: "result",
+    RESP_ERROR: "error",
+    RESP_PONG: "pong",
+    RESP_STATS: "stats",
+    RESP_BUSY: "busy",
+    RESP_PROTOCOL_ERROR: "protocol-error",
+}
+
+_KNOWN_TYPES = REQUEST_TYPES | RESPONSE_TYPES
+
+
+def frame_name(frame_type: int) -> str:
+    return FRAME_NAMES.get(frame_type, f"0x{frame_type:02x}")
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(
+    frame_type: int,
+    payload: dict[str, Any],
+    *,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize one frame: 6-byte header + JSON payload."""
+    if frame_type not in _KNOWN_TYPES:
+        raise ProtocolError(f"unknown frame type 0x{frame_type:02x}")
+    body = json.dumps(payload, separators=(",", ":"), allow_nan=True).encode("utf-8")
+    if len(body) > max_frame:
+        raise ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{max_frame}-byte frame limit"
+        )
+    return HEADER.pack(PROTOCOL_VERSION, frame_type, len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream with arbitrary chunking.
+
+    ``feed`` buffers whatever arrives (one byte or a megabyte) and yields
+    every *complete* frame, holding any trailing partial frame for the next
+    call.  Every validation failure — wrong version, unknown type, a length
+    field beyond ``max_frame``, a payload that is not a JSON object — raises
+    :class:`~repro.errors.ProtocolError`; the decoder never raises anything
+    else, no matter the input, which is what the hypothesis garbage test
+    pins down.  After an error the decoder is poisoned: the stream position
+    is untrustworthy, so the owning connection must be closed.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    def __len__(self) -> int:
+        """Bytes currently buffered (partial frame tail)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[tuple[int, dict[str, Any]]]:
+        """Buffer ``data`` and return all completed ``(type, payload)`` frames."""
+        if self._poisoned:
+            raise ProtocolError("decoder already failed; close the connection")
+        self._buffer.extend(data)
+        try:
+            return list(self._drain())
+        except ProtocolError:
+            self._poisoned = True
+            raise
+
+    def _drain(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        buffer = self._buffer
+        while len(buffer) >= HEADER.size:
+            version, frame_type, length = HEADER.unpack_from(buffer)
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version} "
+                    f"(this side speaks {PROTOCOL_VERSION})"
+                )
+            if frame_type not in _KNOWN_TYPES:
+                raise ProtocolError(f"unknown frame type 0x{frame_type:02x}")
+            if length > self.max_frame:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the "
+                    f"{self.max_frame}-byte frame limit"
+                )
+            if len(buffer) < HEADER.size + length:
+                return  # partial frame: wait for more bytes
+            body = bytes(buffer[HEADER.size : HEADER.size + length])
+            del buffer[: HEADER.size + length]
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"frame payload is not valid JSON: {exc}") from None
+            if not isinstance(payload, dict):
+                raise ProtocolError(
+                    f"frame payload must be a JSON object, got "
+                    f"{type(payload).__name__}"
+                )
+            yield frame_type, payload
+
+
+# ---------------------------------------------------------------------------
+# typed error payloads
+# ---------------------------------------------------------------------------
+
+#: coarse buckets for the error hierarchy, most-specific first
+_KIND_BY_BASE: tuple[tuple[type, str], ...] = (
+    (TransactionError, "txn"),
+    (SqlError, "sql"),
+    (CatalogError, "catalog"),
+    (TypeSystemError, "type"),
+    (StreamingError, "stream"),
+    (NetworkError, "net"),
+    (ReproError, "engine"),
+)
+
+
+def error_kind(exc: BaseException) -> str:
+    """Coarse bucket of an exception for non-Python protocol consumers."""
+    for base, kind in _KIND_BY_BASE:
+        if isinstance(exc, base):
+            return kind
+    return "internal"
+
+
+def dump_error(
+    exc: BaseException, *, where: str | None = None, code: str | None = None
+) -> dict[str, Any]:
+    """Serialize an exception into a typed error payload.
+
+    Rides the worker-mailbox serialization
+    (:func:`repro.parallel.messages.dump_exception`) so an engine exception
+    keeps its class and gains a location prefix; non-engine exceptions are
+    server-side bugs and travel as ``ReproError`` with the traceback folded
+    into the message.
+    """
+    class_name, message = dump_exception(exc, where=where, side="server")
+    payload: dict[str, Any] = {
+        "class": class_name,
+        "message": message,
+        "kind": error_kind(exc),
+    }
+    if code is not None:
+        payload["code"] = code
+    return payload
+
+
+def load_error(payload: dict[str, Any]) -> Exception:
+    """Rebuild the client-side exception from a typed error payload."""
+    return load_exception(
+        str(payload.get("class", "ReproError")), str(payload.get("message", ""))
+    )
+
+
+# ---------------------------------------------------------------------------
+# value conversion (engine results → JSON-able wire shapes)
+# ---------------------------------------------------------------------------
+
+
+def to_wire(value: Any) -> Any:
+    """Convert an engine-side value into a JSON-serializable shape.
+
+    Tuples become lists (JSON has no tuple), result sets become
+    ``{"columns", "rows"}`` objects tagged with ``"$": "rows"`` so the
+    client can rebuild a :class:`~repro.hstore.executor.ResultSet`; anything
+    unknown is stringified rather than crashing the response path.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [to_wire(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): to_wire(item) for key, item in value.items()}
+    columns = getattr(value, "columns", None)
+    rows = getattr(value, "rows", None)
+    if columns is not None and rows is not None:  # duck-typed ResultSet
+        return {
+            "$": "rows",
+            "columns": list(columns),
+            "rows": [[to_wire(cell) for cell in row] for row in rows],
+        }
+    return str(value)

@@ -130,6 +130,8 @@ def dump_exception(
     txn: str | None = None,
     stream: str | None = None,
     batch_id: int | None = None,
+    where: str | None = None,
+    side: str = "worker",
 ) -> tuple[str, str]:
     """Serialize an exception for an ``"error"`` reply.
 
@@ -144,21 +146,29 @@ def dump_exception(
     TEs the op payload names only the border stream, not the failing
     transaction, so the worker additionally attributes the originating
     ``stream`` and origin ``batch_id`` of the TE whose failure propagated.
+
+    The network front door (``repro.net``) reuses this serialization for
+    its typed error frames: ``where`` is a free-form location prefix
+    (``"net conn 3, call 'validate_vote'"``) used when the sender is not a
+    partition worker, and ``side`` names the failing side in the fallback
+    message for non-engine exceptions (``"worker"`` or ``"server"``).
     """
     prefix = ""
-    if worker_id is not None:
-        where = f"worker {worker_id}"
-        if txn:
-            where += f", txn {txn!r}"
-        if stream is not None:
-            where += f", stream {stream!r}"
-            if batch_id is not None:
-                where += f", batch {batch_id}"
+    if where is not None:
         prefix = f"[{where}] "
+    elif worker_id is not None:
+        location = f"worker {worker_id}"
+        if txn:
+            location += f", txn {txn!r}"
+        if stream is not None:
+            location += f", stream {stream!r}"
+            if batch_id is not None:
+                location += f", batch {batch_id}"
+        prefix = f"[{location}] "
     if isinstance(exc, ReproError):
         return type(exc).__name__, prefix + str(exc)
     detail = "".join(traceback.format_exception(exc)).strip()
-    return "ReproError", f"{prefix}worker-side {type(exc).__name__}: {detail}"
+    return "ReproError", f"{prefix}{side}-side {type(exc).__name__}: {detail}"
 
 
 def load_exception(class_name: str, message: str) -> Exception:

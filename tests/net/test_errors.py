@@ -1,0 +1,164 @@
+"""Typed error frames round-trip the engine's exception hierarchy.
+
+One test per class family crossing the wire: aborts (not errors — they
+mirror the in-process ``ProcedureResult`` API), ``TransactionError``,
+``SqlError``, catalog errors, internal (non-engine) faults, and request
+semantics errors.  Every client-side exception must carry the server's
+``[net conn N, ...]`` location prefix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.errors import (
+    BindingError,
+    ProtocolError,
+    ReproError,
+    SqlSyntaxError,
+    TransactionAborted,
+    TransactionError,
+    UnknownObjectError,
+)
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.procedure import StoredProcedure
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+
+pytestmark = pytest.mark.net
+
+
+class AbortingProc(StoredProcedure):
+    """Raises TransactionAborted: a *vetoed* txn, not a server error."""
+
+    name = "abort_me"
+    statements = {}
+
+    def run(self, ctx, reason):
+        raise TransactionAborted(reason)
+
+
+class TxnErrorProc(StoredProcedure):
+    name = "txn_bomb"
+    statements = {}
+
+    def run(self, ctx):
+        raise TransactionError("lifecycle violated on purpose")
+
+
+class InternalBombProc(StoredProcedure):
+    name = "internal_bomb"
+    statements = {}
+
+    def run(self, ctx):
+        raise ValueError("not an engine error at all")
+
+
+@asynccontextmanager
+async def voterless_server():
+    engine = HStoreEngine(command_logging=False)
+    engine.execute_ddl(
+        "CREATE TABLE t (k INT NOT NULL, v VARCHAR(16), PRIMARY KEY (k))"
+    )
+    for procedure in (AbortingProc, TxnErrorProc, InternalBombProc):
+        engine.register_procedure(procedure)
+    server = NetServer(engine, port=0)
+    await server.start()
+    client = await NetClient.connect("127.0.0.1", server.port)
+    try:
+        yield client
+    finally:
+        await client.close()
+        await server.stop()
+        engine.shutdown()
+
+
+def test_abort_is_a_result_not_an_error():
+    async def body():
+        async with voterless_server() as client:
+            result = await client.call_procedure("abort_me", "veto!")
+            assert result.success is False
+            assert "veto!" in result.error
+            assert result.txn_id is not None
+
+    asyncio.run(body())
+
+
+def test_transaction_error_keeps_class_and_prefix():
+    async def body():
+        async with voterless_server() as client:
+            with pytest.raises(TransactionError) as info:
+                await client.call_procedure("txn_bomb")
+            assert type(info.value) is TransactionError
+            assert str(info.value).startswith("[net conn 1, call 'txn_bomb']")
+            assert "lifecycle violated on purpose" in str(info.value)
+
+    asyncio.run(body())
+
+
+def test_sql_error_keeps_class_and_prefix():
+    async def body():
+        async with voterless_server() as client:
+            with pytest.raises(SqlSyntaxError) as info:
+                await client.execute_sql("SELEKT nothing")
+            assert str(info.value).startswith("[net conn 1, sql 'SELEKT nothing']")
+            with pytest.raises(BindingError):
+                await client.execute_sql("SELECT k FROM t WHERE k = ?")
+
+    asyncio.run(body())
+
+
+def test_catalog_error_keeps_class():
+    async def body():
+        async with voterless_server() as client:
+            with pytest.raises(UnknownObjectError, match="no procedure named"):
+                await client.call_procedure("does_not_exist")
+            with pytest.raises(UnknownObjectError):
+                await client.execute_sql("SELECT * FROM missing_table")
+
+    asyncio.run(body())
+
+
+def test_internal_fault_travels_as_repro_error_with_traceback():
+    async def body():
+        async with voterless_server() as client:
+            with pytest.raises(ReproError) as info:
+                await client.call_procedure("internal_bomb")
+            assert type(info.value) is ReproError  # exact fallback class
+            message = str(info.value)
+            assert message.startswith("[net conn 1, call 'internal_bomb']")
+            assert "server-side ValueError" in message
+            assert "not an engine error at all" in message
+
+    asyncio.run(body())
+
+
+def test_bad_request_semantics_is_typed_error_not_disconnect():
+    async def body():
+        async with voterless_server() as client:
+            # well-formed frame, nonsense fields: typed ProtocolError
+            # response, and the connection MUST survive
+            with pytest.raises(ProtocolError, match="string 'proc'"):
+                await client.request(1, {"proc": 42, "params": []})
+            with pytest.raises(ProtocolError, match="array 'params'"):
+                await client.request(2, {"sql": "SELECT 1", "params": "nope"})
+            assert await client.ping("still alive") == "still alive"
+
+    asyncio.run(body())
+
+
+def test_errors_do_not_poison_the_pipeline():
+    async def body():
+        async with voterless_server() as client:
+            good = client.execute_sql("INSERT INTO t VALUES (?, ?)", 1, "a")
+            bad = client.execute_sql("SELEKT")
+            good2 = client.execute_sql("SELECT COUNT(*) FROM t")
+            results = await asyncio.gather(good, bad, good2, return_exceptions=True)
+            assert results[0] == 1
+            assert isinstance(results[1], SqlSyntaxError)
+            assert results[2].scalar() == 1
+
+    asyncio.run(body())

@@ -1,0 +1,241 @@
+"""Unit tests for the wire codec: framing, validation, typed errors."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import (
+    ConnectionClosedError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+    SqlSyntaxError,
+    TransactionAborted,
+    UnknownObjectError,
+)
+from repro.hstore.executor import ResultSet
+from repro.net import protocol as proto
+from repro.net.client import from_wire
+
+pytestmark = pytest.mark.net
+
+
+# ---------------------------------------------------------------------------
+# encode / decode round trips
+# ---------------------------------------------------------------------------
+
+
+def test_roundtrip_single_frame():
+    payload = {"id": 1, "proc": "validate_vote", "params": ["555", 3, 40]}
+    decoder = proto.FrameDecoder()
+    frames = decoder.feed(proto.encode_frame(proto.REQ_CALL, payload))
+    assert frames == [(proto.REQ_CALL, payload)]
+    assert len(decoder) == 0
+
+
+def test_roundtrip_every_frame_type():
+    decoder = proto.FrameDecoder()
+    for frame_type in sorted(proto.REQUEST_TYPES | proto.RESPONSE_TYPES):
+        payload = {"id": frame_type, "t": proto.frame_name(frame_type)}
+        assert decoder.feed(proto.encode_frame(frame_type, payload)) == [
+            (frame_type, payload)
+        ]
+
+
+def test_multiple_frames_in_one_feed():
+    data = b"".join(
+        proto.encode_frame(proto.REQ_PING, {"id": i}) for i in range(5)
+    )
+    frames = proto.FrameDecoder().feed(data)
+    assert [p["id"] for _, p in frames] == [0, 1, 2, 3, 4]
+
+
+def test_byte_at_a_time_feed():
+    payload = {"id": 7, "sql": "SELECT 1", "params": []}
+    data = proto.encode_frame(proto.REQ_SQL, payload)
+    decoder = proto.FrameDecoder()
+    collected = []
+    for i in range(len(data)):
+        collected.extend(decoder.feed(data[i : i + 1]))
+    assert collected == [(proto.REQ_SQL, payload)]
+
+
+def test_partial_frame_is_held_until_complete():
+    data = proto.encode_frame(proto.REQ_PING, {"id": 1})
+    decoder = proto.FrameDecoder()
+    assert decoder.feed(data[:4]) == []
+    assert len(decoder) == 4
+    assert decoder.feed(data[4:]) == [(proto.REQ_PING, {"id": 1})]
+
+
+def test_unicode_and_nested_payloads_survive():
+    payload = {
+        "id": 1,
+        "rows": [["☃ snow", -1, 2.5, None, True], ["x", 0, 1e300, False, "é"]],
+        "nested": {"a": {"b": [1, [2, [3]]]}},
+    }
+    frames = proto.FrameDecoder().feed(proto.encode_frame(proto.REQ_INGEST, payload))
+    assert frames == [(proto.REQ_INGEST, payload)]
+
+
+# ---------------------------------------------------------------------------
+# validation failures (all must be ProtocolError)
+# ---------------------------------------------------------------------------
+
+
+def test_wrong_version_rejected():
+    body = json.dumps({"id": 1}).encode()
+    frame = proto.HEADER.pack(99, proto.REQ_PING, len(body)) + body
+    with pytest.raises(ProtocolError, match="version 99"):
+        proto.FrameDecoder().feed(frame)
+
+
+def test_unknown_frame_type_rejected():
+    body = json.dumps({"id": 1}).encode()
+    frame = proto.HEADER.pack(proto.PROTOCOL_VERSION, 0x42, len(body)) + body
+    with pytest.raises(ProtocolError, match="unknown frame type 0x42"):
+        proto.FrameDecoder().feed(frame)
+
+
+def test_oversized_length_rejected_before_allocation():
+    # a length field of 4 GiB must fail on the header alone — no payload
+    # bytes exist, so passing means the decoder never tried to buffer them
+    frame = proto.HEADER.pack(proto.PROTOCOL_VERSION, proto.REQ_PING, 2**32 - 1)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        proto.FrameDecoder().feed(frame)
+
+
+def test_non_json_payload_rejected():
+    body = b"\xff\xfe not json"
+    frame = proto.HEADER.pack(proto.PROTOCOL_VERSION, proto.REQ_PING, len(body)) + body
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        proto.FrameDecoder().feed(frame)
+
+
+def test_non_object_payload_rejected():
+    body = json.dumps([1, 2, 3]).encode()
+    frame = proto.HEADER.pack(proto.PROTOCOL_VERSION, proto.REQ_PING, len(body)) + body
+    with pytest.raises(ProtocolError, match="must be a JSON object"):
+        proto.FrameDecoder().feed(frame)
+
+
+def test_decoder_poisoned_after_error():
+    decoder = proto.FrameDecoder()
+    with pytest.raises(ProtocolError):
+        decoder.feed(proto.HEADER.pack(3, proto.REQ_PING, 0))
+    with pytest.raises(ProtocolError, match="already failed"):
+        decoder.feed(proto.encode_frame(proto.REQ_PING, {"id": 1}))
+
+
+def test_encode_rejects_unknown_type_and_oversized_payload():
+    with pytest.raises(ProtocolError):
+        proto.encode_frame(0x55, {"id": 1})
+    with pytest.raises(ProtocolError, match="exceeds"):
+        proto.encode_frame(proto.REQ_PING, {"id": "x" * 100}, max_frame=50)
+
+
+def test_custom_max_frame_is_honoured():
+    decoder = proto.FrameDecoder(max_frame=64)
+    small = proto.encode_frame(proto.REQ_PING, {"id": 1}, max_frame=64)
+    assert decoder.feed(small)
+    big = proto.encode_frame(proto.REQ_PING, {"id": "y" * 100})
+    with pytest.raises(ProtocolError):
+        decoder.feed(big)
+
+
+# ---------------------------------------------------------------------------
+# typed error payloads
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "exc, kind",
+    [
+        (TransactionAborted("balance went negative"), "txn"),
+        (SqlSyntaxError("bad token"), "sql"),
+        (UnknownObjectError("no table 'nope'"), "catalog"),
+        (ServerBusyError("overloaded"), "net"),
+        (ConnectionClosedError("gone"), "net"),
+        (ReproError("generic engine failure"), "engine"),
+    ],
+)
+def test_error_payload_roundtrip_keeps_class_and_kind(exc, kind):
+    payload = proto.dump_error(exc, where="net conn 3, call 'x'")
+    assert payload["kind"] == kind
+    assert payload["class"] == type(exc).__name__
+    rebuilt = proto.load_error(payload)
+    assert type(rebuilt) is type(exc)
+    assert str(rebuilt).startswith("[net conn 3, call 'x'] ")
+    assert str(exc) in str(rebuilt)
+
+
+def test_internal_fault_travels_as_repro_error_with_traceback():
+    try:
+        raise ValueError("boom inside the server")
+    except ValueError as exc:
+        payload = proto.dump_error(exc, where="net conn 9, sql 'SELECT 1'")
+    assert payload["class"] == "ReproError"
+    assert payload["kind"] == "internal"
+    assert "server-side ValueError" in payload["message"]
+    assert "boom inside the server" in payload["message"]
+    rebuilt = proto.load_error(payload)
+    assert type(rebuilt) is ReproError
+
+
+def test_unknown_error_class_falls_back_to_repro_error():
+    rebuilt = proto.load_error({"class": "NoSuchClass", "message": "m"})
+    assert type(rebuilt) is ReproError
+    assert str(rebuilt) == "m"
+
+
+def test_network_error_hierarchy():
+    assert issubclass(ProtocolError, NetworkError)
+    assert issubclass(ServerBusyError, NetworkError)
+    assert issubclass(ConnectionClosedError, NetworkError)
+    assert issubclass(NetworkError, ReproError)
+
+
+# ---------------------------------------------------------------------------
+# value conversion
+# ---------------------------------------------------------------------------
+
+
+def test_to_wire_and_from_wire_roundtrip_result_set():
+    rs = ResultSet(columns=["k", "v"], rows=[(1, "one"), (2, None)])
+    wire = proto.to_wire(rs)
+    assert wire == {"$": "rows", "columns": ["k", "v"], "rows": [[1, "one"], [2, None]]}
+    json.dumps(wire)  # must be JSON-serializable
+    back = from_wire(wire)
+    assert isinstance(back, ResultSet)
+    assert back.columns == rs.columns
+    assert back.rows == rs.rows
+    assert all(isinstance(row, tuple) for row in back.rows)
+
+
+def test_to_wire_tuples_become_lists():
+    assert proto.to_wire((1, (2, 3), [4, (5,)])) == [1, [2, 3], [4, [5]]]
+
+
+def test_to_wire_unknown_objects_stringified():
+    class Weird:
+        def __repr__(self):
+            return "weird!"
+
+        __str__ = __repr__
+
+    assert proto.to_wire(Weird()) == "weird!"
+    json.dumps(proto.to_wire({"x": struct.Struct("!B")}))
+
+
+def test_header_is_six_bytes():
+    # the framing contract other-language clients implement against
+    assert proto.HEADER.size == 6
+    data = proto.encode_frame(proto.REQ_PING, {"id": 1})
+    version, frame_type, length = proto.HEADER.unpack(data[:6])
+    assert version == proto.PROTOCOL_VERSION
+    assert frame_type == proto.REQ_PING
+    assert length == len(data) - 6

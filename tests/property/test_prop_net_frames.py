@@ -1,0 +1,102 @@
+"""Property tests for the wire codec: the decoder never misbehaves.
+
+Three properties pin the protocol layer down:
+
+* **round trip**: any JSON-able payload, encoded and re-fed in arbitrary
+  chunk sizes (byte-at-a-time included), decodes to exactly the frames
+  that were encoded, in order;
+* **garbage totality**: for *arbitrary* bytes the decoder either yields
+  valid frames or raises :class:`~repro.errors.ProtocolError` — never any
+  other exception, never a hang, never an over-allocation;
+* **prefix safety**: a valid stream truncated anywhere yields a prefix of
+  the original frames and holds the tail (no phantom frames).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.net import protocol as proto
+
+pytestmark = pytest.mark.net
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+payloads = st.dictionaries(st.text(min_size=1, max_size=8), json_values, max_size=5)
+frame_types = st.sampled_from(sorted(proto.REQUEST_TYPES | proto.RESPONSE_TYPES))
+
+
+def chunked(data: bytes, cuts: list[int]) -> list[bytes]:
+    """Split ``data`` at the (normalized) cut offsets."""
+    offsets = sorted({cut % (len(data) + 1) for cut in cuts})
+    pieces, last = [], 0
+    for offset in offsets:
+        pieces.append(data[last:offset])
+        last = offset
+    pieces.append(data[last:])
+    return pieces
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    frames=st.lists(st.tuples(frame_types, payloads), min_size=1, max_size=5),
+    cuts=st.lists(st.integers(0, 10_000), max_size=12),
+)
+def test_roundtrip_under_arbitrary_chunking(frames, cuts):
+    data = b"".join(proto.encode_frame(t, p) for t, p in frames)
+    decoder = proto.FrameDecoder()
+    decoded = []
+    for piece in chunked(data, cuts):
+        decoded.extend(decoder.feed(piece))
+    assert decoded == frames
+    assert len(decoder) == 0
+
+
+@settings(max_examples=300, deadline=None)
+@given(garbage=st.binary(max_size=200), cuts=st.lists(st.integers(0, 200), max_size=6))
+def test_garbage_bytes_never_raise_anything_but_protocol_error(garbage, cuts):
+    decoder = proto.FrameDecoder(max_frame=4096)
+    for piece in chunked(garbage, cuts):
+        try:
+            frames = decoder.feed(piece)
+        except ProtocolError:
+            return  # the one allowed outcome; decoder is now poisoned
+        for frame_type, payload in frames:
+            assert frame_type in proto.REQUEST_TYPES | proto.RESPONSE_TYPES
+            assert isinstance(payload, dict)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    frames=st.lists(st.tuples(frame_types, payloads), min_size=1, max_size=4),
+    cut=st.integers(0, 10_000),
+)
+def test_truncation_yields_a_prefix_never_phantom_frames(frames, cut):
+    data = b"".join(proto.encode_frame(t, p) for t, p in frames)
+    decoder = proto.FrameDecoder()
+    decoded = decoder.feed(data[: cut % (len(data) + 1)])
+    assert decoded == frames[: len(decoded)]
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=payloads)
+def test_valid_frame_with_flipped_version_always_rejected(payload):
+    data = bytearray(proto.encode_frame(proto.REQ_CALL, payload))
+    data[0] = (data[0] + 1) % 256
+    with pytest.raises(ProtocolError):
+        proto.FrameDecoder().feed(bytes(data))
