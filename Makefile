@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel obs compile dstream ivm net bench
+.PHONY: test faults parallel obs compile dstream ivm net telemetry bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,8 +47,15 @@ compile:
 
 # TCP front door: wire-protocol codec units + hypothesis garbage fuzzing,
 # typed-error round trips, and the asyncio server lifecycle/load suite
+# (includes the telemetry-plane suite: trace stitching over TCP, head
+# sampling, the /metrics sidecar, and piggybacked worker deltas)
 net:
 	$(PYTHON) -m pytest -m net -q
+
+# telemetry-plane benchmark: default-on overhead bar (<5%), cross-process
+# trace stitch completeness, and watermark-lag fidelity on a split pipeline
+telemetry:
+	$(PYTHON) -m pytest benchmarks/bench_e17_telemetry.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,466 @@
+"""E17 — The telemetry plane: default-on overhead, stitch and lag fidelity.
+
+ISSUE 9's acceptance benchmark, three parts:
+
+* **overhead**: the E16 networked Voter stack (closed-loop TCP clients,
+  admission control, group-commit batching, buffered command logging) run
+  as a *paired* experiment — an obs-off server and a default-``ObsConfig``
+  server live in the same process, requests alternate between them in
+  bursts, and the overhead is the **median of per-pair wall ratios**.  On
+  a contended single core every other estimator (best-of-rounds TPS,
+  min-CPU) is at the mercy of ambient load: adjacent bursts see the same
+  machine, so the pairwise ratio cancels what the configs share and the
+  median discards the bursts a scheduler hiccup poisoned.  Pair order
+  alternates (off-first, on-first) so linear load drift cancels too, and
+  the whole experiment repeats up to three times with the best median
+  taken — the E12/E16 best-of-rounds convention, for the case where a
+  neighbor hammers the machine for an entire attempt.  fsync is off
+  for this section only — the kernel's journal CPU accounting varies by
+  tens of µs per request between runs, which would swamp a <5% signal
+  (E16 itself guards the fsync'd TPS).  The engine-thread CPU ratio — the
+  partition executor is the scarce resource — is reported alongside.
+  Bar: **<5%** median wall overhead, clients untraced (the default-on
+  experience; server-rooted traces are head-sampled at 1/``trace_sample``).
+* **trace stitching**: a fully-traced run against a 2-worker partition
+  cluster — every client call must come back as one complete cross-process
+  trace (client span, server request span, group-commit window, worker
+  txn), and the completeness *fraction* is the guard (must be 1.0).
+* **watermark-lag fidelity**: on a split relay → sink streaming pipe the
+  ``stream_health()`` report must agree with the authoritative per-worker
+  dstream state, the published gauges must equal the report, and a
+  quiescent cluster must show zero lag everywhere.
+
+A sample flight-recorder dump from the traced run lands in
+``benchmarks/_results/flight.jsonl`` (CI uploads it as an artifact).
+
+Guards (``check_regression.py`` treats guards as higher-is-better, so the
+overhead bar is encoded as a 1.0-boolean like E16's ``p99_bounded``; the
+raw percentage is in the JSON body): ``telemetry_overhead_pct`` (1.0 iff
+median overhead < 5%), ``trace_stitch_complete`` (fraction), and
+``stream_lag_fidelity`` (1.0-boolean).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import statistics
+import tempfile
+import time
+
+from repro.apps.voter import schema
+from repro.apps.voter.procedures import ValidateVote
+from repro.bench import format_table, percentiles, write_bench_json
+from repro.core.engine import StreamProcedure
+from repro.core.workflow import WorkflowSpec
+from repro.dstream import DStreamEngine
+from repro.hstore.engine import HStoreEngine
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.obs import ObsConfig
+from repro.obs.trace import Tracer
+from repro.parallel import ParallelHStoreEngine
+
+WORKERS = 2
+# paired-burst overhead experiment
+PAIRS = 32
+BURST_CLIENTS = 20
+BURST_PER_CLIENT = 25
+OVERHEAD_BAR_PCT = 5.0
+# fully-traced cluster run (stitch + skew + flight dump)
+TRACED_CLIENTS = 10
+TRACED_PER_CLIENT = 40
+CLIENT_ORIGIN = 900  # clear of engine origins (coordinator 0, workers 1..N)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+class RoutedValidateVote(ValidateVote):
+    """SP1 routed by phone number (same as E11): single-partition votes."""
+
+    partition_param = 0
+
+
+# module level so worker subprocesses can unpickle them (the
+# tests/dstream/procs.py pattern)
+class BenchRelay(StreamProcedure):
+    name = "bench_relay"
+    statements = {"log": "INSERT INTO e17_relay_log (k) VALUES (?)"}
+
+    def run(self, ctx) -> None:
+        out = []
+        for (k,) in ctx.batch:
+            ctx.execute("log", k)
+            out.append((k,))
+        ctx.emit("e17_mid", out)
+
+
+class BenchSink(StreamProcedure):
+    name = "bench_sink"
+    statements = {"log": "INSERT INTO e17_sink_log (k) VALUES (?)"}
+
+    def run(self, ctx) -> None:
+        for (k,) in ctx.batch:
+            ctx.execute("log", k)
+
+
+def votes_for(clients: int, per_client: int) -> list[list[tuple]]:
+    return [
+        [(f"{c:04d}-555-{i:04d}", (c + i) % schema.NUM_CONTESTANTS + 1, i)
+         for i in range(per_client)]
+        for c in range(clients)
+    ]
+
+
+# ----------------------------------------------------------------------
+# part 1: paired-burst overhead
+# ----------------------------------------------------------------------
+
+
+def run_overhead(max_attempts: int = 3) -> dict:
+    """Best-of-attempts median pair overhead (the E12/E16 convention).
+
+    One experiment is already a median over ``PAIRS`` alternating paired
+    bursts; on a quiet machine that lands within ~±1.5 points of the
+    intrinsic cost.  A load spell lasting the whole experiment (minutes of
+    neighbor activity) inflates every pair though, so — exactly like E12's
+    and E16's best-of-interleaved-rounds — the experiment repeats up to
+    ``max_attempts`` times and the *best* median is the measurement.  All
+    attempts land in the JSON for the skeptical reader.
+    """
+    attempts: list[dict] = []
+    for _ in range(max_attempts):
+        result = _overhead_once()
+        attempts.append(result)
+        if result["wall_overhead_pct"] < OVERHEAD_BAR_PCT:
+            break
+    best = min(attempts, key=lambda r: r["wall_overhead_pct"])
+    best["attempt_medians_pct"] = [a["wall_overhead_pct"] for a in attempts]
+    return best
+
+
+def _overhead_once() -> dict:
+    """Median per-pair overhead of default-on telemetry, E16 stack."""
+
+    async def _make(obs: ObsConfig | None, log_dir: str):
+        engine = HStoreEngine(command_logging=True, obs=obs)
+        engine.enable_durability(log_dir, fsync_log=False)
+        schema.install_tables(engine)
+        schema.seed_contestants(engine)
+        engine.register_procedure(ValidateVote)
+        server = NetServer(engine, port=0, max_inflight=2048, max_pipeline=64)
+        await server.start()
+        conns = await asyncio.gather(
+            *(NetClient.connect(port=server.port) for _ in range(BURST_CLIENTS))
+        )
+        return engine, server, conns
+
+    async def _burst(server: NetServer, conns, tag: str) -> tuple[float, float]:
+        """Returns (wall µs/req, engine-thread CPU µs/req) for one burst."""
+        loop = asyncio.get_running_loop()
+
+        async def one(ci: int, client: NetClient) -> None:
+            for i in range(BURST_PER_CLIENT):
+                result = await client.call_procedure(
+                    "validate_vote",
+                    f"{tag}-{ci:03d}-{i:03d}",
+                    (ci + i) % schema.NUM_CONTESTANTS + 1,
+                    i,
+                )
+                assert result.success
+
+        cpu0 = await loop.run_in_executor(server._executor, time.thread_time)
+        wall0 = time.perf_counter()
+        await asyncio.gather(*(one(ci, c) for ci, c in enumerate(conns)))
+        wall1 = time.perf_counter()
+        cpu1 = await loop.run_in_executor(server._executor, time.thread_time)
+        n = BURST_CLIENTS * BURST_PER_CLIENT
+        return (wall1 - wall0) / n * 1e6, (cpu1 - cpu0) / n * 1e6
+
+    async def body() -> dict:
+        with tempfile.TemporaryDirectory() as d_off, \
+                tempfile.TemporaryDirectory() as d_on:
+            off = await _make(None, d_off)
+            on = await _make(ObsConfig(), d_on)
+            try:
+                # one warmup burst each: the first burst pays import/JIT-cold
+                # costs that would land on whichever config runs first
+                await _burst(off[1], off[2], "warm-off")
+                await _burst(on[1], on[2], "warm-on")
+                pairs: list[tuple[float, float, float]] = []
+                for pair in range(PAIRS):
+                    # alternate which config goes first so a linear drift in
+                    # ambient load biases half the pairs each way (cancels
+                    # in the median) instead of all of them one way
+                    if pair % 2 == 0:
+                        wall_off, cpu_off = await _burst(off[1], off[2], f"off-{pair:03d}")
+                        wall_on, cpu_on = await _burst(on[1], on[2], f"on-{pair:03d}")
+                    else:
+                        wall_on, cpu_on = await _burst(on[1], on[2], f"on-{pair:03d}")
+                        wall_off, cpu_off = await _burst(off[1], off[2], f"off-{pair:03d}")
+                    pairs.append((wall_off, wall_on / wall_off, cpu_on / cpu_off))
+            finally:
+                for _, server, _conns in (off, on):
+                    await server.stop()
+                for engine, _, _ in (off, on):
+                    engine.shutdown()
+            wall_ratios = [p[1] for p in pairs]
+            return {
+                "pairs": PAIRS,
+                "burst_requests": BURST_CLIENTS * BURST_PER_CLIENT,
+                "wall_overhead_pct": (statistics.median(wall_ratios) - 1) * 100,
+                "engine_cpu_overhead_pct": (
+                    statistics.median(p[2] for p in pairs) - 1
+                ) * 100,
+                "wall_ratio_quartiles": statistics.quantiles(wall_ratios, n=4),
+                "pair_overheads_pct": [(r - 1) * 100 for r in wall_ratios],
+            }
+
+    return asyncio.run(body())
+
+
+# ----------------------------------------------------------------------
+# part 2: fully-traced cluster run (stitch, skew, flight dump)
+# ----------------------------------------------------------------------
+
+
+def stitch_fraction(client_tracer: Tracer, engine) -> tuple[float, int]:
+    """Fraction of client calls whose trace stitched end to end."""
+    by_trace: dict[int, list] = {}
+    for span in client_tracer.collector.spans() + engine.tracer.collector.spans():
+        by_trace.setdefault(span.trace_id, []).append(span)
+    traces = [
+        spans for spans in by_trace.values()
+        if any(s.name == "client.call" for s in spans)
+    ]
+    complete = sum(
+        1
+        for spans in traces
+        if {"net.call", "net.commit_batch"} <= {s.name for s in spans}
+        and "txn" in {s.kind for s in spans}
+    )
+    return (complete / len(traces) if traces else 0.0), len(traces)
+
+
+def run_traced_cluster() -> dict:
+    """Traced closed-loop clients against a 2-worker partition cluster."""
+
+    async def body() -> dict:
+        engine = ParallelHStoreEngine(WORKERS, obs=ObsConfig())
+        schema.install_tables(engine)
+        engine.register_procedure(RoutedValidateVote)
+        schema.seed_contestants(engine)
+        server = NetServer(engine, port=0)
+        await server.start()
+        tracer = Tracer(process="client", origin=CLIENT_ORIGIN)
+        latencies: list[float] = []
+
+        async def one_client(client: NetClient, share: list[tuple]) -> None:
+            async with client:
+                for vote in share:
+                    started = time.perf_counter()
+                    result = await client.call_procedure("validate_vote", *vote)
+                    latencies.append((time.perf_counter() - started) * 1e6)
+                    assert result.success
+
+        connections = await asyncio.gather(
+            *(
+                NetClient.connect("127.0.0.1", server.port, tracer=tracer)
+                for _ in range(TRACED_CLIENTS)
+            )
+        )
+        shares = votes_for(TRACED_CLIENTS, TRACED_PER_CLIENT)
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(one_client(conn, share) for conn, share in zip(connections, shares))
+        )
+        wall = time.perf_counter() - started
+
+        fraction, traces = stitch_fraction(tracer, engine)
+        skew = engine.partition_skew()
+        RESULTS_DIR.mkdir(exist_ok=True)
+        server.flight.dump(
+            RESULTS_DIR / "flight.jsonl",
+            collector=engine.tracer.collector,
+            reason="bench-e17",
+        )
+        result = {
+            "requests": TRACED_CLIENTS * TRACED_PER_CLIENT,
+            "tps": TRACED_CLIENTS * TRACED_PER_CLIENT / wall,
+            "latency_us": percentiles(latencies),
+            "stitch_fraction": fraction,
+            "stitched_traces": traces,
+            "partition_skew": {
+                "skew_ratio": skew["skew_ratio"],
+                "total_txns": skew["total_txns"],
+            },
+            "flight_summary": server.flight.summary(),
+        }
+        await server.stop()
+        engine.shutdown()
+        return result
+
+    return asyncio.run(body())
+
+
+# ----------------------------------------------------------------------
+# part 3: watermark-lag fidelity
+# ----------------------------------------------------------------------
+
+
+def run_lag_fidelity() -> dict:
+    """Split streaming pipe: report vs. authoritative state vs. gauges."""
+    engine = DStreamEngine(2, obs=ObsConfig(metrics=True))
+    for ddl in (
+        "CREATE STREAM e17_src (k INTEGER)",
+        "CREATE STREAM e17_mid (k INTEGER)",
+        "CREATE TABLE e17_relay_log (k INTEGER NOT NULL)",
+        "CREATE TABLE e17_sink_log (k INTEGER NOT NULL)",
+    ):
+        engine.execute_ddl(ddl)
+    engine.register_procedure(BenchRelay)
+    engine.register_procedure(BenchSink)
+    spec = WorkflowSpec("e17_pipe")
+    spec.add_node(
+        "bench_relay", input_stream="e17_src", batch_size=4,
+        output_streams=("e17_mid",),
+    )
+    spec.add_node("bench_sink", input_stream="e17_mid")
+    engine.deploy_workflow(
+        spec, placement={"bench_relay": 0, "bench_sink": 1}
+    )
+    ingests = 25
+    for chunk in range(ingests):
+        engine.ingest("e17_src", [(chunk * 4 + i,) for i in range(4)])
+    engine.run_until_quiescent()
+
+    health = engine.stream_health()
+    states = engine.dstream_status()
+    # authoritative lag per stream, straight from the raw worker state
+    produced: dict[str, int] = {}
+    applied: dict[str, int] = {}
+    for state in states:
+        for name, token in state["stream_seq"].items():
+            produced[name] = max(produced.get(name, 0), token)
+        for name, watermark in state["watermarks"].items():
+            applied[name] = max(applied.get(name, 0), watermark)
+    report_matches_state = all(
+        info["lag"] == produced[name] - applied.get(name, 0)
+        for name, info in health["streams"].items()
+    )
+    quiescent_zero = all(
+        info["lag"] == 0 for info in health["streams"].values()
+    ) and all(
+        info["outbound_depth"] == 0 and info["pending_tes"] == 0
+        for info in health["workers"].values()
+    )
+    snapshot = engine.metrics.to_json()
+    gauges = {
+        entry["labels"]["stream"]: entry["value"]
+        for entry in snapshot["stream.watermark_lag"]
+    }
+    gauges_match = all(
+        gauges.get(name) == info["lag"]
+        for name, info in health["streams"].items()
+    )
+    e2e_count = sum(e["count"] for e in snapshot["stream.e2e_us"])
+    engine.shutdown()
+    return {
+        "streams": health["streams"],
+        "report_matches_state": report_matches_state,
+        "quiescent_zero_lag": quiescent_zero,
+        "gauges_match_report": gauges_match,
+        "e2e_samples": e2e_count,
+        "e2e_samples_expected": ingests,
+        "fidelity": bool(
+            report_matches_state
+            and quiescent_zero
+            and gauges_match
+            and e2e_count == ingests
+        ),
+    }
+
+
+def test_e17_telemetry_overhead_and_fidelity(benchmark, save_report):
+    overhead: dict = {}
+    traced: dict = {}
+    lag: dict = {}
+
+    def run_all():
+        overhead.update(run_overhead())
+        traced.update(run_traced_cluster())
+        lag.update(run_lag_fidelity())
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    overhead_pct = overhead["wall_overhead_pct"]
+    stitch = traced["stitch_fraction"]
+
+    quartiles = overhead["wall_ratio_quartiles"]
+    save_report(
+        "e17_telemetry",
+        format_table(
+            ["metric", "value"],
+            [
+                ["pairs", overhead["pairs"]],
+                ["burst requests", overhead["burst_requests"]],
+                ["median wall overhead", f"{overhead_pct:+.2f}%"],
+                [
+                    "median engine-thread CPU overhead",
+                    f"{overhead['engine_cpu_overhead_pct']:+.2f}%",
+                ],
+                [
+                    "attempt medians",
+                    " ".join(
+                        f"{a:+.2f}%" for a in overhead["attempt_medians_pct"]
+                    ),
+                ],
+                [
+                    "pair-ratio quartiles",
+                    " ".join(f"{(q - 1) * 100:+.1f}%" for q in quartiles),
+                ],
+            ],
+        )
+        + f"\noverhead bar: {OVERHEAD_BAR_PCT}% (best-of-attempts median of "
+        f"{overhead['pairs']} alternating paired bursts, obs-off vs default "
+        "ObsConfig, untraced clients)"
+        + f"\ntrace stitch: {stitch:.3f} complete over "
+        f"{traced['stitched_traces']} traces "
+        f"({traced['tps']:.0f} tps traced, p99 "
+        f"{traced['latency_us']['p99']:.0f} µs)"
+        + f"\nlag fidelity: report==state {lag['report_matches_state']}, "
+        f"gauges==report {lag['gauges_match_report']}, quiescent zero "
+        f"{lag['quiescent_zero_lag']}, e2e {lag['e2e_samples']}/"
+        f"{lag['e2e_samples_expected']}",
+    )
+
+    assert overhead_pct < OVERHEAD_BAR_PCT, (
+        f"default-on telemetry costs {overhead_pct:.2f}% median wall "
+        f"(bar {OVERHEAD_BAR_PCT}%)"
+    )
+    assert stitch == 1.0, f"only {stitch:.3f} of traces stitched end to end"
+    assert lag["fidelity"], f"watermark-lag fidelity failed: {lag}"
+
+    write_bench_json(
+        "e17_telemetry",
+        {
+            "config": {
+                "workers": WORKERS,
+                "pairs": PAIRS,
+                "burst_clients": BURST_CLIENTS,
+                "burst_per_client": BURST_PER_CLIENT,
+                "traced_clients": TRACED_CLIENTS,
+                "traced_per_client": TRACED_PER_CLIENT,
+                "overhead_bar_pct": OVERHEAD_BAR_PCT,
+            },
+            "overhead": overhead,
+            "traced_cluster": traced,
+            "lag_fidelity": lag,
+            "guard": {
+                # higher-is-better booleans (E16 convention); raw pct above
+                "telemetry_overhead_pct": float(overhead_pct < OVERHEAD_BAR_PCT),
+                "trace_stitch_complete": stitch,
+                "stream_lag_fidelity": float(lag["fidelity"]),
+            },
+        },
+    )

@@ -761,7 +761,14 @@ class SStoreEngine(HStoreEngine):
             if activated:
                 tracer.deactivate()
         if metered:
-            self._observe_txn(task.procedure_name, started_ns, outcome == "committed")
+            duration_us = (time.perf_counter_ns() - started_ns) / 1000.0
+            buf = self._txn_obs
+            if buf is None:
+                self._observe_txn(
+                    task.procedure_name, duration_us, outcome == "committed"
+                )
+            else:
+                buf.append((task.procedure_name, duration_us, outcome == "committed"))
 
     def _execute_stream_te_body(self, task: StreamTask) -> str:
         procedure = self.procedure(task.procedure_name)

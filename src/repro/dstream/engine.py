@@ -25,6 +25,7 @@ already covered it with an earlier token).
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.core.engine import _TICK_RECORD
@@ -85,6 +86,10 @@ class DStreamEngine(ParallelHStoreEngine):
         self._stream_worker: dict[str, int] = {}
         #: cluster-wide tick sequence number (broadcast dedup)
         self._tick_seq = 0
+        #: stream-health instrument caches (populated lazily when obs is on)
+        self._stream_lag_gauges: dict[str, Any] = {}
+        self._stream_depth_gauges: dict[int, Any] = {}
+        self._stream_e2e_hists: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Deployment
@@ -151,12 +156,26 @@ class DStreamEngine(ParallelHStoreEngine):
                 f"(the cluster does not buffer unconsumed ingests)"
             )
         self.stats_local.client_pe_roundtrips += 1
+        started_ns = time.perf_counter_ns() if self.metrics is not None else 0
         reply = self._rpc(
             self.workers[wid],
             msg.OP_INGEST,
             (stream_name, [tuple(row) for row in rows]),
         )
         self._pump(reply["dispatches"])
+        if self.metrics is not None:
+            # ingest() returns only after _pump has chased every dispatch to
+            # a committed downstream TE, so this histogram really is the
+            # ingest→downstream-commit end-to-end latency
+            histogram = self._stream_e2e_hists.get(stream_name)
+            if histogram is None:
+                histogram = self.metrics.histogram(
+                    "stream.e2e_us",
+                    "ingest→downstream-commit end-to-end latency (µs)",
+                    stream=stream_name,
+                )
+                self._stream_e2e_hists[stream_name] = histogram
+            histogram.observe((time.perf_counter_ns() - started_ns) / 1000.0)
         return reply["accepted"]
 
     def advance_time(self, ticks: int = 1) -> int:
@@ -377,6 +396,74 @@ class DStreamEngine(ParallelHStoreEngine):
     def dstream_status(self) -> list[dict[str, Any]]:
         """Raw per-worker streaming state (watermarks, tokens, pending)."""
         return self._broadcast(msg.OP_DSTREAM_STATE)
+
+    def stream_health(self) -> dict[str, Any]:
+        """Per-stream watermark lag + per-worker queue depths, with gauges.
+
+        Watermark lag is the number of dispatched-but-not-yet-applied
+        batches on a cross-worker stream: the producer's ordering token
+        (``stream_seq``) minus the consumer's watermark.  At quiescence
+        every lag is zero — a persistent nonzero lag means a consumer is
+        falling behind its producer, the streaming half of the skew signal.
+
+        When metrics are on, the report is also published as
+        ``stream.watermark_lag{stream=}``, ``stream.outbound_depth{worker=}``
+        and ``stream.pending_tes{worker=}`` gauges.
+        """
+        states = self.dstream_status()
+        produced: dict[str, int] = {}
+        applied: dict[str, int] = {}
+        for state in states:
+            for stream_name, token in state["stream_seq"].items():
+                produced[stream_name] = max(produced.get(stream_name, 0), token)
+            for stream_name, watermark in state["watermarks"].items():
+                applied[stream_name] = max(applied.get(stream_name, 0), watermark)
+        streams = {
+            stream_name: {
+                "produced": token,
+                "applied": applied.get(stream_name, 0),
+                "lag": token - applied.get(stream_name, 0),
+            }
+            for stream_name, token in sorted(produced.items())
+        }
+        workers = {
+            state["worker_id"]: {
+                "outbound_depth": state["outbound"],
+                "pending_tes": state["pending_tes"],
+            }
+            for state in states
+        }
+        if self.metrics is not None:
+            for stream_name, info in streams.items():
+                gauge = self._stream_lag_gauges.get(stream_name)
+                if gauge is None:
+                    gauge = self.metrics.gauge(
+                        "stream.watermark_lag",
+                        "dispatched-but-unapplied batches per stream",
+                        stream=stream_name,
+                    )
+                    self._stream_lag_gauges[stream_name] = gauge
+                gauge.set(info["lag"])
+            for wid, info in workers.items():
+                gauges = self._stream_depth_gauges.get(wid)
+                if gauges is None:
+                    label = str(wid)
+                    gauges = (
+                        self.metrics.gauge(
+                            "stream.outbound_depth",
+                            "undelivered cross-worker dispatches per worker",
+                            worker=label,
+                        ),
+                        self.metrics.gauge(
+                            "stream.pending_tes",
+                            "scheduled-but-unexecuted TEs per worker",
+                            worker=label,
+                        ),
+                    )
+                    self._stream_depth_gauges[wid] = gauges
+                gauges[0].set(info["outbound_depth"])
+                gauges[1].set(info["pending_tes"])
+        return {"streams": streams, "workers": workers}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         alive = sum(1 for worker in self.workers if worker.alive)

@@ -17,6 +17,14 @@ row count, and typed error frames are re-raised as their original
 :class:`SyncNetClient` wraps all of it for blocking callers (examples,
 REPLs): it runs a private event loop on a daemon thread and forwards every
 call with ``run_coroutine_threadsafe``.
+
+Pass a :class:`~repro.obs.trace.Tracer` to join the cluster trace plane:
+every work-carrying request then ships a ``"trace": [trace_id, span_id]``
+pair the server adopts as its remote parent, and the client records a
+``client.<op>`` span (with ``client.enqueue`` / ``client.await`` children
+splitting write-side from server-side time) into the same trace.  Client
+spans are recorded out-of-band (:meth:`Tracer.record_span`) rather than via
+the nesting stack, because pipelined coroutines complete in arbitrary order.
 """
 
 from __future__ import annotations
@@ -29,8 +37,12 @@ from repro.errors import ConnectionClosedError, ProtocolError, ServerBusyError
 from repro.hstore.executor import ResultSet
 from repro.hstore.procedure import ProcedureResult
 from repro.net import protocol as proto
+from repro.obs.trace import NULL_TRACER, Tracer, now_us
 
 __all__ = ["NetClient", "SyncNetClient", "from_wire"]
+
+#: work-carrying request types that propagate trace context to the server
+_TRACED_TYPES = frozenset({proto.REQ_CALL, proto.REQ_SQL, proto.REQ_INGEST})
 
 
 def from_wire(value: Any) -> Any:
@@ -56,10 +68,12 @@ class NetClient:
         writer: asyncio.StreamWriter,
         *,
         max_frame: int = proto.MAX_FRAME_BYTES,
+        tracer: Tracer | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._decoder = proto.FrameDecoder(max_frame)
         self._next_id = 0
         self._pending: dict[int, asyncio.Future] = {}
@@ -75,9 +89,10 @@ class NetClient:
         port: int = 7077,
         *,
         max_frame: int = proto.MAX_FRAME_BYTES,
+        tracer: Tracer | None = None,
     ) -> "NetClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame=max_frame)
+        return cls(reader, writer, max_frame=max_frame, tracer=tracer)
 
     async def __aenter__(self) -> "NetClient":
         return self
@@ -160,14 +175,64 @@ class NetClient:
             raise ConnectionClosedError("client is closed")
         self._next_id += 1
         rid = self._next_id
+        tracer = self._tracer
+        traced = tracer.enabled and frame_type in _TRACED_TYPES
+        if traced:
+            # the call span doubles as the trace root: its id IS the trace id,
+            # and the server hangs its request span under it
+            root_id = tracer.alloc_id()
+            payload = {**payload, "trace": [root_id, root_id]}
         frame = proto.encode_frame(
             frame_type, {"id": rid, **payload}, max_frame=self._max_frame
         )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
-        self._writer.write(frame)
-        await self._writer.drain()
-        resp_type, resp = await future
+        if not traced:
+            self._writer.write(frame)
+            await self._writer.drain()
+            resp_type, resp = await future
+        else:
+            name = proto.frame_name(frame_type)
+            start = sent = now_us()
+            error: str | None = None
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+                sent = now_us()
+                resp_type, resp = await future
+            except BaseException as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                raise
+            finally:
+                end = now_us()
+                attrs: dict[str, Any] = {"request_id": rid}
+                if error is not None:
+                    attrs["error"] = error
+                tracer.record_span(
+                    "client",
+                    f"client.{name}",
+                    trace_id=root_id,
+                    span_id=root_id,
+                    start_us=start,
+                    end_us=end,
+                    attrs=attrs,
+                )
+                tracer.record_span(
+                    "client",
+                    "client.enqueue",
+                    trace_id=root_id,
+                    parent_id=root_id,
+                    start_us=start,
+                    end_us=sent,
+                )
+                tracer.record_span(
+                    "client",
+                    "client.await",
+                    trace_id=root_id,
+                    parent_id=root_id,
+                    start_us=sent,
+                    end_us=end,
+                )
         if resp_type == proto.RESP_BUSY:
             raise ServerBusyError(
                 "server busy: request fast-rejected by admission control "
@@ -206,9 +271,23 @@ class NetClient:
         _, resp = await self.request(proto.REQ_PING, {"echo": echo})
         return resp.get("echo")
 
-    async def stats(self) -> dict[str, Any]:
-        _, resp = await self.request(proto.REQ_STATS, {})
-        return {"server": resp.get("server", {}), "engine": resp.get("engine", {})}
+    async def stats(self, *, flight: bool = False) -> dict[str, Any]:
+        """Scrape the server: counters, metrics snapshot, flight summary.
+
+        Pass ``flight=True`` to also pull the flight recorder's recent-
+        request ring (with span trees) as ``"flight_records"``.
+        """
+        payload: dict[str, Any] = {"flight": True} if flight else {}
+        _, resp = await self.request(proto.REQ_STATS, payload)
+        stats = {
+            "server": resp.get("server", {}),
+            "engine": resp.get("engine", {}),
+            "metrics": resp.get("metrics"),
+            "telemetry": resp.get("telemetry", {}),
+        }
+        if "flight_records" in resp:
+            stats["flight_records"] = resp["flight_records"]
+        return stats
 
 
 class SyncNetClient:
@@ -268,5 +347,5 @@ class SyncNetClient:
     def ping(self, echo: Any = None) -> Any:
         return self._run(self._client.ping(echo))
 
-    def stats(self) -> dict[str, Any]:
-        return self._run(self._client.stats())
+    def stats(self, *, flight: bool = False) -> dict[str, Any]:
+        return self._run(self._client.stats(flight=flight))

@@ -25,21 +25,38 @@ the pre-close protocol-error notice):
 ========================  ======  ==========================================
 constant                  value   payload
 ========================  ======  ==========================================
-``REQ_CALL``              0x01    ``{"id", "proc", "params"}``
-``REQ_SQL``               0x02    ``{"id", "sql", "params"}``
-``REQ_INGEST``            0x03    ``{"id", "stream", "rows"}``
+``REQ_CALL``              0x01    ``{"id", "proc", "params", "trace"?}``
+``REQ_SQL``               0x02    ``{"id", "sql", "params", "trace"?}``
+``REQ_INGEST``            0x03    ``{"id", "stream", "rows", "trace"?}``
 ``REQ_PING``              0x04    ``{"id", "echo"?}``
-``REQ_STATS``             0x05    ``{"id"}``
+``REQ_STATS``             0x05    ``{"id", "flight"?}``
 ``RESP_RESULT``           0x81    ``{"id", "success", "data", "error",
                                   "txn_id", "partition"}`` (REQ_CALL) or
                                   ``{"id", "result"}`` (REQ_SQL/REQ_INGEST)
 ``RESP_ERROR``            0x82    ``{"id", "error": {"class", "message",
                                   "kind", "code"?}}``
 ``RESP_PONG``             0x83    ``{"id", "echo"}``
-``RESP_STATS``            0x84    ``{"id", "server", "engine"}``
+``RESP_STATS``            0x84    ``{"id", "server", "engine", "metrics",
+                                  "telemetry", "flight_records"?}``
 ``RESP_BUSY``             0x85    ``{"id"}`` — admission control fast-reject
 ``RESP_PROTOCOL_ERROR``   0x7f    ``{"message"}`` — sent once, then close
 ========================  ======  ==========================================
+
+Trace propagation: the three work-carrying requests accept an optional
+``"trace": [trace_id, span_id]`` pair (two non-negative integers — the
+caller's trace id and the span under which server-side work should hang).
+A traced server activates it as the remote parent for that request, so the
+client's call span, the server's request and group-commit spans, and the
+partition worker's transaction spans all land in *one* trace.  The field
+is advisory: servers with tracing off ignore it, malformed values are
+dropped rather than rejected, and untraced clients simply omit it.
+
+``REQ_STATS`` is the observability scrape: ``server`` and ``engine`` are
+the plain counter dicts, ``metrics`` is the server's metrics-registry JSON
+snapshot (``null`` when metrics are off), ``telemetry`` carries the flight
+recorder's summary, and a request with ``"flight": true`` additionally
+returns ``flight_records`` — the recorder's recent-request ring with span
+trees attached (see :mod:`repro.obs.recorder`).
 
 Typed error payloads round-trip the engine's exception hierarchy: the
 ``class`` field names a class from :mod:`repro.errors` (rebuilt verbatim on

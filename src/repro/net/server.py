@@ -45,23 +45,45 @@ Architecture (one process, two threads)::
 * **Graceful shutdown.** ``stop()`` stops accepting, fast-fails newly
   arriving requests with a shutting-down error, waits for every admitted
   request to execute + flush + write its response, then closes sockets.
+
+* **Telemetry plane.**  A request carrying a ``"trace"`` context is run
+  with that context activated, so the client's call span, the server's
+  ``net.<op>`` span, the engine/worker txn spans *and* a per-trace
+  ``net.commit_batch`` span (the group-commit window the request shared)
+  all land in one trace.  Requests *without* client context are head-
+  sampled: 1 in ``trace_sample`` roots a server-side trace, the rest run
+  with the tracer suspended and cost what an untraced engine costs — which
+  is what keeps default-on telemetry under E17's overhead bar while every
+  client-requested trace stays complete.  Every request also feeds the
+  :class:`~repro.obs.recorder.FlightRecorder` (bounded ring + slow log,
+  auto-dumped on errors when ``flight_dir`` is set), and ``http_port``
+  mounts a stdlib HTTP sidecar with ``/metrics`` (Prometheus text),
+  ``/metrics.json``, ``/healthz``, ``/statsz`` and ``/flight``.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import json
+import pathlib
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ConnectionClosedError, ProtocolError, ReproError
 from repro.hstore.cmdlog import CommandLog
 from repro.net import protocol as proto
-from repro.obs.trace import NULL_TRACER
+from repro.obs.http import HttpError, ObsHttpServer
+from repro.obs.recorder import DEFAULT_SLOW_US, FlightRecorder
+from repro.obs.trace import NULL_TRACER, TraceCollector, TraceContext, now_us
 
 __all__ = ["NetServer", "main"]
+
+
+def _json(value: Any) -> str:
+    return json.dumps(value, separators=(",", ":"), default=str)
 
 _CLOSE = object()  # writer-loop sentinel: flush what's queued, then exit
 _STOP = object()   # coalescer sentinel
@@ -87,17 +109,45 @@ class _Connection:
 
 
 class _Request:
-    __slots__ = ("conn", "frame_type", "payload", "submitted")
+    __slots__ = (
+        "conn",
+        "frame_type",
+        "payload",
+        "submitted",
+        "start_us",
+        "trace_ctx",
+        "trace_id",
+        "span_id",
+        "ok",
+        "error",
+    )
 
     def __init__(
-        self, conn: _Connection, frame_type: int, payload: dict[str, Any]
+        self,
+        conn: _Connection,
+        frame_type: int,
+        payload: dict[str, Any],
+        trace_ctx: TraceContext | None = None,
     ) -> None:
         self.conn = conn
         self.frame_type = frame_type
         self.payload = payload
         #: perf_counter at admission; ``net.request_us`` measures from here
-        #: to response build, so it includes queueing under load
+        #: to the commit batch returning, so it includes queueing under load
+        #: *and* the group-commit window the ack implies
         self.submitted = time.perf_counter()
+        self.start_us = now_us()
+        #: the client's ``[trace_id, span_id]`` pair, already validated
+        self.trace_ctx = trace_ctx
+        #: this request's server-side span, filled in by ``_run_request`` so
+        #: the batch runner can hang the shared commit window under it
+        self.trace_id: int | None = None
+        self.span_id: int | None = None
+        #: outcome, filled in by ``_run_request``; the per-request accounting
+        #: (flight record, counters, latency histogram) happens on the
+        #: event-loop thread afterwards, keeping the engine thread lean
+        self.ok = True
+        self.error: str | None = None
 
 
 class NetServer:
@@ -127,9 +177,16 @@ class NetServer:
         max_frame: int = proto.MAX_FRAME_BYTES,
         group_commit_size: int = 64,
         write_high_water: int | None = None,
+        http_port: int | None = None,
+        flight_capacity: int = 512,
+        slow_us: float = DEFAULT_SLOW_US,
+        flight_dir: str | pathlib.Path | None = None,
+        trace_sample: int = 64,
     ) -> None:
         if max_inflight < 1 or max_pipeline < 1:
             raise ReproError("max_inflight and max_pipeline must be >= 1")
+        if trace_sample < 1:
+            raise ReproError("trace_sample must be >= 1")
         self.engine = engine
         self.host = host
         self.port = port
@@ -172,7 +229,29 @@ class NetServer:
         self._draining = False
         self._drained: asyncio.Event | None = None
 
+        #: always on — recording is one dict append; the span join is lazy
+        self.flight = FlightRecorder(flight_capacity, slow_us=slow_us)
+        self._flight_dir = (
+            pathlib.Path(flight_dir) if flight_dir is not None else None
+        )
+        self._flight_dumps_left = 5  # auto-dump budget; operator dumps are free
+        self.http: ObsHttpServer | None = None
+        self._http_port = http_port
+
+        #: head-based sampling of *locally rooted* traces: a request that
+        #: carries client trace context is always traced (the upstream
+        #: sampling decision is honored), a request without one roots a
+        #: server-side trace only every ``trace_sample``-th time.  Unsampled
+        #: requests run with the tracer suspended, so the engine's spans
+        #: skip too — the request costs what an untraced engine costs.
+        self.trace_sample = trace_sample
+        self._sample_clock = 0
+
         self._tracer = getattr(engine, "tracer", NULL_TRACER)
+        #: stable tracing-on flag for threads other than the engine thread:
+        #: ``tracer.enabled`` flickers during sampling suspends, so the
+        #: event-loop and HTTP threads must not branch on it directly
+        self._tracing = self._tracer.enabled
         metrics = getattr(engine, "metrics", None)
         self._g_conns = self._g_inflight = None
         self._h_request = self._h_batch = None
@@ -183,7 +262,7 @@ class NetServer:
                 "net.inflight", "admitted requests awaiting a response"
             )
             self._h_request = metrics.histogram(
-                "net.request_us", "admission-to-response-build latency (µs)"
+                "net.request_us", "admission-to-commit latency (µs)"
             )
             self._h_batch = metrics.histogram(
                 "net.commit_batch", "requests coalesced per commit batch"
@@ -192,6 +271,15 @@ class NetServer:
                 self._metric_counters[name] = metrics.counter(
                     f"net.{name}", f"network front door: {name}"
                 )
+        # bound once for the per-request hot path (skips the dict lookup
+        # `_count` does; "requests" is the only per-request counter)
+        self._c_requests = self._metric_counters.get("requests")
+        # batch the engine's per-txn metric observation too, drained with
+        # the rest of the per-request accounting off the engine thread
+        self._flush_txn_metrics = None
+        if metrics is not None and hasattr(engine, "defer_txn_metrics"):
+            engine.defer_txn_metrics()
+            self._flush_txn_metrics = engine.flush_txn_metrics
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -213,11 +301,20 @@ class NetServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._coalescer = self._loop.create_task(self._commit_loop())
+        if self._http_port is not None:
+            self.http = ObsHttpServer(
+                self._http_routes(), host=self.host, port=self._http_port
+            ).start()
 
     async def stop(self) -> None:
         """Graceful shutdown: drain in-flight txns, then close sockets."""
         if self._server is None:
             return
+        if self.http is not None:
+            # stop the scrape sidecar first: its engine-hopping routes must
+            # not race the executor shutdown below
+            self.http.stop()
+            self.http = None
         self._draining = True
         self._server.close()
         await self._server.wait_closed()
@@ -228,6 +325,9 @@ class NetServer:
         if self._coalescer is not None:
             await self._coalescer
         self._executor.shutdown(wait=True)
+        if self._flush_txn_metrics is not None:
+            # nothing is appending anymore; catch any tail observations
+            self._flush_txn_metrics()
         # every admitted response is now sitting in an outbox; flush the
         # writers before tearing the sockets down
         for conn in list(self._conns.values()):
@@ -409,8 +509,18 @@ class NetServer:
         conn.inflight += 1
         if self._g_inflight is not None:
             self._g_inflight.set(self.inflight)
+        trace_ctx = None
+        if self._tracing:
+            # advisory field: malformed values are dropped, not rejected
+            trace = payload.get("trace")
+            if (
+                isinstance(trace, list)
+                and len(trace) == 2
+                and all(isinstance(part, int) and part >= 0 for part in trace)
+            ):
+                trace_ctx = TraceContext(trace[0], trace[1])
         assert self._queue is not None
-        self._queue.put_nowait(_Request(conn, frame_type, payload))
+        self._queue.put_nowait(_Request(conn, frame_type, payload, trace_ctx))
 
     def _send(
         self, conn: _Connection, frame_type: int, payload: dict[str, Any], counts: bool
@@ -473,6 +583,15 @@ class NetServer:
                             ),
                         )
                     )
+                self.flight.record(
+                    kind="batch",
+                    name=f"{len(batch)} request(s)",
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self._auto_dump("crash")
+            else:
+                self._account_batch(batch)
             for conn, data in responses:
                 self._send_bytes(conn, data, counts=True)
             self.inflight -= len(batch)
@@ -482,34 +601,147 @@ class NetServer:
                 assert self._drained is not None
                 self._drained.set()
 
+    def _account_batch(self, batch: list[_Request]) -> None:
+        """Per-request accounting, deliberately OFF the engine thread.
+
+        The engine thread is the partition executor — the scarce resource —
+        so the flight record, request counter, and latency histogram are
+        written here on the event-loop thread, after the commit batch
+        returns and before the responses go out (a client that has its
+        response is guaranteed to find its flight record).  Measured from
+        admission to commit-batch return, ``net.request_us`` covers the
+        group-commit window the ack implies.
+        """
+        if self._flush_txn_metrics is not None:
+            self._flush_txn_metrics()
+        perf = time.perf_counter()
+        for req in batch:
+            self.counters["requests"] += 1
+            if self._c_requests is not None:
+                self._c_requests.inc()
+            duration_us = (perf - req.submitted) * 1e6
+            if self._h_request is not None:
+                self._h_request.observe(duration_us)
+            payload = req.payload
+            self.flight.record(
+                kind=proto.frame_name(req.frame_type),
+                name=payload.get("proc")
+                or payload.get("stream")
+                or payload.get("sql"),
+                conn=req.conn.id,
+                trace_id=req.trace_id,
+                start_us=req.start_us,
+                duration_us=duration_us,
+                ok=req.ok,
+                error=req.error,
+            )
+            if not req.ok:
+                self._auto_dump("error")
+
     def _run_batch(
         self, batch: list[_Request]
     ) -> list[tuple[_Connection, bytes]]:
         """Execute one coalesced batch on the engine thread, flush once."""
         self._count("batches")
         out = []
-        with self._tracer.span("net", "net.commit_batch", requests=len(batch)):
+        if not self._tracing:
             for req in batch:
                 out.append((req.conn, self._run_request(req)))
-            log = getattr(self.engine, "command_log", None)
-            if log is not None and getattr(log, "enabled", False):
-                flushed = log.flush()
-                if flushed:
-                    self._count("log_flushes")
-                    self._count("flushed_records", flushed)
+            self._flush_log()
+        else:
+            # the batch is shared by requests from *different* traces, so it
+            # cannot be one stack-nested span; run the requests, then record
+            # one out-of-band commit-window span per distinct trace
+            batch_start = now_us()
+            for req in batch:
+                out.append((req.conn, self._run_request(req)))
+            flush_start = now_us()
+            flushed = self._flush_log()
+            batch_end = now_us()
+            self._record_batch_spans(batch, batch_start, flush_start, batch_end, flushed)
         if self._h_batch is not None:
             self._h_batch.observe(len(batch))
         return out
+
+    def _flush_log(self) -> int:
+        """The group-commit barrier: one log flush for the whole batch."""
+        log = getattr(self.engine, "command_log", None)
+        if log is not None and getattr(log, "enabled", False):
+            flushed = log.flush()
+            if flushed:
+                self._count("log_flushes")
+                self._count("flushed_records", flushed)
+            return flushed
+        return 0
+
+    def _record_batch_spans(
+        self,
+        batch: list[_Request],
+        start_us: int,
+        flush_start_us: int,
+        end_us: int,
+        flushed: int,
+    ) -> None:
+        """One ``net.commit_batch`` span per distinct trace in the batch.
+
+        Every request in the batch shared the same commit window (its ack
+        implies the shared flush), so each trace gets the full-window span,
+        parented under that request's server span.
+        """
+        seen: set[int] = set()
+        for req in batch:
+            if req.span_id is None or req.trace_id in seen:
+                continue
+            seen.add(req.trace_id)
+            self._tracer.record_span(
+                "net",
+                "net.commit_batch",
+                trace_id=req.trace_id,
+                parent_id=req.span_id,
+                start_us=start_us,
+                end_us=end_us,
+                attrs={
+                    "requests": len(batch),
+                    "flushed_records": flushed,
+                    "flush_us": end_us - flush_start_us,
+                },
+            )
 
     def _run_request(self, req: _Request) -> bytes:
         """Run one request on the engine thread; always returns a frame."""
         rid = req.payload.get("id")
         name = proto.frame_name(req.frame_type)
+        tracer = self._tracer
+        suspended = False
+        traced = tracer.enabled
+        if traced:
+            if req.trace_ctx is None:
+                # no upstream decision: sample locally rooted traces
+                sampled = self._sample_clock % self.trace_sample == 0
+                self._sample_clock += 1
+                if not sampled:
+                    # inline Tracer.suspend() — this runs per unsampled
+                    # request, the single hottest telemetry branch
+                    tracer.enabled = False
+                    suspended = True
+                    traced = False
+            if traced:
+                # adopt the client's context (or clear a predecessor's): the
+                # ``net.<op>`` span then roots under the client's call span,
+                # and every engine span nests inside it via the tracer stack
+                tracer.activate(req.trace_ctx)
         try:
-            with self._tracer.span("net", f"net.{name}", conn=req.conn.id):
+            if traced:
+                with tracer.span("net", f"net.{name}", conn=req.conn.id) as span:
+                    req.trace_id = span.trace_id
+                    req.span_id = span.span_id
+                    frame_type, payload = self._execute(req, rid)
+            else:
                 frame_type, payload = self._execute(req, rid)
             data = proto.encode_frame(frame_type, payload, max_frame=self.max_frame)
         except Exception as exc:
+            req.ok = False
+            req.error = f"{type(exc).__name__}: {exc}"
             error = proto.dump_error(
                 exc, where=f"net conn {req.conn.id}, {name} {req.payload.get('proc') or req.payload.get('sql') or req.payload.get('stream') or ''!r}"
             )
@@ -518,9 +750,11 @@ class NetServer:
                 {"id": rid, "error": error},
                 max_frame=self.max_frame,
             )
-        self._count("requests")
-        if self._h_request is not None:
-            self._h_request.observe((time.perf_counter() - req.submitted) * 1e6)
+        finally:
+            if traced:
+                tracer.deactivate()
+            elif suspended:
+                tracer.enabled = True  # inline Tracer.resume()
         return data
 
     def _execute(self, req: _Request, rid: Any) -> tuple[int, dict[str, Any]]:
@@ -569,13 +803,9 @@ class NetServer:
             count = ingest(stream, [tuple(row) for row in rows])
             return proto.RESP_RESULT, {"id": rid, "result": count}
         if req.frame_type == proto.REQ_STATS:
-            stats = engine.stats  # cluster backends broadcast here
-            snap = stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
-            return proto.RESP_STATS, {
-                "id": rid,
-                "server": self.server_stats(),
-                "engine": snap,
-            }
+            stats = self._stats_payload(flight=bool(payload.get("flight")))
+            stats["id"] = rid
+            return proto.RESP_STATS, stats
         raise ProtocolError(f"unexpected request frame {proto.frame_name(req.frame_type)!r}")
 
     def server_stats(self) -> dict[str, Any]:
@@ -586,6 +816,108 @@ class NetServer:
         stats["max_pipeline"] = self.max_pipeline
         stats["group_commit_size"] = self.group_commit_size
         return stats
+
+    # ------------------------------------------------------------------
+    # telemetry plane: stats scrape, flight recorder, HTTP sidecar
+    # ------------------------------------------------------------------
+
+    def _stats_payload(self, *, flight: bool = False) -> dict[str, Any]:
+        """The full observability scrape.  Engine thread only."""
+        stats = self.engine.stats  # cluster backends broadcast here
+        snap = stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
+        metrics = getattr(self.engine, "metrics", None)
+        telemetry: dict[str, Any] = {"flight": self.flight.summary()}
+        if metrics is not None:
+            skew = getattr(self.engine, "partition_skew", None)
+            if skew is not None:
+                telemetry["partition_skew"] = skew()
+            health = getattr(self.engine, "stream_health", None)
+            if health is not None:
+                telemetry["stream_health"] = health()
+        out: dict[str, Any] = {
+            "server": self.server_stats(),
+            "engine": snap,
+            "metrics": metrics.to_json() if metrics is not None else None,
+            "telemetry": telemetry,
+        }
+        if flight:
+            out["flight_records"] = self.flight.to_payload(
+                collector=self._collector()
+            )
+        return out
+
+    def _collector(self) -> TraceCollector | None:
+        return self._tracer.collector if self._tracing else None
+
+    def _auto_dump(self, reason: str) -> None:
+        """Bounded error/crash flight dump (operator dumps don't count)."""
+        if self._flight_dir is None or self._flight_dumps_left <= 0:
+            return
+        self._flight_dumps_left -= 1
+        try:
+            seq = 5 - self._flight_dumps_left
+            self.flight.dump(
+                self._flight_dir / f"flight-{reason}-{seq:02d}.jsonl",
+                collector=self._collector(),
+                reason=reason,
+            )
+        except OSError:
+            pass  # a full disk must not take the data path down with it
+
+    def _hop(self, fn: Callable[[], Any], timeout: float = 5.0) -> Any:
+        """Run ``fn`` on the engine thread (routes must not touch it directly)."""
+        return self._executor.submit(fn).result(timeout)
+
+    def _http_routes(self) -> dict[str, Any]:
+        def metrics_registry() -> Any:
+            registry = getattr(self.engine, "metrics", None)
+            if registry is None:
+                raise HttpError(
+                    404, "metrics are off; start the server with --obs"
+                )
+            return registry
+
+        def metrics_text() -> tuple[str, str]:
+            registry = metrics_registry()
+            return (
+                "text/plain; version=0.0.4; charset=utf-8",
+                self._hop(registry.to_prometheus),
+            )
+
+        def metrics_json() -> tuple[str, str]:
+            registry = metrics_registry()
+            return "application/json", _json(self._hop(registry.to_json))
+
+        def healthz() -> tuple[str, str]:
+            # answered from plain counters, never hops to the engine: the
+            # liveness probe must work even when the engine is wedged
+            return "application/json", _json(
+                {
+                    "ok": True,
+                    "draining": self._draining,
+                    "inflight": self.inflight,
+                    "connections": len(self._conns),
+                }
+            )
+
+        def statsz() -> tuple[str, str]:
+            return "application/json", _json(self._hop(self._stats_payload))
+
+        def flight() -> tuple[str, str]:
+            records = self._hop(
+                lambda: self.flight.to_payload(collector=self._collector())
+            )
+            return "application/json", _json(
+                {"flight": self.flight.summary(), "records": records}
+            )
+
+        return {
+            "/metrics": metrics_text,
+            "/metrics.json": metrics_json,
+            "/healthz": healthz,
+            "/statsz": statsz,
+            "/flight": flight,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -634,6 +966,10 @@ async def _serve(engine: Any, args: argparse.Namespace) -> None:
         max_inflight=args.max_inflight,
         max_pipeline=args.max_pipeline,
         group_commit_size=args.group_commit,
+        http_port=args.http_port,
+        slow_us=args.slow_us,
+        flight_dir=args.flight_dir,
+        trace_sample=args.trace_sample,
     )
     await server.start()
     if not args.quiet:
@@ -643,6 +979,12 @@ async def _serve(engine: Any, args: argparse.Namespace) -> None:
             f"group_commit={server.group_commit_size})",
             flush=True,
         )
+        if server.http is not None:
+            print(
+                f"repro.net: telemetry at {server.http.url}/metrics "
+                f"(/metrics.json /healthz /statsz /flight)",
+                flush=True,
+            )
     try:
         await asyncio.Event().wait()
     finally:
@@ -678,6 +1020,30 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument(
         "--obs", action="store_true", help="enable repro.obs tracing + metrics"
+    )
+    parser.add_argument(
+        "--http-port",
+        type=int,
+        default=None,
+        help="mount the HTTP telemetry sidecar on this port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--slow-us",
+        type=float,
+        default=DEFAULT_SLOW_US,
+        help="flight-recorder slow-request threshold in microseconds",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        help="auto-dump flight-recorder JSONL here on errors/crashes",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=64,
+        help="root a server-side trace for 1 in N requests that carry no "
+        "client trace context (client-traced requests are always traced)",
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)

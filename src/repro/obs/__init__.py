@@ -12,8 +12,16 @@ substrate that makes those arguments inspectable per event:
   ``EngineStats`` round-trip counters;
 * :mod:`repro.obs.config` — the :class:`ObsConfig` engines take at
   construction (default: off, one branch per hot-path site);
+* :mod:`repro.obs.telemetry` — per-partition load telemetry piggybacked on
+  worker mailbox replies, plus the Space-Saving heavy-hitter sketch;
+* :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  recent requests with span trees and a slow-transaction log, dumped to
+  JSONL on error/crash/operator request;
+* :mod:`repro.obs.http` — a stdlib HTTP sidecar serving ``/metrics``
+  (Prometheus text), ``/healthz`` and friends;
 * :mod:`repro.obs.dashboard` — ``python -m repro.obs.dashboard``, a
-  stdlib-only live TUI reproducing the paper's demo screens.
+  stdlib-only live TUI reproducing the paper's demo screens (including a
+  ``net`` mode that tails a remote server's ``/metrics`` endpoint).
 
 Quick start::
 
@@ -27,12 +35,15 @@ Quick start::
 """
 
 from repro.obs.config import ObsConfig
+from repro.obs.http import HttpError, ObsHttpServer
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.recorder import FlightRecorder
+from repro.obs.telemetry import PartitionTelemetry, SpaceSaving
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -42,20 +53,27 @@ from repro.obs.trace import (
     Tracer,
     export_chrome_trace,
     export_jsonl,
+    now_us,
 )
 
 __all__ = [
     "ObsConfig",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HttpError",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "ObsHttpServer",
+    "PartitionTelemetry",
     "Span",
+    "SpaceSaving",
     "TraceCollector",
     "TraceContext",
     "Tracer",
     "export_chrome_trace",
     "export_jsonl",
+    "now_us",
 ]

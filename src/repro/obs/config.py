@@ -36,6 +36,15 @@ class ObsConfig:
     #: throughput where the default txn/PE-trigger/workflow-level tracing
     #: stays under 5% (measured by benchmark E12).
     sql_spans: bool = False
+    #: piggyback bounded per-partition metric deltas (EngineStats deltas,
+    #: op latency, hot-key sketch) on worker mailbox replies; the
+    #: coordinator folds them into partition-labeled instruments.  Requires
+    #: ``metrics``; costs one small dict per reply (measured by E17).
+    partition_telemetry: bool = True
+    #: counter capacity of each worker's Space-Saving heavy-hitter sketch:
+    #: any key whose frequency exceeds N/k of that partition's offered keys
+    #: is guaranteed present in the top-k report
+    heavy_hitter_k: int = 16
 
     @property
     def enabled(self) -> bool:

@@ -14,6 +14,12 @@ redraws an operator's view a few times a second:
 * an application panel (Voter leaderboard / BikeShare station occupancy);
 * the tracer's span count, so a viewer can see the trace growing live.
 
+``--engine net`` needs no engine at all: the dashboard polls a remote
+:class:`~repro.net.server.NetServer`'s HTTP telemetry sidecar
+(``--url http://host:port``, the ``/statsz`` route) and renders the same
+operator view — plus the partition-skew and stream-lag panels — from the
+scrape, so one terminal can watch a server running anywhere.
+
 Everything is stdlib: the "TUI" is an ANSI clear-screen redraw (suppress
 with ``--plain``, which appends frames instead — that is also what the
 ``make obs`` smoke test and CI use, since neither has a tty worth clearing).
@@ -137,6 +143,11 @@ class VoterParallelDriver:
             for votes, number in counts[:3]
         ]
 
+    def extra_lines(self) -> list[str]:
+        if self.engine.metrics is None:
+            return []
+        return _skew_lines(self.engine.partition_skew())
+
     def shutdown(self) -> None:
         self.engine.shutdown()
 
@@ -186,6 +197,94 @@ class BikeShareSStoreDriver:
         self.engine.shutdown()
 
 
+class NetDashboardDriver:
+    """Operator view of a *remote* server: no engine, only HTTP scrapes.
+
+    Polls the net server's telemetry sidecar (``/statsz``) and renders the
+    standard panels from the scrape — the process holding the engine can be
+    anywhere.  Unreachable scrapes keep the last good snapshot and note the
+    error instead of crashing the viewer.
+    """
+
+    def __init__(self, url: str) -> None:
+        self.engine = None
+        self.url = url.rstrip("/")
+        self.name = f"net @ {self.url}"
+        self._stats: dict[str, Any] = {}
+        self._error: str | None = None
+
+    def step(self) -> None:
+        import json as _json
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(self.url + "/statsz", timeout=2.0) as resp:
+                self._stats = _json.loads(resp.read().decode("utf-8"))
+            self._error = None
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            self._error = str(exc)
+            time.sleep(0.2)  # don't spin against a dead server
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self._stats.get("engine") or {})
+
+    def latency_lines(self) -> list[str]:
+        metrics = self._stats.get("metrics") or {}
+        lines = []
+        for name in ("txn_latency_us", "call_latency_us", "net.request_us"):
+            for entry in metrics.get(name, []):
+                if not entry.get("count"):
+                    continue
+                label = entry.get("labels", {}).get("procedure", name)
+                lines.append(
+                    f"{label:<20} n={int(entry['count']):<7}"
+                    f" p50={entry['p50']:>8.0f}us p95={entry['p95']:>8.0f}us"
+                    f" p99={entry['p99']:>8.0f}us"
+                )
+        return lines
+
+    def queue_lines(self) -> list[str]:
+        server = self._stats.get("server") or {}
+        lines = [
+            f"connections={server.get('connections_open', 0)}"
+            f" inflight={server.get('inflight', 0)}"
+            f" busy_rejected={server.get('busy_rejected', 0)}"
+            f" batches={server.get('batches', 0)}"
+        ]
+        health = (self._stats.get("telemetry") or {}).get("stream_health")
+        if health:
+            for name, info in sorted(health.get("streams", {}).items()):
+                lines.append(
+                    f"stream {name:<18} lag={info['lag']:<5}"
+                    f" produced={info['produced']}"
+                )
+            for wid, info in sorted(health.get("workers", {}).items()):
+                lines.append(
+                    f"worker {wid}: outbound={info['outbound_depth']}"
+                    f" pending_tes={info['pending_tes']}"
+                )
+        return lines
+
+    def extra_lines(self) -> list[str]:
+        skew = (self._stats.get("telemetry") or {}).get("partition_skew")
+        return _skew_lines(skew) if skew else []
+
+    def app_lines(self) -> list[str]:
+        flight = (self._stats.get("telemetry") or {}).get("flight") or {}
+        lines = [
+            f"flight recorder: recorded={flight.get('recorded', 0)}"
+            f" errors={flight.get('errors', 0)} slow={flight.get('slow', 0)}"
+            f" (threshold {flight.get('slow_threshold_us', 0):g}us)"
+        ]
+        if self._error is not None:
+            lines.append(f"SCRAPE FAILED: {self._error}")
+        return lines
+
+    def shutdown(self) -> None:
+        pass
+
+
 DRIVERS: dict[tuple[str, str], Callable[..., Any]] = {
     ("voter", "sstore"): VoterSStoreDriver,
     ("voter", "parallel"): VoterParallelDriver,
@@ -196,6 +295,32 @@ DRIVERS: dict[tuple[str, str], Callable[..., Any]] = {
 # ---------------------------------------------------------------------------
 # Frame rendering
 # ---------------------------------------------------------------------------
+
+
+def _skew_lines(skew: dict[str, Any]) -> list[str]:
+    """The partition-skew panel: load bars + heavy hitters per partition.
+
+    Works on both the in-process :meth:`partition_skew` dict (int worker
+    ids, tuple hot keys) and its JSON round-trip from ``/statsz`` (string
+    ids, list hot keys).
+    """
+    partitions = skew.get("partitions") or {}
+    if not partitions:
+        return []
+    lines = [
+        f"partition skew (max/mean {skew.get('skew_ratio', 0):.2f},"
+        f" {skew.get('total_txns', 0)} txns)"
+    ]
+    peak = max(int(skew.get("max_txns", 0)), 1)
+    for wid in sorted(partitions, key=str):
+        info = partitions[wid]
+        txns = int(info.get("txns_committed", 0))
+        bar = "#" * max(1 if txns else 0, int(round(20 * txns / peak)))
+        hot = " ".join(
+            f"{key}x{int(estimate)}" for key, estimate, _err in info.get("hot_keys", [])[:4]
+        )
+        lines.append(f"  p{wid} [{bar:<20}] {txns:<7} hot: {hot or '-'}")
+    return lines
 
 
 def _engine_snapshot(engine: Any) -> dict[str, int]:
@@ -230,33 +355,41 @@ def render_frame(
     elapsed: float,
 ) -> str:
     def rate(counter: str) -> float:
-        return (snapshot[counter] - previous.get(counter, 0)) / max(dt, 1e-9)
+        return (snapshot.get(counter, 0) - previous.get(counter, 0)) / max(dt, 1e-9)
 
     lines = [
         f"repro.obs dashboard — {driver.name} — t={elapsed:5.1f}s",
         "=" * 64,
         "throughput",
         f"  committed: {rate('txns_committed'):8.0f} txn/s"
-        f"   (total {snapshot['txns_committed']})",
+        f"   (total {snapshot.get('txns_committed', 0)})",
         f"  ingested:  {rate('stream_tuples_ingested'):8.0f} tuples/s"
-        f"   (total {snapshot['stream_tuples_ingested']})",
+        f"   (total {snapshot.get('stream_tuples_ingested', 0)})",
         "",
         "round trips",
-        f"  client↔PE: {snapshot['client_pe_roundtrips']:<8}"
-        f" PE↔EE: {snapshot['pe_ee_roundtrips']:<8}"
-        f" IPC: {snapshot['ipc_roundtrips']}",
+        f"  client↔PE: {snapshot.get('client_pe_roundtrips', 0):<8}"
+        f" PE↔EE: {snapshot.get('pe_ee_roundtrips', 0):<8}"
+        f" IPC: {snapshot.get('ipc_roundtrips', 0)}",
         "",
         "latency (per procedure)",
     ]
-    lines += [f"  {line}" for line in _latency_lines(driver.engine)]
+    latency_fn = getattr(driver, "latency_lines", None)
+    latency = latency_fn() if latency_fn is not None else _latency_lines(driver.engine)
+    lines += [f"  {line}" for line in (latency or ["(no samples yet)"])]
     lines += ["", "queues / partitions"]
     lines += [f"  {line}" for line in driver.queue_lines()]
-    tracer = driver.engine.tracer
-    if tracer.enabled:
+    extra_fn = getattr(driver, "extra_lines", None)
+    if extra_fn is not None:
+        extra = extra_fn()
+        if extra:
+            lines += [""] + extra
+    engine = getattr(driver, "engine", None)
+    if engine is not None and engine.tracer.enabled:
+        collector = engine.tracer.collector
         lines += [
             "",
-            f"trace: {len(tracer.collector)} spans recorded"
-            f" ({tracer.collector.dropped} dropped)",
+            f"trace: {len(collector)} spans recorded"
+            f" ({collector.dropped} dropped)",
         ]
     lines += [""]
     lines += driver.app_lines()
@@ -275,10 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--app", choices=("voter", "bikeshare"), default="voter")
     parser.add_argument(
-        "--engine", choices=("sstore", "parallel"), default="sstore"
+        "--engine", choices=("sstore", "parallel", "net"), default="sstore"
     )
     parser.add_argument("--workers", type=int, default=2,
                         help="partition count for --engine parallel")
+    parser.add_argument("--url", default="http://127.0.0.1:9090",
+                        help="telemetry sidecar base URL for --engine net")
     parser.add_argument("--seconds", type=float, default=10.0,
                         help="how long to run the workload")
     parser.add_argument("--refresh", type=float, default=0.5,
@@ -300,26 +435,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    try:
-        driver_cls = DRIVERS[(args.app, args.engine)]
-    except KeyError:
-        print(
-            f"unsupported combination: --app {args.app} --engine {args.engine}"
-            " (bikeshare needs the streaming engine)",
-            file=sys.stderr,
-        )
-        return 2
+    if args.engine == "net":
+        driver: Any = NetDashboardDriver(args.url)
+    else:
+        try:
+            driver_cls = DRIVERS[(args.app, args.engine)]
+        except KeyError:
+            print(
+                f"unsupported combination: --app {args.app} --engine {args.engine}"
+                " (bikeshare needs the streaming engine)",
+                file=sys.stderr,
+            )
+            return 2
+        obs = ObsConfig(tracing=not args.no_trace)
+        driver = driver_cls(obs, args.seed, args.workers)
 
-    obs = ObsConfig(tracing=not args.no_trace)
-    driver = driver_cls(obs, args.seed, args.workers)
-    previous = _engine_snapshot(driver.engine)
+    def snapshot_now() -> dict[str, int]:
+        taker = getattr(driver, "snapshot", None)
+        return taker() if taker is not None else _engine_snapshot(driver.engine)
+
+    previous = snapshot_now()
     started = last_draw = time.monotonic()
     try:
         while True:
             driver.step()
             now = time.monotonic()
             if now - last_draw >= args.refresh or now - started >= args.seconds:
-                snapshot = _engine_snapshot(driver.engine)
+                snapshot = snapshot_now()
                 frame = render_frame(
                     driver, snapshot, previous, now - last_draw, now - started
                 )
@@ -332,16 +474,18 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        tracer = driver.engine.tracer
-        if tracer.enabled and args.export_trace:
-            tracer.collector.export_jsonl(args.export_trace)
-            print(f"trace written to {args.export_trace}")
-        if tracer.enabled and args.export_chrome:
-            tracer.collector.export_chrome(args.export_chrome)
-            print(f"chrome trace written to {args.export_chrome}")
-        if driver.engine.metrics is not None and args.export_metrics:
-            driver.engine.metrics.write_json(args.export_metrics)
-            print(f"metrics written to {args.export_metrics}")
+        engine = getattr(driver, "engine", None)
+        if engine is not None:
+            tracer = engine.tracer
+            if tracer.enabled and args.export_trace:
+                tracer.collector.export_jsonl(args.export_trace)
+                print(f"trace written to {args.export_trace}")
+            if tracer.enabled and args.export_chrome:
+                tracer.collector.export_chrome(args.export_chrome)
+                print(f"chrome trace written to {args.export_chrome}")
+            if engine.metrics is not None and args.export_metrics:
+                engine.metrics.write_json(args.export_metrics)
+                print(f"metrics written to {args.export_metrics}")
         driver.shutdown()
     return 0
 

@@ -1,0 +1,120 @@
+"""A stdlib HTTP sidecar exposing the telemetry plane.
+
+One tiny ``ThreadingHTTPServer`` on a daemon thread, serving GET-only
+routes out of a plain ``{path: callable}`` table.  Each callable returns
+``(content_type, body)``; raising :class:`HttpError` maps to that status,
+anything else to 500.  Built for :class:`~repro.net.server.NetServer` —
+which mounts ``/metrics`` (Prometheus text), ``/metrics.json``,
+``/healthz``, ``/statsz`` and ``/flight`` — but generic enough for any
+in-process publisher.
+
+The engines are not thread-safe, so route callables that touch an engine
+must hop onto its owning thread themselves (the net server routes those
+reads through its single-worker engine executor); ``/healthz`` is answered
+from plain counters so liveness probing works even when the engine is
+wedged mid-batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+__all__ = ["HttpError", "ObsHttpServer"]
+
+#: route callable: () -> (content_type, body-str-or-bytes)
+RouteFn = Callable[[], tuple[str, Any]]
+
+
+class HttpError(Exception):
+    """Raise from a route callable to answer with a specific status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+    routes: dict[str, RouteFn] = {}
+
+    def log_message(self, *args: Any) -> None:  # pragma: no cover - silence
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route = self.routes.get(path)
+        if route is None:
+            known = ", ".join(sorted(self.routes))
+            self._answer(404, "text/plain", f"no route {path!r}; try: {known}\n")
+            return
+        try:
+            content_type, body = route()
+        except HttpError as exc:
+            self._answer(exc.status, "text/plain", f"{exc}\n")
+            return
+        except TimeoutError:
+            self._answer(503, "text/plain", "engine busy: snapshot timed out\n")
+            return
+        except Exception as exc:  # noqa: BLE001 - a probe must not kill serving
+            self._answer(500, "text/plain", f"{type(exc).__name__}: {exc}\n")
+            return
+        self._answer(200, content_type, body)
+
+    def _answer(self, status: int, content_type: str, body: Any) -> None:
+        data = body.encode("utf-8") if isinstance(body, str) else bytes(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # probe hung up; nothing to salvage
+
+
+class ObsHttpServer:
+    """Serve a route table over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        routes: dict[str, RouteFn],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.routes = dict(routes)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsHttpServer":
+        if self._httpd is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,), {"routes": self.routes})
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None

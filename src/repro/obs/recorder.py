@@ -1,0 +1,188 @@
+"""The flight recorder: what the server was doing when it mattered.
+
+A bounded ring of recent request records plus a separate slow-transaction
+log (requests over a configurable threshold), designed for the network
+front door but engine-agnostic: anything that serves requests can
+:meth:`~FlightRecorder.record` one dict per request.
+
+Records are cheap on purpose — one small dict append under a lock, no
+span-tree assembly, no I/O — so the recorder can stay on by default.  The
+expensive join (attaching each record's span tree out of the trace
+collector) happens only at *dump* time: on an error, on a crash, or on
+operator request (the net protocol's ``stats`` frame with ``flight`` set,
+or the HTTP ``/flight`` endpoint).
+
+Dump format is JSONL, one record per line::
+
+    {"seq": 17, "kind": "call", "name": "validate_vote", "conn": 3,
+     "trace_id": 1099511627777, "start_us": ..., "duration_us": 812.4,
+     "ok": true, "error": null, "slow": false,
+     "spans": [ ...span dicts for trace 1099511627777... ]}
+
+``spans`` appears only when a collector is supplied and the record carried
+a trace id — flight dumps from an untraced server still carry the request
+facts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import deque
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import TraceCollector
+
+__all__ = ["FlightRecorder"]
+
+#: default slow-request threshold: 10ms is glacial for a point transaction
+DEFAULT_SLOW_US = 10_000.0
+
+
+class FlightRecorder:
+    """Bounded request ring + slow log, dumped to JSONL on demand.
+
+    Thread-safety: ``record`` runs on the engine thread while ``dump`` /
+    ``summary`` / ``to_payload`` may run on an HTTP or event-loop thread,
+    so every touch of the rings takes the (uncontended) lock.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        *,
+        slow_us: float = DEFAULT_SLOW_US,
+        slow_capacity: int = 128,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("FlightRecorder capacity must be >= 1")
+        self.capacity = capacity
+        self.slow_us = slow_us
+        self._recent: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._slow: deque[dict[str, Any]] = deque(maxlen=slow_capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.errors = 0
+        self.slow_count = 0
+        self.dumps = 0
+
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        *,
+        kind: str,
+        name: str | None = None,
+        conn: int | None = None,
+        trace_id: int | None = None,
+        start_us: int | None = None,
+        duration_us: float | None = None,
+        ok: bool = True,
+        error: str | None = None,
+    ) -> dict[str, Any]:
+        """Append one request record; returns it (already sealed)."""
+        slow = duration_us is not None and duration_us >= self.slow_us
+        entry = {
+            "seq": 0,  # assigned under the lock
+            "kind": kind,
+            "name": name,
+            "conn": conn,
+            "trace_id": trace_id,
+            "start_us": start_us,
+            "duration_us": duration_us,
+            "ok": ok,
+            "error": error,
+            "slow": slow,
+        }
+        with self._lock:
+            self.recorded += 1
+            entry["seq"] = self.recorded
+            self._recent.append(entry)
+            if not ok:
+                self.errors += 1
+            if slow:
+                self.slow_count += 1
+                self._slow.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+
+    def recent(self, limit: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            records = list(self._recent)
+        return records if limit is None else records[-limit:]
+
+    def slow(self, limit: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            records = list(self._slow)
+        return records if limit is None else records[-limit:]
+
+    def summary(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "retained": len(self._recent),
+                "errors": self.errors,
+                "slow": self.slow_count,
+                "slow_retained": len(self._slow),
+                "slow_threshold_us": self.slow_us,
+                "capacity": self.capacity,
+                "dumps": self.dumps,
+            }
+
+    # ------------------------------------------------------------------
+    # the dump-time span join
+    # ------------------------------------------------------------------
+
+    def _joined(
+        self,
+        records: list[dict[str, Any]],
+        collector: "TraceCollector | None",
+    ) -> list[dict[str, Any]]:
+        if collector is None:
+            return [dict(record) for record in records]
+        by_trace = collector.traces()
+        out = []
+        for record in records:
+            entry = dict(record)
+            spans = by_trace.get(record.get("trace_id"))
+            if spans is not None:
+                entry["spans"] = [span.to_dict() for span in spans]
+            out.append(entry)
+        return out
+
+    def to_payload(
+        self,
+        *,
+        collector: "TraceCollector | None" = None,
+        limit: int = 64,
+        slow_only: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Recent (or slow) records as JSON-able dicts, span trees attached."""
+        records = self.slow(limit) if slow_only else self.recent(limit)
+        return self._joined(records, collector)
+
+    def dump(
+        self,
+        path: str | pathlib.Path,
+        *,
+        collector: "TraceCollector | None" = None,
+        reason: str = "operator",
+    ) -> pathlib.Path:
+        """Write the whole ring (+ span trees) as JSONL; returns the path."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        records = self._joined(self.recent(), collector)
+        header = {
+            "flight_recorder": self.summary(),
+            "reason": reason,
+        }
+        with target.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, separators=(",", ":")) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        with self._lock:
+            self.dumps += 1
+        return target

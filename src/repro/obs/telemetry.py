@@ -1,0 +1,182 @@
+"""Per-partition load telemetry: metric deltas and heavy-hitter sketches.
+
+The ROADMAP's elastic-repartitioning item triggers on "per-worker metrics
+already exported via repro.obs" — this module is where those metrics come
+from.  Every :class:`~repro.parallel.worker.PartitionWorker` keeps a
+:class:`PartitionTelemetry` next to its engine shard and piggybacks one
+bounded delta on each mailbox reply; the coordinator folds the deltas into
+partition-labeled counters/histograms in its
+:class:`~repro.obs.metrics.MetricsRegistry` and keeps the latest hot-key
+sketch per partition (see
+:meth:`~repro.parallel.engine.ParallelHStoreEngine.partition_skew`).
+
+Piggybacking, not polling: the coordinator learns each partition's load as
+a side effect of traffic it already sends, with no extra IPC round trips
+and no sampling thread.  An idle partition ships nothing — which is itself
+the skew signal.
+
+The hot-key detector is the classic Space-Saving sketch (Metwally,
+Agrawal, El Abbadi 2005): ``k`` counters, O(1) memory, with two hard
+guarantees the property tests pin down (``N`` = total offered weight):
+
+* every estimate **overcounts**: ``true ≤ estimate ≤ true + error`` where
+  ``error`` is tracked per counter and bounded by ``N / k``;
+* any key with true frequency ``> N / k`` is **guaranteed present** —
+  a genuinely hot key cannot be evicted by cold ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["SpaceSaving", "PartitionTelemetry"]
+
+
+class SpaceSaving:
+    """Bounded top-K frequency sketch with per-key error bounds.
+
+    ``offer`` is O(1) amortized on hits and O(capacity) on an eviction
+    (a min-scan over at most ``capacity`` counters — ``capacity`` is small,
+    16 by default, so the scan is cheaper than a heap's bookkeeping).
+    """
+
+    __slots__ = ("capacity", "total", "_counts", "_errors")
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("SpaceSaving capacity must be >= 1")
+        self.capacity = capacity
+        #: total offered weight N (including weight on evicted keys)
+        self.total = 0
+        self._counts: dict[Any, int] = {}
+        self._errors: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def offer(self, key: Any, weight: int = 1) -> None:
+        """Account ``weight`` occurrences of ``key``."""
+        self.total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            self._errors[key] = 0
+            return
+        # evict the minimum counter; the newcomer inherits its count as its
+        # error bound (it may have occurred up to min_count times unseen)
+        victim = min(counts, key=counts.__getitem__)
+        floor = counts.pop(victim)
+        del self._errors[victim]
+        counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def top(self, k: int | None = None) -> list[tuple[Any, int, int]]:
+        """``(key, estimate, error)`` triples, highest estimate first.
+
+        ``true_count`` is bracketed by ``estimate - error <= true <=
+        estimate``; keys with ``estimate - error > threshold`` are
+        *guaranteed* above ``threshold``.
+        """
+        ranked = sorted(
+            ((key, count, self._errors[key]) for key, count in self._counts.items()),
+            key=lambda item: (-item[1], str(item[0])),
+        )
+        return ranked if k is None else ranked[:k]
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case overcount of any estimate: ``N / capacity``."""
+        return self.total / self.capacity
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Fold another sketch in; estimates and error bounds both add.
+
+        Every merged estimate still brackets the combined true count
+        (``est - err <= true <= est``): per-key counts and errors add when
+        both sides tracked the key, and a key entering through the eviction
+        path inherits the victim's count as additional error, exactly as in
+        :meth:`offer`.
+        """
+        carried = 0
+        for key, count, error in other.top():
+            carried += count
+            if key in self._counts:
+                self._counts[key] += count
+                self._errors[key] += error
+                self.total += count
+            else:
+                self.offer(key, count)
+                self._errors[key] += error
+        # weight the other sketch absorbed on keys it later evicted
+        self.total += max(0, other.total - carried)
+        return self
+
+    # -- wire form (mailbox replies are pickled; keep it plain) ----------
+
+    def to_list(self) -> list[tuple[Any, int, int]]:
+        return self.top()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "top": [[str(key), count, error] for key, count, error in self.top()],
+            "error_bound": self.error_bound,
+        }
+
+    @classmethod
+    def from_state(
+        cls, capacity: int, total: int, entries: Iterable[tuple[Any, int, int]]
+    ) -> "SpaceSaving":
+        sketch = cls(capacity)
+        sketch.total = total
+        for key, count, error in entries:
+            sketch._counts[key] = count
+            sketch._errors[key] = error
+        return sketch
+
+
+class PartitionTelemetry:
+    """The worker-side accumulator: what rides home on each mailbox reply.
+
+    One instance per partition worker.  :meth:`drain` computes the
+    EngineStats delta since the previous reply (nonzero counters only — an
+    idle tick ships nothing), stamps the handling latency, and attaches the
+    current hot-key top-K.  The payload is a plain dict of plain values so
+    it pickles small alongside the reply tuple.
+    """
+
+    __slots__ = ("worker_id", "sketch", "_last_snapshot")
+
+    def __init__(self, worker_id: int, heavy_hitter_k: int = 16) -> None:
+        self.worker_id = worker_id
+        self.sketch = SpaceSaving(heavy_hitter_k)
+        self._last_snapshot: dict[str, int] = {}
+
+    def offer_key(self, key: Any, weight: int = 1) -> None:
+        self.sketch.offer(key, weight)
+
+    def drain(
+        self, snapshot: Mapping[str, int], op: str, op_us: float
+    ) -> dict[str, Any] | None:
+        """The per-reply payload, or ``None`` when nothing changed."""
+        last = self._last_snapshot
+        delta = {
+            name: value - last.get(name, 0)
+            for name, value in snapshot.items()
+            if value != last.get(name, 0)
+        }
+        self._last_snapshot = dict(snapshot)
+        return {
+            "stats": delta,
+            "op": op,
+            "op_us": op_us,
+            "sketch": {
+                "capacity": self.sketch.capacity,
+                "total": self.sketch.total,
+                "top": self.sketch.to_list(),
+            },
+        }

@@ -46,6 +46,7 @@ __all__ = [
     "NULL_TRACER",
     "export_jsonl",
     "export_chrome_trace",
+    "now_us",
 ]
 
 #: spans per process-id namespace; keeps ids unique across a 2^40-span run
@@ -62,6 +63,17 @@ _perf_ns = time.perf_counter_ns
 
 def _now_us() -> int:
     """Monotonic microseconds, anchored to the epoch at process start."""
+    return _EPOCH_OFFSET_US + _perf_ns() // 1000
+
+
+def now_us() -> int:
+    """Public timestamp source for out-of-band span recording.
+
+    Same scale as every span's ``start_us``/``end_us``: monotonic, anchored
+    to the epoch at process start, so timestamps taken here line up with
+    spans recorded by any tracer in this process (and, approximately,
+    sibling processes — see the module docstring).
+    """
     return _EPOCH_OFFSET_US + _perf_ns() // 1000
 
 
@@ -403,6 +415,69 @@ class Tracer:
         stack.append(span)
         return span
 
+    # -- out-of-band recording ---------------------------------------------
+
+    def alloc_id(self) -> int:
+        """Allocate one span/trace id from this tracer's origin namespace.
+
+        For callers that must know a span's id *before* the work it covers
+        runs — e.g. a network client that ships the id to the server inside
+        the request and only records the client-side span once the response
+        arrives.
+        """
+        span_id = self._id_base + self._next_id
+        self._next_id += 1
+        return span_id
+
+    def record_span(
+        self,
+        kind: str,
+        name: str,
+        *,
+        trace_id: int,
+        start_us: int,
+        end_us: int,
+        parent_id: int | None = None,
+        span_id: int | None = None,
+        attrs: dict[str, Any] | None = None,
+    ) -> Span:
+        """Record a finished span directly, bypassing the span stack.
+
+        The stack is strictly LIFO and single-threaded; concurrent in-flight
+        work (pipelined network requests, a commit batch shared by several
+        client traces) cannot use ``with tracer.span(...)``.  This path
+        builds the span from explicit timestamps (:func:`now_us`) and ids
+        (:meth:`alloc_id`) and appends it straight to the collector.
+        """
+        if span_id is None:
+            span_id = self._id_base + self._next_id
+            self._next_id += 1
+        span = Span(
+            span_id, trace_id, parent_id, kind, name, self.process, start_us, attrs
+        )
+        span.end_us = end_us
+        self.collector.record(span)
+        return span
+
+    # -- sampling ----------------------------------------------------------
+
+    def suspend(self) -> None:
+        """Turn every instrumentation site into its no-op branch.
+
+        ``enabled`` is what each hot path checks before recording, so
+        flipping it off makes a suspended stretch cost exactly what an
+        untraced engine costs — one attribute load and one branch per
+        site.  This is the head-based-sampling primitive: the network
+        server suspends the tracer around requests it decides not to
+        trace, then :meth:`resume`\\ s.  Must bracket whole requests on the
+        single engine thread — suspending with spans still open on the
+        stack would tear a trace.
+        """
+        self.enabled = False
+
+    def resume(self) -> None:
+        self.enabled = True
+
     # -- trace-context propagation ----------------------------------------
 
     def current_context(self) -> TraceContext | None:
@@ -456,6 +531,12 @@ class NullTracer:
     def span(self, kind: str, name: str, **attrs: Any) -> "_NullHandle":
         return self._handle
 
+    def alloc_id(self) -> int:
+        return 0
+
+    def record_span(self, kind: str, name: str, **kwargs: Any) -> Span:
+        return self._noop_span
+
     def current_context(self) -> None:
         return None
 
@@ -463,6 +544,12 @@ class NullTracer:
         pass
 
     def deactivate(self) -> None:
+        pass
+
+    def suspend(self) -> None:
+        pass
+
+    def resume(self) -> None:
         pass
 
     @property

@@ -36,6 +36,14 @@ from repro.parallel import messages as msg
 
 __all__ = ["WorkerConfig", "PartitionWorker"]
 
+#: transaction ops whose tracing follows the coordinator's head-based
+#: sampling decision: no trace context on one of these means the trace was
+#: deliberately not rooted, so the worker suspends its tracer for the op
+#: rather than recording an orphaned worker-local trace.  Every other op
+#: (workflow drains, ticks, stats) keeps its local spans — those are
+#: engine-internal activity, not per-request work.
+_SAMPLED_OPS = frozenset({msg.OP_INVOKE, msg.OP_INVOKE_BATCH})
+
 
 @dataclass(frozen=True)
 class WorkerConfig:
@@ -92,10 +100,10 @@ class PartitionWorker:
             ) from exc
         return seq
 
-    def recv(self, expect_seq: int) -> tuple[str, Any, tuple, tuple]:
-        """Take one reply; returns (status, payload, fired, spans)."""
+    def recv(self, expect_seq: int) -> tuple[str, Any, tuple, tuple, Any]:
+        """Take one reply; returns (status, payload, fired, spans, telemetry)."""
         try:
-            seq, status, payload, fired, spans = self._outbox.recv()
+            seq, status, payload, fired, spans, telemetry = self._outbox.recv()
         except (EOFError, OSError) as exc:
             raise ReproError(
                 f"partition worker {self.worker_id} died mid-request "
@@ -106,7 +114,7 @@ class PartitionWorker:
                 f"partition worker {self.worker_id} protocol desync: "
                 f"expected reply #{expect_seq}, got #{seq}"
             )
-        return status, payload, fired, spans
+        return status, payload, fired, spans, telemetry
 
     @property
     def alive(self) -> bool:
@@ -163,6 +171,17 @@ def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
     engine.set_tracer_identity(
         f"worker-{config.worker_id}", config.worker_id + 1
     )
+    telemetry = None
+    if (
+        config.obs is not None
+        and config.obs.metrics
+        and config.obs.partition_telemetry
+    ):
+        from repro.obs.telemetry import PartitionTelemetry
+
+        telemetry = PartitionTelemetry(
+            config.worker_id, config.obs.heavy_hitter_k
+        )
     state = _WorkerState(config, engine)
     while True:
         try:
@@ -172,8 +191,19 @@ def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
         plan = state.fault_plan()
         fired_before = [spec.fired for spec in plan.specs] if plan else []
         tracer = engine.tracer
-        if tracer.enabled and trace_ctx is not None:
-            tracer.activate(trace_ctx)
+        suspended = False
+        if tracer.enabled:
+            if trace_ctx is not None:
+                tracer.activate(trace_ctx)
+            elif op in _SAMPLED_OPS:
+                # the coordinator sampled this transaction out (see
+                # NetServer.trace_sample): honor the head-based decision
+                # instead of recording an orphaned worker-local trace
+                tracer.suspend()
+                suspended = True
+        op_start = time.perf_counter()
+        if telemetry is not None:
+            state.offer_hot_keys(telemetry, op, payload)
         try:
             result = state.handle(op, payload)
             status, reply = msg.STATUS_OK, result
@@ -190,14 +220,27 @@ def _worker_main(config: WorkerConfig, inbox: Any, outbox: Any) -> None:
                 batch_id=failed_batch,
             )
         finally:
-            if tracer.enabled:
+            if suspended:
+                tracer.resume()
+            elif tracer.enabled:
                 tracer.deactivate()
         fired = state.newly_fired(fired_before)
         # finished spans ride home with the reply; the worker-side collector
         # is only a staging buffer, the coordinator's is the source of truth
         spans = tuple(tracer.collector.drain()) if tracer.enabled else ()
+        # bounded telemetry delta piggybacks on the same reply: no extra
+        # round trip, and an idle partition ships an empty stats delta
+        telemetry_payload = (
+            telemetry.drain(
+                engine.stats.snapshot(),
+                op,
+                (time.perf_counter() - op_start) * 1e6,
+            )
+            if telemetry is not None
+            else None
+        )
         try:
-            outbox.send((seq, status, reply, fired, spans))
+            outbox.send((seq, status, reply, fired, spans, telemetry_payload))
         except (BrokenPipeError, OSError):
             break
         if op == msg.OP_SHUTDOWN:
@@ -275,6 +318,33 @@ class _WorkerState:
         if handler is None:
             raise ReproError(f"worker {self.config.worker_id}: unknown op {op!r}")
         return handler(self, payload)
+
+    def offer_hot_keys(self, telemetry: Any, op: str, payload: Any) -> None:
+        """Feed this op's routing keys into the partition's hot-key sketch.
+
+        The keys offered are exactly what the router hashed to land the op
+        here — the signal elastic repartitioning would split on.  Streams
+        have no per-row routing key, so an ingest offers the stream name
+        weighted by its row count.
+        """
+        if op in (msg.OP_INVOKE, msg.OP_PREPARE):
+            name, params = payload
+            procedure = self.engine.procedures.get(name)
+            index = getattr(procedure, "partition_param", None)
+            if index is not None and index < len(params):
+                telemetry.offer_key(params[index])
+        elif op == msg.OP_INVOKE_BATCH:
+            name, rows, _ = payload
+            procedure = self.engine.procedures.get(name)
+            index = getattr(procedure, "partition_param", None)
+            if index is not None:
+                for params in rows:
+                    if index < len(params):
+                        telemetry.offer_key(params[index])
+        elif op == msg.OP_INGEST:
+            stream_name, rows = payload
+            if rows:
+                telemetry.offer_key(f"stream:{stream_name}", len(rows))
 
     # -- deployment ----------------------------------------------------
 
