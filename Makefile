@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # five fixed seeds for the deterministic fault-schedule sweep
 FAULT_SEEDS ?= 0 1 7 42 1337
 
-.PHONY: test faults parallel obs compile dstream ivm net telemetry bench
+.PHONY: test faults parallel obs compile dstream ivm net telemetry columnar bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,6 +51,12 @@ compile:
 # sampling, the /metrics sidecar, and piggybacked worker deltas)
 net:
 	$(PYTHON) -m pytest -m net -q
+
+# columnar storage + vectorized execution: column-store layout units,
+# bulk-insert atomicity, EXPLAIN modes, and the hypothesis differential
+# oracle (vectorized vs row-compiled vs interpreter, bit-for-bit)
+columnar:
+	$(PYTHON) -m pytest -m columnar -q
 
 # telemetry-plane benchmark: default-on overhead bar (<5%), cross-process
 # trace stitch completeness, and watermark-lag fidelity on a split pipeline

@@ -75,6 +75,7 @@ from repro.hstore.planner import (
     SelectPlan,
     UpdatePlan,
 )
+from repro.hstore.vector import lower_delete, lower_select, lower_update
 
 __all__ = [
     "EvalFn",
@@ -526,6 +527,9 @@ class CompiledSelect:
     order_cmp: Callable[[Any, Any], int] | None
     #: pure covered equality lookup: skip the scan pipeline entirely
     point_lookup: bool = False
+    #: batch-at-a-time artifacts (repro.hstore.vector.VectorSelect) for
+    #: full scans whose WHERE/GROUP BY/aggregates all lower; None = row path
+    vector: Any = None
 
 
 @dataclass
@@ -543,12 +547,16 @@ class CompiledUpdate:
     access: CompiledAccess
     where: EvalFn | None
     assignments: tuple[tuple[int, EvalFn], ...]
+    #: batch-at-a-time artifacts (repro.hstore.vector.VectorDml)
+    vector: Any = None
 
 
 @dataclass
 class CompiledDelete:
     access: CompiledAccess
     where: EvalFn | None
+    #: batch-at-a-time artifacts (repro.hstore.vector.VectorDml)
+    vector: Any = None
 
 
 # ---------------------------------------------------------------------------
@@ -556,32 +564,44 @@ class CompiledDelete:
 # ---------------------------------------------------------------------------
 
 
-def compile_plan(plan: Plan) -> Plan:
+def compile_plan(plan: Plan, *, vectorize: bool = True) -> Plan:
     """Attach compiled artifacts to a physical plan (idempotent, in place).
 
     Recurses into nested subquery plans and ``INSERT ... SELECT`` sources so
-    every plan an execution can reach carries its closures.
+    every plan an execution can reach carries its closures.  With
+    ``vectorize`` (the default), full-scan SELECT/UPDATE/DELETE plans whose
+    expressions all lower additionally carry batch-at-a-time artifacts
+    (``.compiled.vector``); the executor prefers those and falls back to
+    the row closures at the first sign of trouble.
     """
     if getattr(plan, "compiled", None) is not None:
         return plan
     if isinstance(plan, SelectPlan):
-        plan.compiled = _compile_select(plan)
+        plan.compiled = _compile_select(plan, vectorize=vectorize)
+        if vectorize:
+            plan.compiled.vector = lower_select(plan)
     elif isinstance(plan, InsertPlan):
         if plan.select is not None:
-            compile_plan(plan.select)
-        plan.compiled = _compile_insert(plan)
+            compile_plan(plan.select, vectorize=vectorize)
+        plan.compiled = _compile_insert(plan, vectorize=vectorize)
     elif isinstance(plan, UpdatePlan):
         plan.compiled = _compile_update(plan)
+        if vectorize:
+            plan.compiled.vector = lower_update(plan)
         _compile_subplans(
             [expr for _offset, expr in plan.assignments]
             + ([plan.where] if plan.where is not None else [])
-            + _access_exprs(plan.access)
+            + _access_exprs(plan.access),
+            vectorize=vectorize,
         )
     elif isinstance(plan, DeletePlan):
         plan.compiled = _compile_delete(plan)
+        if vectorize:
+            plan.compiled.vector = lower_delete(plan)
         _compile_subplans(
             ([plan.where] if plan.where is not None else [])
-            + _access_exprs(plan.access)
+            + _access_exprs(plan.access),
+            vectorize=vectorize,
         )
     return plan
 
@@ -597,14 +617,14 @@ def _access_exprs(access: Any) -> list[Expression]:
     return []
 
 
-def _compile_subplans(exprs: list[Expression]) -> None:
+def _compile_subplans(exprs: list[Expression], *, vectorize: bool = True) -> None:
     """Compile the plans of every planned subquery node in ``exprs``."""
     for expr in exprs:
         for node in walk(expr):
             if isinstance(
                 node, (PlannedInSubquery, PlannedExists, PlannedScalarSubquery)
             ):
-                compile_plan(node.plan)
+                compile_plan(node.plan, vectorize=vectorize)
 
 
 def _compile_access(access: Any, columns: dict[str, int]) -> CompiledAccess:
@@ -656,7 +676,7 @@ def _make_order_cmp(ascending: tuple[bool, ...]) -> Callable[[Any, Any], int]:
     return compare
 
 
-def _compile_select(plan: SelectPlan) -> CompiledSelect:
+def _compile_select(plan: SelectPlan, *, vectorize: bool = True) -> CompiledSelect:
     columns = plan.columns
     ext_columns = plan.ext_columns
 
@@ -673,7 +693,7 @@ def _compile_select(plan: SelectPlan) -> CompiledSelect:
             reachable.append(step.on)
         reachable.extend(_access_exprs(step.access))
     reachable.extend(_access_exprs(plan.access))
-    _compile_subplans(reachable)
+    _compile_subplans(reachable, vectorize=vectorize)
 
     access = _compile_access(plan.access, columns)
     joins = [
@@ -757,12 +777,12 @@ def _compile_select(plan: SelectPlan) -> CompiledSelect:
     )
 
 
-def _compile_insert(plan: InsertPlan) -> CompiledInsert:
+def _compile_insert(plan: InsertPlan, *, vectorize: bool = True) -> CompiledInsert:
     no_columns: dict[str, int] = {}
     row_fns: list[EvalFn] = []
     param_rows: list[Callable[[tuple], tuple]] | None = []
     for row in plan.rows:
-        _compile_subplans(list(row))
+        _compile_subplans(list(row), vectorize=vectorize)
         row_fns.append(
             make_tuple_fn(tuple(compile_expr(expr, no_columns) for expr in row))
         )

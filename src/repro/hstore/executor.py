@@ -15,7 +15,9 @@ a given transaction execution" of the paper (§2), with no PE↔EE round trip.
 from __future__ import annotations
 
 import functools
+from collections import Counter
 from dataclasses import dataclass
+from itertools import compress
 from typing import Any, Callable, Iterator
 
 from repro.errors import BindingError, StorageError
@@ -35,6 +37,12 @@ from repro.hstore.planner import (
 from repro.hstore.stats import EngineStats
 from repro.hstore.table import Row, Table
 from repro.hstore.txn import TransactionContext
+from repro.hstore.vector import (
+    VectorContext,
+    agg_fold,
+    normalize_mask,
+    selected_values,
+)
 
 __all__ = ["ExecutionEngine", "ResultSet", "InsertHook"]
 
@@ -86,6 +94,14 @@ class ResultSet:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
+#: full scans over tables smaller than this stay on the row loop: the
+#: batch setup cost (columnar mirror build/refresh after DML + one list
+#: allocation per column expression) outruns the per-row dispatch it
+#: saves until a few dozen rows, which makes update-heavy workloads over
+#: tiny hot tables (E13's BikeShare tick loop) net slower
+VECTOR_MIN_ROWS = 64
+
+
 class ExecutionEngine:
     """Storage + query execution for one partition."""
 
@@ -95,6 +111,9 @@ class ExecutionEngine:
         self._insert_hooks: dict[str, list[InsertHook]] = {}
         self._hook_depth = 0
         self.stats = stats if stats is not None else EngineStats()
+        #: per-engine override of the batch-execution floor (tests pin it
+        #: to 0 so tiny differential tables still take the vector path)
+        self.vector_min_rows = VECTOR_MIN_ROWS
 
     # -- storage management ----------------------------------------------------
 
@@ -429,8 +448,8 @@ class ExecutionEngine:
         table = self.table(access.table)
         kind = caccess.kind
         if kind == "seq":
-            source = table.storage()
-            return [source[rowid] for rowid in sorted(source)]
+            # storage() is rowid-ordered (Table heals after txn undo)
+            return list(table.storage().values())
         if kind == "eq":
             key = caccess.key_fn(ctx)
             if None in key:
@@ -492,6 +511,22 @@ class ExecutionEngine:
             ext_rows = self._access_rows_compiled(plan.access, c.access, ctx)
             return self._project_compiled(plan, c, params, ctx, ext_rows)
 
+        if c.vector is not None:
+            vectored = self._try_select_vector(plan, c, params)
+            if isinstance(vectored, ResultSet):
+                self.stats.bump("vector_scans")
+                return vectored
+            if vectored is not None:
+                self.stats.bump("vector_scans")
+                post_ctx = (
+                    ctx
+                    if plan.ext_columns is plan.columns
+                    else EvalContext(
+                        columns=plan.ext_columns, params=params, executor=self
+                    )
+                )
+                return self._project_compiled(plan, c, params, post_ctx, vectored)
+
         rows = self._combined_rows_compiled(plan, c, params, ctx)
         if plan.grouped:
             ext_rows = self._aggregate_compiled(plan, c, ctx, rows)
@@ -505,6 +540,207 @@ class ExecutionEngine:
             )
         )
         return self._project_compiled(plan, c, params, post_ctx, ext_rows)
+
+    # -- batch-at-a-time execution over the columnar mirror ------------------
+
+    def _try_select_vector(
+        self, plan: SelectPlan, c: Any, params: tuple[Any, ...]
+    ) -> "ResultSet | list[tuple[Any, ...]] | None":
+        """Vector-path answer for one SELECT, or None to use the row path.
+
+        Returns a finished :class:`ResultSet` when the projection itself is
+        lowered (plain filter+project), a list of extended rows otherwise
+        (the caller runs the compiled post-pipeline over them).
+
+        Vector evaluation is eager (no per-row short-circuit), so any
+        exception here — division the interpreter would have skipped, an
+        unbound parameter over a non-empty table, a comparison type error —
+        aborts the attempt *before anything observable happened* and the
+        caller re-runs the statement through the row closures, which raise
+        (or don't) with oracle semantics.
+
+        Tables under ``vector_min_rows`` skip the attempt outright (no
+        fallback counter bump): batch setup only pays for itself at scale.
+        """
+        table = self.table(plan.access.table)
+        if table.row_count() < self.vector_min_rows:
+            return None
+        try:
+            view = table.columnar_view()
+            n = view.size()
+            vec = c.vector
+            vctx = VectorContext(view, params, n)
+            bmask = None
+            if vec.where is not None:
+                bmask = normalize_mask(vec.where(vctx), n)
+            if plan.grouped:
+                return self._vector_aggregate(plan, vec, vctx, bmask)
+            if vec.outputs is not None:
+                # fully-lowered projection: zip selected output columns
+                # into rows without ever touching the row store
+                nsel = n if bmask is None else sum(bmask)
+                out_cols = [
+                    selected_values(fn(vctx), bmask, n, nsel)
+                    for fn in vec.outputs
+                ]
+                rows = list(zip(*out_cols)) if nsel else []
+                if plan.offset:
+                    rows = rows[plan.offset :]
+                if plan.limit is not None:
+                    rows = rows[: plan.limit]
+                return ResultSet(columns=list(plan.output_names), rows=rows)
+            # ungrouped filter: pair the selection mask with the row dict —
+            # storage() iterates in rowid order, exactly the view's order
+            source = table.storage()
+            if len(source) != n:
+                raise StorageError("columnar mirror out of sync with row store")
+            if bmask is None:
+                return list(source.values())
+            return list(compress(source.values(), bmask))
+        except Exception:
+            self.stats.bump("vector_runtime_fallbacks")
+            return None
+
+    def _vector_aggregate(
+        self,
+        plan: SelectPlan,
+        vec: Any,
+        vctx: "VectorContext",
+        bmask: list[bool] | None,
+    ) -> list[tuple[Any, ...]]:
+        """Columnar COUNT/SUM/AVG/MIN/MAX folds, grouped or global."""
+        n = vctx.n
+        nsel = n if bmask is None else sum(bmask)
+
+        if not vec.group_keys:
+            # global aggregates: one output row, pure C folds per spec
+            values = []
+            for name, arg_fn, distinct in vec.agg_specs:
+                if arg_fn is None:
+                    values.append(nsel)
+                else:
+                    vals = (
+                        selected_values(arg_fn(vctx), bmask, n, nsel)
+                        if nsel
+                        else []
+                    )
+                    values.append(agg_fold(name, vals, distinct))
+            return [tuple(values)]
+
+        key_cols = [
+            selected_values(fn(vctx), bmask, n, nsel) for fn in vec.group_keys
+        ]
+        single = len(key_cols) == 1
+        keys = key_cols[0] if single else list(zip(*key_cols))
+        # first-appearance group order and the key -> slot map, both built
+        # at C speed (dict.fromkeys dedups in encounter order); the per-row
+        # group-index vector is then one C-dispatched dict lookup per row
+        order = list(dict.fromkeys(keys))
+        slots = {key: slot for slot, key in enumerate(order)}
+        gidx = list(map(slots.__getitem__, keys))
+        ngroups = len(order)
+
+        agg_results: list[list[Any]] = []
+        for name, arg_fn, distinct in vec.agg_specs:
+            if arg_fn is None:
+                tally = Counter(gidx)
+                agg_results.append([tally[g] for g in range(ngroups)])
+            elif distinct:
+                vals = selected_values(arg_fn(vctx), bmask, n, nsel)
+                buckets: list[list[Any]] = [[] for _ in range(ngroups)]
+                appends = [bucket.append for bucket in buckets]
+                for slot, value in zip(gidx, vals):
+                    appends[slot](value)
+                agg_results.append(
+                    [agg_fold(name, bucket, distinct) for bucket in buckets]
+                )
+            else:
+                # single-pass per-group folds, each the row accumulator's
+                # exact recurrence (first-value seed, strict comparisons)
+                vals = selected_values(arg_fn(vctx), bmask, n, nsel)
+                if name == "count":
+                    counts = [0] * ngroups
+                    for slot, value in zip(gidx, vals):
+                        if value is not None:
+                            counts[slot] += 1
+                    agg_results.append(counts)
+                elif name == "sum" or name == "avg":
+                    totals: list[Any] = [None] * ngroups
+                    counts = [0] * ngroups
+                    for slot, value in zip(gidx, vals):
+                        if value is not None:
+                            counts[slot] += 1
+                            acc = totals[slot]
+                            totals[slot] = (
+                                value if acc is None else acc + value
+                            )
+                    if name == "sum":
+                        agg_results.append(totals)
+                    else:
+                        agg_results.append(
+                            [
+                                None if count == 0 else total / count
+                                for total, count in zip(totals, counts)
+                            ]
+                        )
+                else:  # min / max
+                    smaller = name == "min"
+                    best: list[Any] = [None] * ngroups
+                    for slot, value in zip(gidx, vals):
+                        if value is not None:
+                            acc = best[slot]
+                            if acc is None or (
+                                value < acc if smaller else value > acc
+                            ):
+                                best[slot] = value
+                    agg_results.append(best)
+
+        if single:
+            return [
+                (key,) + tuple(res[g] for res in agg_results)
+                for g, key in enumerate(order)
+            ]
+        return [
+            key + tuple(res[g] for res in agg_results)
+            for g, key in enumerate(order)
+        ]
+
+    def _try_dml_vector(
+        self, table: Table, vec: Any, params: tuple[Any, ...], *, with_sets: bool
+    ) -> tuple[list[int], list[tuple[int, list[Any]]] | None] | None:
+        """Matched rowids (and SET value columns) for UPDATE/DELETE.
+
+        Everything is materialized before the caller mutates anything, so a
+        fallback (None) is always side-effect free and the apply loop can
+        tombstone colstore slots without invalidating these lists.
+        """
+        if table.row_count() < self.vector_min_rows:
+            return None
+        try:
+            view = table.columnar_view()
+            n = view.size()
+            vctx = VectorContext(view, params, n)
+            bmask = None
+            if vec.where is not None:
+                bmask = normalize_mask(vec.where(vctx), n)
+            rowid_vec = view.rowid_vector()
+            matches = (
+                list(rowid_vec)
+                if bmask is None
+                else list(compress(rowid_vec, bmask))
+            )
+            set_cols = None
+            if with_sets and vec.sets is not None:
+                nsel = len(matches)
+                set_cols = [
+                    (offset, selected_values(fn(vctx), bmask, n, nsel))
+                    for offset, fn in vec.sets
+                ]
+        except Exception:
+            self.stats.bump("vector_runtime_fallbacks")
+            return None
+        self.stats.bump("vector_scans")
+        return matches, set_cols
 
     def _project_compiled(
         self,
@@ -604,8 +840,7 @@ class ExecutionEngine:
                     else None
                 )
             elif caccess.kind == "seq":
-                source = self.table(step.access.table).storage()
-                all_inner = [source[rowid] for rowid in sorted(source)]
+                all_inner = list(self.table(step.access.table).storage().values())
             for outer in rows:
                 ctx.row = outer
                 if key_fn is not None:
@@ -728,24 +963,42 @@ class ExecutionEngine:
         ctx = EvalContext(columns=plan.columns, params=params, executor=self)
         where = c.where
 
-        matches: list[int] = []
-        for rowid, row in self._access_pairs_compiled(plan.access, c.access, ctx):
-            if where is None:
-                matches.append(rowid)
-            else:
-                ctx.row = row
-                if where(ctx) is True:
+        matches: list[int] | None = None
+        set_cols = None
+        if c.vector is not None:
+            prepared = self._try_dml_vector(table, c.vector, params, with_sets=True)
+            if prepared is not None:
+                matches, set_cols = prepared
+        if matches is None:
+            matches = []
+            for rowid, row in self._access_pairs_compiled(plan.access, c.access, ctx):
+                if where is None:
                     matches.append(rowid)
+                else:
+                    ctx.row = row
+                    if where(ctx) is True:
+                        matches.append(rowid)
 
-        assignments = c.assignments
-        for rowid in matches:
-            old_row = table.get(rowid)
-            ctx.row = old_row
-            new_row = list(old_row)
-            for offset, fn in assignments:
-                new_row[offset] = fn(ctx)
-            before = table.update(rowid, new_row)
-            txn.record_update(plan.table, rowid, before)
+        if set_cols is not None:
+            # SET values were evaluated batch-at-a-time against the
+            # pre-statement columns — identical to the row path, which also
+            # reads each row's old image
+            for k, rowid in enumerate(matches):
+                new_row = list(table.get(rowid))
+                for offset, vals in set_cols:
+                    new_row[offset] = vals[k]
+                before = table.update(rowid, new_row)
+                txn.record_update(plan.table, rowid, before)
+        else:
+            assignments = c.assignments
+            for rowid in matches:
+                old_row = table.get(rowid)
+                ctx.row = old_row
+                new_row = list(old_row)
+                for offset, fn in assignments:
+                    new_row[offset] = fn(ctx)
+                before = table.update(rowid, new_row)
+                txn.record_update(plan.table, rowid, before)
 
         self.stats.rows_updated += len(matches)
         return len(matches)
@@ -761,14 +1014,20 @@ class ExecutionEngine:
         ctx = EvalContext(columns=plan.columns, params=params, executor=self)
         where = c.where
 
-        matches: list[int] = []
-        for rowid, row in self._access_pairs_compiled(plan.access, c.access, ctx):
-            if where is None:
-                matches.append(rowid)
-            else:
-                ctx.row = row
-                if where(ctx) is True:
+        matches: list[int] | None = None
+        if c.vector is not None:
+            prepared = self._try_dml_vector(table, c.vector, params, with_sets=False)
+            if prepared is not None:
+                matches = prepared[0]
+        if matches is None:
+            matches = []
+            for rowid, row in self._access_pairs_compiled(plan.access, c.access, ctx):
+                if where is None:
                     matches.append(rowid)
+                else:
+                    ctx.row = row
+                    if where(ctx) is True:
+                        matches.append(rowid)
 
         for rowid in matches:
             before = table.delete(rowid)
@@ -832,14 +1091,15 @@ class ExecutionEngine:
         """Direct (non-SQL) bulk insert used by the streaming layer.
 
         Validates against the schema, records undo, optionally fires insert
-        hooks, and returns the new rowids.
+        hooks, and returns the new rowids.  Rides the bulk
+        :meth:`Table.insert_many` path: one validation pass, one uniqueness
+        pre-pass, one index batch — and atomicity for free (a violation
+        anywhere leaves the table untouched).
         """
         table = self.table(table_name)
-        new_rowids = []
-        for values in rows:
-            rowid = table.insert(values)
+        new_rowids = table.insert_many(list(rows))
+        for rowid in new_rowids:
             txn.record_insert(table.name, rowid)
-            new_rowids.append(rowid)
         self.stats.rows_inserted += len(new_rowids)
         if fire_hooks:
             self._fire_insert_hooks(txn, table.name, new_rowids)

@@ -45,6 +45,19 @@ def _describe_access(access: AccessPath) -> str:
     return f"{type(access).__name__}({target})"  # pragma: no cover
 
 
+def _mode_line(plan: Plan, indent: str) -> list[str]:
+    """``mode: vector`` when the compiled plan carries batch artifacts.
+
+    The annotation is best-effort truth: ``vector`` means the executor will
+    *attempt* the columnar path for this statement (it still falls back
+    row-at-a-time if a batch evaluation raises); ``row`` covers everything
+    else, including uncompiled (interpreter) plans.
+    """
+    compiled = getattr(plan, "compiled", None)
+    vector = getattr(compiled, "vector", None) is not None
+    return [f"{indent}mode: {'vector' if vector else 'row'}"]
+
+
 def _embedded_subplans(plan: SelectPlan) -> list:
     """Planned subquery nodes reachable from the plan's expressions."""
     from repro.hstore.expression import (
@@ -76,6 +89,7 @@ def _explain_select(plan: SelectPlan, indent: str) -> list[str]:
     lines = [f"{indent}SELECT"]
     inner = indent + "  "
     lines.append(f"{inner}scan: {_describe_access(plan.access)}")
+    lines.extend(_mode_line(plan, inner))
     for step in plan.joins:
         on = f" ON {step.on.sql()}" if step.on is not None else ""
         kind = "left join" if step.left_outer else "join"
@@ -134,6 +148,7 @@ def explain_plan(plan: Plan, indent: str = "") -> str:
     if isinstance(plan, UpdatePlan):
         lines = [f"{indent}UPDATE {plan.table}"]
         lines.append(f"{indent}  scan: {_describe_access(plan.access)}")
+        lines.extend(_mode_line(plan, indent + "  "))
         if plan.where is not None:
             lines.append(f"{indent}  filter: {plan.where.sql()}")
         sets = ", ".join(
@@ -144,6 +159,7 @@ def explain_plan(plan: Plan, indent: str = "") -> str:
     if isinstance(plan, DeletePlan):
         lines = [f"{indent}DELETE FROM {plan.table}"]
         lines.append(f"{indent}  scan: {_describe_access(plan.access)}")
+        lines.extend(_mode_line(plan, indent + "  "))
         if plan.where is not None:
             lines.append(f"{indent}  filter: {plan.where.sql()}")
         return "\n".join(lines)

@@ -227,12 +227,22 @@ class DdlPlan(Plan):
 
 
 class Planner:
-    def __init__(self, catalog: Catalog, *, compile_plans: bool = True) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        compile_plans: bool = True,
+        vectorize: bool = True,
+    ) -> None:
         self._catalog = catalog
         #: closure-compile every plan (repro.hstore.compile); False keeps
         #: the tree-walking interpreter as the execution path — the
         #: correctness oracle the differential tests compare against
         self.compile_plans = compile_plans
+        #: additionally attach batch-at-a-time artifacts to full-scan
+        #: plans (repro.hstore.vector); False pins compiled plans to the
+        #: row-at-a-time closures (the benchmark comparison arm)
+        self.vectorize = vectorize
 
     # -- public entry points -------------------------------------------------
 
@@ -262,7 +272,7 @@ class Planner:
         if self.compile_plans:
             from repro.hstore.compile import compile_plan
 
-            compile_plan(plan)
+            compile_plan(plan, vectorize=self.vectorize)
         return plan
 
     # -- scopes ---------------------------------------------------------------

@@ -8,6 +8,20 @@ expire tuples in arrival order.
 Constraint enforcement (primary key, unique secondary indexes) happens here,
 *before* any mutation is applied, so a violating statement leaves no trace
 even without consulting the undo log.
+
+The row dict is insertion-ordered, and ordinary inserts allocate ascending
+rowids — so dict order *is* rowid order except after a txn-undo
+``insert_with_rowid`` re-adds a row below the high-water mark.  Scans track
+that with ``_rows_sorted``: while the flag holds, ``scan``/``rowids``/
+``rows`` stream the dict directly (no O(n log n) re-sort per scan); when an
+undo breaks it, the next read rebuilds the dict sorted once and the flag
+heals.  The same invariant is what lets the vectorized executor align a
+selection mask computed over :class:`~repro.hstore.columnar.ColumnStore`
+vectors with ``storage().values()``.
+
+The column store itself (:meth:`columnar_view`) is a lazily-built mirror:
+nothing is allocated until the first columnar scan, after which every
+mutation funnels through to it.
 """
 
 from __future__ import annotations
@@ -16,6 +30,7 @@ from typing import Any, Callable, Iterator
 
 from repro.errors import PrimaryKeyViolationError, StorageError, UniqueViolationError
 from repro.hstore.catalog import Schema, TableEntry, TableKind
+from repro.hstore.columnar import ColumnStore
 from repro.hstore.index import Key, make_index, _BaseIndex
 from repro.hstore.types import coerce_value
 
@@ -34,6 +49,9 @@ class Table:
         self.schema: Schema = entry.schema
         self._rows: dict[int, Row] = {}
         self._next_rowid = 0
+        self._rows_sorted = True
+        self._tail_rowid = -1
+        self._colstore: ColumnStore | None = None
         self._indexes: dict[str, _BaseIndex] = {}
         self._index_offsets: dict[str, tuple[int, ...]] = {}
         self._pk_index: _BaseIndex | None = None
@@ -54,9 +72,16 @@ class Table:
     def row_count(self) -> int:
         return len(self._rows)
 
+    def _ensure_sorted(self) -> None:
+        """Heal insertion order after a txn-undo re-insert (rare)."""
+        if not self._rows_sorted:
+            self._rows = dict(sorted(self._rows.items()))
+            self._rows_sorted = True
+
     def rowids(self) -> list[int]:
         """All live row ids in insertion order."""
-        return sorted(self._rows)
+        self._ensure_sorted()
+        return list(self._rows)
 
     def get(self, rowid: int) -> Row:
         try:
@@ -69,21 +94,38 @@ class Table:
 
     def scan(self) -> Iterator[tuple[int, Row]]:
         """Yield ``(rowid, row)`` in insertion order."""
-        for rowid in sorted(self._rows):
-            yield rowid, self._rows[rowid]
+        self._ensure_sorted()
+        yield from self._rows.items()
 
     def storage(self) -> dict[int, Row]:
-        """The live ``rowid -> row`` mapping itself.
+        """The live ``rowid -> row`` mapping itself, in rowid order.
 
         The compiled executor reads through this to skip the per-row
         method-call + exception machinery of :meth:`get` on scans it has
         already validated.  Callers must treat it as read-only.
         """
+        self._ensure_sorted()
         return self._rows
 
     def rows(self) -> list[Row]:
         """All rows in insertion order (convenience for tests/apps)."""
-        return [self._rows[rowid] for rowid in sorted(self._rows)]
+        self._ensure_sorted()
+        return list(self._rows.values())
+
+    # -- columnar mirror -------------------------------------------------
+
+    def columnar_view(self) -> ColumnStore:
+        """Dense, rowid-ascending column vectors over the live rows.
+
+        Built on first use (pure-OLTP tables never pay for the mirror);
+        afterwards kept in sync by the mutation funnel and re-compacted
+        lazily by :meth:`ColumnStore.view`.
+        """
+        colstore = self._colstore
+        if colstore is None:
+            colstore = self._colstore = ColumnStore(self.schema)
+            colstore.rebuild(self.scan())
+        return colstore.view()
 
     # -- index plumbing --------------------------------------------------
 
@@ -148,14 +190,8 @@ class Table:
 
     # -- mutation ---------------------------------------------------------
 
-    def insert(self, values: list[Any] | tuple[Any, ...]) -> int:
-        """Validate and insert a row; returns the new rowid.
-
-        Raises :class:`PrimaryKeyViolationError` /
-        :class:`UniqueViolationError` without mutating anything.
-        """
-        row = self.validate_row(values)
-        # Check all uniqueness constraints before touching any structure.
+    def _check_unique(self, row: Row) -> None:
+        """Raise if inserting ``row`` would violate any unique index."""
         for name, index in self._indexes.items():
             key = self._key_for(self._index_offsets[name], row)
             if index.would_violate(key):
@@ -166,19 +202,87 @@ class Table:
                 raise UniqueViolationError(
                     f"duplicate key {key!r} in unique index {name!r}"
                 )
+
+    def _store(self, rowid: int, row: Row) -> None:
+        """Append a validated, uniqueness-checked row (no index writes)."""
+        self._rows[rowid] = row
+        if rowid < self._tail_rowid:
+            self._rows_sorted = False
+        else:
+            self._tail_rowid = rowid
+        if self._colstore is not None:
+            self._colstore.append(rowid, row)
+
+    def insert(self, values: list[Any] | tuple[Any, ...]) -> int:
+        """Validate and insert a row; returns the new rowid.
+
+        Raises :class:`PrimaryKeyViolationError` /
+        :class:`UniqueViolationError` without mutating anything.
+        """
+        row = self.validate_row(values)
+        # Check all uniqueness constraints before touching any structure.
+        self._check_unique(row)
         rowid = self._next_rowid
         self._next_rowid += 1
-        self._rows[rowid] = row
+        self._store(rowid, row)
         for name, index in self._indexes.items():
             index.insert(self._key_for(self._index_offsets[name], row), rowid)
         return rowid
+
+    def insert_many(
+        self, rows: list[list[Any] | tuple[Any, ...]]
+    ) -> list[int]:
+        """Bulk insert: one validation pass, one uniqueness pre-pass, one
+        index batch.  Atomic — a violation anywhere leaves the table
+        untouched, raising the same error the single-row path would have
+        raised for the first offending row.
+        """
+        if not rows:
+            return []
+        validated = [self.validate_row(values) for values in rows]
+        # Uniqueness pre-pass: against the live indexes AND against keys
+        # staged earlier in this same batch (NULL-containing keys are
+        # never indexed, so they cannot collide).
+        unique_offsets = [
+            (name, index, self._index_offsets[name])
+            for name, index in self._indexes.items()
+            if index.unique
+        ]
+        staged: dict[str, set[Key]] = {name: set() for name, _, _ in unique_offsets}
+        for row in validated:
+            for name, index, offsets in unique_offsets:
+                key = self._key_for(offsets, row)
+                if index.would_violate(key) or (
+                    None not in key and key in staged[name]
+                ):
+                    if index is self._pk_index:
+                        raise PrimaryKeyViolationError(
+                            f"duplicate primary key {key!r} in table {self.name!r}"
+                        )
+                    raise UniqueViolationError(
+                        f"duplicate key {key!r} in unique index {name!r}"
+                    )
+                if None not in key:
+                    staged[name].add(key)
+        first = self._next_rowid
+        self._next_rowid = first + len(validated)
+        rowids = list(range(first, self._next_rowid))
+        for rowid, row in zip(rowids, validated):
+            self._store(rowid, row)
+        for name, index in self._indexes.items():
+            offsets = self._index_offsets[name]
+            key_for = self._key_for
+            insert = index.insert
+            for rowid, row in zip(rowids, validated):
+                insert(key_for(offsets, row), rowid)
+        return rowids
 
     def insert_with_rowid(self, rowid: int, values: list[Any] | tuple[Any, ...]) -> None:
         """Re-insert a row under a specific rowid (undo of a delete)."""
         if rowid in self._rows:
             raise StorageError(f"rowid {rowid} already live in {self.name!r}")
         row = self.validate_row(values)
-        self._rows[rowid] = row
+        self._store(rowid, row)
         self._next_rowid = max(self._next_rowid, rowid + 1)
         for name, index in self._indexes.items():
             index.insert(self._key_for(self._index_offsets[name], row), rowid)
@@ -189,6 +293,8 @@ class Table:
         for name, index in self._indexes.items():
             index.remove(self._key_for(self._index_offsets[name], row), rowid)
         del self._rows[rowid]
+        if self._colstore is not None:
+            self._colstore.remove(rowid)
         return row
 
     def update(self, rowid: int, new_values: list[Any] | tuple[Any, ...]) -> Row:
@@ -218,12 +324,18 @@ class Table:
                 index.remove(old_key, rowid)
                 index.insert(new_key, rowid)
         self._rows[rowid] = new_row
+        if self._colstore is not None:
+            self._colstore.replace(rowid, new_row)
         return old_row
 
     def truncate(self) -> int:
         """Remove every row; returns how many were removed."""
         count = len(self._rows)
         self._rows.clear()
+        self._rows_sorted = True
+        self._tail_rowid = -1
+        if self._colstore is not None:
+            self._colstore.clear()
         for index in self._indexes.values():
             index.clear()
         return count
@@ -238,9 +350,20 @@ class Table:
         }
 
     def load_state(self, state: dict[str, Any]) -> None:
-        """Restore from :meth:`dump_state` output, rebuilding indexes."""
-        self._rows = {int(rowid): tuple(row) for rowid, row in state["rows"].items()}
+        """Restore from :meth:`dump_state` output, rebuilding indexes.
+
+        Bulk path: rows land sorted by rowid in one pass, indexes are
+        rebuilt index-major, and the columnar mirror (if it exists) is
+        reloaded wholesale rather than row-at-a-time.
+        """
+        self._rows = dict(
+            sorted((int(rowid), tuple(row)) for rowid, row in state["rows"].items())
+        )
         self._next_rowid = int(state["next_rowid"])
+        self._rows_sorted = True
+        self._tail_rowid = next(reversed(self._rows), -1)
+        if self._colstore is not None:
+            self._colstore.rebuild(self._rows.items())
         for name, index in self._indexes.items():
             index.clear()
             offsets = self._index_offsets[name]

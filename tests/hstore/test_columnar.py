@@ -1,0 +1,439 @@
+"""Columnar storage + batch-at-a-time execution units.
+
+Covers the ColumnStore layout (typed vectors vs list fallback, tombstone
+compaction, lazy build), the Table satellites (`_rows_sorted` lazy heal,
+`insert_many` atomicity), vector execution parity against the
+interpreter, the runtime fallback seam, and the EXPLAIN mode annotation.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.errors import (
+    NullViolationError,
+    PrimaryKeyViolationError,
+    UniqueViolationError,
+)
+from repro.hstore.catalog import Column, Schema, TableEntry
+from repro.hstore.columnar import ColumnStore
+from repro.hstore.engine import HStoreEngine
+from repro.hstore.table import Table
+from repro.hstore.types import SqlType
+
+pytestmark = pytest.mark.columnar
+
+
+def make_table(columns, primary_key=()):
+    return Table(TableEntry("t", Schema(columns), primary_key=tuple(primary_key)))
+
+
+def typed_table() -> Table:
+    return make_table(
+        [
+            Column("i", SqlType.INTEGER, nullable=False),
+            Column("b", SqlType.BIGINT, nullable=False),
+            Column("f", SqlType.FLOAT, nullable=False),
+            Column("ts", SqlType.TIMESTAMP, nullable=False),
+            Column("s", SqlType.VARCHAR),
+            Column("ni", SqlType.INTEGER),
+            Column("bo", SqlType.BOOLEAN, nullable=False),
+        ]
+    )
+
+
+class TestColumnStoreLayout:
+    def test_typed_codes_and_list_fallback(self):
+        table = typed_table()
+        table.insert((1, 2**40, 1.5, 7, "x", None, True))
+        view = table.columnar_view()
+        # NOT NULL integrals and floats get typed vectors
+        assert isinstance(view.column(0), array) and view.column(0).typecode == "q"
+        assert isinstance(view.column(1), array) and view.column(1).typecode == "q"
+        assert isinstance(view.column(2), array) and view.column(2).typecode == "d"
+        assert isinstance(view.column(3), array) and view.column(3).typecode == "q"
+        # VARCHAR, nullable INTEGER, BOOLEAN stay plain lists
+        assert isinstance(view.column(4), list)
+        assert isinstance(view.column(5), list)
+        assert isinstance(view.column(6), list)
+        # BOOLEAN round-trips bool, not int
+        assert view.column(6) == [True]
+
+    def test_round_trip_and_alignment(self):
+        table = typed_table()
+        int64_min, int64_max = -(2**63), 2**63 - 1
+        rows = [
+            (i, int64_min if i == 0 else int64_max, i * 0.25, i, f"s{i}", None if i % 2 else i, i % 2 == 0)
+            for i in range(10)
+        ]
+        for row in rows:
+            table.insert(row)
+        view = table.columnar_view()
+        assert view.size() == 10
+        assert list(view.rowid_vector()) == table.rowids()
+        for offset in range(7):
+            assert list(view.column(offset)) == [row[offset] for row in rows]
+
+    def test_lazy_build(self):
+        table = typed_table()
+        table.insert((1, 1, 1.0, 1, None, None, False))
+        assert table._colstore is None  # no mirror until a columnar scan
+        table.columnar_view()
+        assert table._colstore is not None
+
+    def test_delete_tombstone_then_compact(self):
+        table = typed_table()
+        rowids = [table.insert((i, i, float(i), i, None, None, False)) for i in range(6)]
+        view = table.columnar_view()
+        table.delete(rowids[1])
+        table.delete(rowids[4])
+        view = table.columnar_view()
+        assert view.size() == 4
+        assert list(view.column(0)) == [0, 2, 3, 5]
+        assert list(view.rowid_vector()) == [rowids[0], rowids[2], rowids[3], rowids[5]]
+
+    def test_update_in_place(self):
+        table = typed_table()
+        rowid = table.insert((1, 1, 1.0, 1, "a", None, False))
+        table.columnar_view()
+        table.update(rowid, (9, 9, 9.5, 9, "z", 3, True))
+        view = table.columnar_view()
+        assert view.column(0)[0] == 9
+        assert view.column(2)[0] == 9.5
+        assert view.column(4)[0] == "z"
+        assert view.column(5)[0] == 3
+
+    def test_truncate_clears(self):
+        table = typed_table()
+        table.insert((1, 1, 1.0, 1, None, None, False))
+        table.columnar_view()
+        table.truncate()
+        assert table.columnar_view().size() == 0
+
+    def test_out_of_order_reinsert_resorts(self):
+        # txn-undo path: insert_with_rowid below the high-water mark
+        table = typed_table()
+        rowids = [table.insert((i, i, float(i), i, None, None, False)) for i in range(4)]
+        table.columnar_view()
+        before = table.delete(rowids[1])
+        table.insert_with_rowid(rowids[1], before)
+        view = table.columnar_view()
+        assert list(view.rowid_vector()) == rowids
+        assert list(view.column(0)) == [0, 1, 2, 3]
+
+    def test_load_state_rebuilds_mirror(self):
+        table = typed_table()
+        for i in range(3):
+            table.insert((i, i, float(i), i, None, None, False))
+        state = table.dump_state()
+        table.columnar_view()
+        table.truncate()
+        table.load_state(state)
+        view = table.columnar_view()
+        assert list(view.column(0)) == [0, 1, 2]
+
+
+class TestColumnStoreUnit:
+    def test_rebuild_sorts_by_rowid(self):
+        schema = Schema([Column("v", SqlType.INTEGER, nullable=False)])
+        store = ColumnStore(schema)
+        store.append(5, (50,))
+        store.append(2, (20,))
+        store.append(9, (90,))
+        view = store.view()
+        assert list(view.rowid_vector()) == [2, 5, 9]
+        assert list(view.column(0)) == [20, 50, 90]
+
+    def test_version_bumps_on_mutation(self):
+        schema = Schema([Column("v", SqlType.INTEGER, nullable=False)])
+        store = ColumnStore(schema)
+        v0 = store.version
+        store.append(0, (1,))
+        store.replace(0, (2,))
+        store.remove(0)
+        assert store.version > v0
+
+
+class TestSortedFlagHeal:
+    def test_plain_inserts_stay_sorted(self):
+        table = make_table([Column("v", SqlType.INTEGER, nullable=False)])
+        for i in range(5):
+            table.insert((i,))
+        assert table._rows_sorted
+        assert table.rowids() == [0, 1, 2, 3, 4]
+
+    def test_undo_reinsert_breaks_then_heals(self):
+        table = make_table([Column("v", SqlType.INTEGER, nullable=False)])
+        for i in range(5):
+            table.insert((i,))
+        before = table.delete(1)
+        table.insert_with_rowid(1, before)
+        assert not table._rows_sorted
+        # any ordered read heals once and stays healed
+        assert [row for _rid, row in table.scan()] == [(i,) for i in range(5)]
+        assert table._rows_sorted
+        assert list(table.storage()) == [0, 1, 2, 3, 4]
+        assert table.rows() == [(i,) for i in range(5)]
+
+    def test_engine_abort_path_heals(self, people_engine):
+        # scans after an aborted DELETE (undo re-inserts) stay correct
+        ee = people_engine.partitions[0].ee
+        table = ee.table("people")
+        before = table.delete(1)
+        table.insert_with_rowid(1, before)
+        rows = people_engine.execute_sql("SELECT id FROM people").rows
+        assert [r[0] for r in rows] == [1, 2, 3, 4, 5]
+
+
+class TestInsertMany:
+    def make(self):
+        return make_table(
+            [
+                Column("id", SqlType.INTEGER, nullable=False),
+                Column("v", SqlType.INTEGER),
+            ],
+            primary_key=("id",),
+        )
+
+    def test_bulk_insert_visible_and_indexed(self):
+        table = self.make()
+        rowids = table.insert_many([(i, i * 10) for i in range(100)])
+        assert rowids == list(range(100))
+        assert table.row_count() == 100
+        assert table.index("t__pk").lookup((42,)) == {42}
+
+    def test_empty_batch(self):
+        assert self.make().insert_many([]) == []
+
+    def test_intra_batch_pk_duplicate_is_atomic(self):
+        table = self.make()
+        table.insert((0, 0))
+        with pytest.raises(PrimaryKeyViolationError):
+            table.insert_many([(1, 1), (2, 2), (1, 3)])
+        assert table.row_count() == 1  # nothing from the batch landed
+        assert table._next_rowid == 1
+
+    def test_conflict_with_live_row_is_atomic(self):
+        table = self.make()
+        table.insert((5, 0))
+        with pytest.raises(PrimaryKeyViolationError):
+            table.insert_many([(6, 1), (5, 2)])
+        assert table.row_count() == 1
+
+    def test_unique_secondary_and_null_keys(self):
+        table = self.make()
+        table.add_index("t_v", ("v",), unique=True)
+        # NULL keys are never indexed, so they cannot collide
+        table.insert_many([(0, None), (1, None), (2, 7)])
+        with pytest.raises(UniqueViolationError):
+            table.insert_many([(3, 7)])
+        assert table.row_count() == 3
+
+    def test_validation_error_is_atomic(self):
+        table = self.make()
+        with pytest.raises(NullViolationError):
+            table.insert_many([(1, 1), (None, 2)])
+        assert table.row_count() == 0
+
+    def test_matches_single_row_semantics(self):
+        bulk, single = self.make(), self.make()
+        rows = [(i, None if i % 3 == 0 else i) for i in range(20)]
+        bulk.insert_many(rows)
+        for row in rows:
+            single.insert(row)
+        assert bulk.rows() == single.rows()
+        assert bulk._next_rowid == single._next_rowid
+
+
+QUERIES = [
+    ("SELECT COUNT(*), SUM(age), AVG(age), MIN(age), MAX(age) FROM people", ()),
+    ("SELECT city, COUNT(*), AVG(age) FROM people GROUP BY city", ()),
+    ("SELECT id, name FROM people WHERE age > ?", (28,)),
+    ("SELECT id FROM people WHERE age IS NULL", ()),
+    ("SELECT id FROM people WHERE city LIKE 'b%' AND age BETWEEN 20 AND 40", ()),
+    ("SELECT id FROM people WHERE id IN (1, 3, 5) OR age < 30", ()),
+    ("SELECT COUNT(DISTINCT city), SUM(DISTINCT age) FROM people", ()),
+    ("SELECT city, COUNT(*) FROM people WHERE age IS NOT NULL GROUP BY city", ()),
+]
+
+
+def _interp_people():
+    eng = HStoreEngine(compile=False)
+    eng.execute_ddl(
+        "CREATE TABLE people (id INTEGER NOT NULL, name VARCHAR(32), "
+        "age INTEGER, city VARCHAR(32), PRIMARY KEY (id))"
+    )
+    for row in [
+        (1, "alice", 34, "boston"),
+        (2, "bob", 28, "boston"),
+        (3, "carol", 41, "cambridge"),
+        (4, "dave", 28, "somerville"),
+        (5, "erin", None, "boston"),
+    ]:
+        eng.execute_sql("INSERT INTO people VALUES (?, ?, ?, ?)", *row)
+    return eng
+
+
+class TestVectorExecution:
+    def test_parity_with_interpreter(self, people_engine):
+        oracle = _interp_people()
+        for sql, params in QUERIES:
+            got = people_engine.execute_sql(sql, *params).rows
+            want = oracle.execute_sql(sql, *params).rows
+            assert got == want, sql
+            assert [tuple(map(type, r)) for r in got] == [
+                tuple(map(type, r)) for r in want
+            ], sql
+        assert people_engine.stats.snapshot().get("vector_scans", 0) >= len(QUERIES)
+
+    def test_point_lookup_stays_on_row_fast_lane(self, people_engine):
+        before = people_engine.stats.snapshot()
+        rows = people_engine.execute_sql(
+            "SELECT name FROM people WHERE id = ?", 3
+        ).rows
+        assert rows == [("carol",)]
+        after = people_engine.stats.snapshot()
+        assert after.get("point_lookups", 0) == before.get("point_lookups", 0) + 1
+        assert after.get("vector_scans", 0) == before.get("vector_scans", 0)
+
+    def test_runtime_fallback_preserves_short_circuit(self, people_engine):
+        # the interpreter short-circuits AND before the division for id=0
+        # rows; eager vector evaluation raises, falls back, and the row
+        # path answers — silently, with one fallback counter bump
+        people_engine.execute_sql("INSERT INTO people VALUES (6, 'zed', 0, 'x')")
+        sql = "SELECT id FROM people WHERE age <> 0 AND 10 / age > 0"
+        got = people_engine.execute_sql(sql).rows
+        want = _interp_people()
+        want.execute_sql("INSERT INTO people VALUES (6, 'zed', 0, 'x')")
+        assert got == want.execute_sql(sql).rows
+        assert people_engine.stats.snapshot().get("vector_runtime_fallbacks", 0) >= 1
+
+    def test_vectorize_off_arm(self):
+        eng = HStoreEngine(vectorize=False)
+        eng.execute_ddl("CREATE TABLE t (v INTEGER)")
+        for i in range(5):
+            eng.execute_sql("INSERT INTO t VALUES (?)", i)
+        assert eng.execute_sql("SELECT SUM(v) FROM t WHERE v > 0").rows == [(10,)]
+        assert eng.stats.snapshot().get("vector_scans", 0) == 0
+
+    def test_vector_update_and_delete_parity(self):
+        vec = HStoreEngine(vector_min_rows=0)
+        row = HStoreEngine(vectorize=False)
+        counts = []
+        for eng in (vec, row):
+            eng.execute_ddl("CREATE TABLE t (id INTEGER NOT NULL, v INTEGER, f FLOAT, PRIMARY KEY (id))")
+            for i in range(30):
+                eng.execute_sql(
+                    "INSERT INTO t VALUES (?, ?, ?)",
+                    i, None if i % 7 == 0 else i, i * 0.5,
+                )
+            counts.append(
+                (
+                    eng.execute_sql("UPDATE t SET v = v * 2, f = f + 1.0 WHERE v > 10"),
+                    eng.execute_sql("DELETE FROM t WHERE f > ?", 12.0),
+                )
+            )
+        assert counts[0] == counts[1] and counts[0][0] > 0 and counts[0][1] > 0
+        probe = "SELECT * FROM t ORDER BY id"
+        assert vec.execute_sql(probe).rows == row.execute_sql(probe).rows
+        assert vec.stats.snapshot().get("vector_scans", 0) >= 2
+
+    def test_empty_table_aggregate(self):
+        eng = HStoreEngine(vector_min_rows=0)
+        eng.execute_ddl("CREATE TABLE t (v INTEGER)")
+        assert eng.execute_sql(
+            "SELECT COUNT(*), SUM(v), AVG(v), MIN(v) FROM t WHERE v > 0"
+        ).rows == [(0, None, None, None)]
+
+    def test_sum_type_fidelity(self):
+        # SUM over ints is int; over floats stays float; AVG is float
+        eng = HStoreEngine(vector_min_rows=0)
+        eng.execute_ddl("CREATE TABLE t (i INTEGER NOT NULL, f FLOAT NOT NULL)")
+        for i in range(4):
+            eng.execute_sql("INSERT INTO t VALUES (?, ?)", i, float(i))
+        (si, sf, ai) = eng.execute_sql(
+            "SELECT SUM(i), SUM(f), AVG(i) FROM t WHERE i >= 0"
+        ).rows[0]
+        assert si == 6 and type(si) is int
+        assert sf == 6.0 and type(sf) is float
+        assert ai == 1.5 and type(ai) is float
+
+    def test_group_order_is_first_appearance(self):
+        eng = HStoreEngine(vector_min_rows=0)
+        eng.execute_ddl("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        for g, v in [("b", 1), ("a", 2), ("b", 3), ("c", 4), ("a", 5)]:
+            eng.execute_sql("INSERT INTO t VALUES (?, ?)", g, v)
+        rows = eng.execute_sql(
+            "SELECT g, SUM(v) FROM t WHERE v > 0 GROUP BY g"
+        ).rows
+        assert rows == [("b", 4), ("a", 7), ("c", 4)]
+
+    def test_small_tables_stay_on_row_loop_by_default(self):
+        # below the vector_min_rows floor the scan answers from the row
+        # loop and the columnar mirror is never even built — batch setup
+        # would cost more than it saves (the E13 BikeShare regression)
+        eng = HStoreEngine()
+        eng.execute_ddl("CREATE TABLE t (v INTEGER NOT NULL)")
+        for i in range(10):
+            eng.execute_sql("INSERT INTO t VALUES (?)", i)
+        assert eng.execute_sql("SELECT SUM(v) FROM t WHERE v > 3").rows == [(39,)]
+        assert eng.execute_sql("UPDATE t SET v = v + 1 WHERE v < 2") == 2
+        assert eng.stats.snapshot().get("vector_scans", 0) == 0
+        assert eng.partitions[0].ee.table("t")._colstore is None
+
+    def test_crossing_the_floor_engages_the_vector_path(self):
+        eng = HStoreEngine()  # default floor
+        floor = eng.partitions[0].ee.vector_min_rows
+        eng.execute_ddl("CREATE TABLE t (v INTEGER NOT NULL)")
+        table = eng.partitions[0].ee.table("t")
+        table.insert_many([(i,) for i in range(floor)])
+        want = sum(range(1, floor))
+        assert eng.execute_sql("SELECT SUM(v) FROM t WHERE v > 0").rows == [(want,)]
+        assert eng.stats.snapshot().get("vector_scans", 0) == 1
+
+    def test_ivm_view_still_wins(self):
+        # the IVM ViewRead path is checked before the vector path
+        from tests.ivm.conftest import build_engine
+
+        eng = build_engine(
+            "CREATE WINDOW w ON s ROWS 10 SLIDE 1",
+            view_sql="CREATE VIEW vw AS SELECT g, COUNT(*), SUM(v) FROM w GROUP BY g",
+        )
+        eng.ingest("s", [(i, i % 2, i, None) for i in range(6)])
+        rows = eng.execute_sql("SELECT g, COUNT(*), SUM(v) FROM w GROUP BY g").rows
+        assert rows == [(0, 3, 6), (1, 3, 9)]
+        assert eng.stats.extra.get("ivm_view_hits", 0) >= 1
+
+
+class TestExplainMode:
+    def test_full_scan_is_vector(self, people_engine):
+        text = people_engine.explain("SELECT COUNT(*) FROM people WHERE age > 30")
+        assert "mode: vector" in text
+
+    def test_point_lookup_is_row(self, people_engine):
+        text = people_engine.explain("SELECT name FROM people WHERE id = 1")
+        assert "mode: row" in text
+
+    def test_subquery_predicate_is_row(self, people_engine):
+        text = people_engine.explain(
+            "SELECT id FROM people WHERE age > (SELECT MIN(age) FROM people)"
+        )
+        assert text.splitlines()[2].strip() == "mode: row"
+
+    def test_vectorize_off_is_row(self):
+        eng = HStoreEngine(vectorize=False)
+        eng.execute_ddl("CREATE TABLE t (v INTEGER)")
+        assert "mode: row" in eng.explain("SELECT COUNT(*) FROM t WHERE v > 0")
+
+    def test_dml_modes(self, people_engine):
+        assert "mode: vector" in people_engine.explain(
+            "UPDATE people SET age = age + 1 WHERE age < 40"
+        )
+        assert "mode: vector" in people_engine.explain(
+            "DELETE FROM people WHERE age IS NULL"
+        )
+        assert "mode: row" in people_engine.explain(
+            "DELETE FROM people WHERE id = 1"
+        )
